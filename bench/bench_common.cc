@@ -1,0 +1,47 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/datasets.h"
+
+namespace arecel::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  return std::atof(v);
+}
+
+}  // namespace
+
+double BenchScale() { return EnvDouble("ARECEL_BENCH_SCALE", 0.5); }
+
+size_t BenchQueryCount() {
+  return static_cast<size_t>(EnvDouble("ARECEL_BENCH_QUERIES", 500));
+}
+
+size_t BenchTrainQueryCount() { return BenchQueryCount() * 4; }
+
+std::vector<Table> LoadBenchmarkDatasets() {
+  return BenchmarkDatasets(BenchScale(), /*seed=*/2021);
+}
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces %s of VLDB'21 \"Are We Ready For Learned\n"
+              "Cardinality Estimation?\"; synthetic stand-in datasets,\n"
+              "scale=%.2f, %zu test queries)\n",
+              experiment.c_str(), paper_reference.c_str(), BenchScale(),
+              BenchQueryCount());
+  std::printf("==============================================================\n");
+}
+
+void PrintPaperExpectation(const std::string& text) {
+  std::printf("\n[paper expectation] %s\n", text.c_str());
+}
+
+}  // namespace arecel::bench

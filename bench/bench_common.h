@@ -1,0 +1,46 @@
+#ifndef ARECEL_BENCH_BENCH_COMMON_H_
+#define ARECEL_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "data/table.h"
+#include "workload/generator.h"
+
+namespace arecel::bench {
+
+// Shared plumbing for the experiment-driver binaries.
+//
+// Every bench is scaled down from the paper (datasets, query counts,
+// epochs) so the full suite finishes on a CPU-only machine; set
+// ARECEL_BENCH_SCALE (default 1.0) to scale dataset row counts, and
+// ARECEL_BENCH_QUERIES (default below) to change workload sizes.
+
+// Row-count multiplier from ARECEL_BENCH_SCALE.
+double BenchScale();
+
+// Number of test queries per dataset, from ARECEL_BENCH_QUERIES
+// (default 600; paper uses 10K).
+size_t BenchQueryCount();
+
+// Training-workload size for query-driven methods (default 4x test size;
+// the paper uses 100K).
+size_t BenchTrainQueryCount();
+
+// The four benchmark datasets at BenchScale().
+std::vector<Table> LoadBenchmarkDatasets();
+
+// Prints a standard experiment header with dataset sizes and knobs.
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_reference);
+
+// Prints the paper's qualitative expectation so EXPERIMENTS.md can record
+// shape-vs-paper.
+void PrintPaperExpectation(const std::string& text);
+
+}  // namespace arecel::bench
+
+#endif  // ARECEL_BENCH_BENCH_COMMON_H_

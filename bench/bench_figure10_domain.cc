@@ -1,0 +1,56 @@
+// Reproduces Figure 10: top-1% q-error distribution of the five learned
+// estimators as the synthetic domain size d grows through {10, 100, 1000,
+// 10000}, at s = 1.0 and c = 1.0.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/ascii_table.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace arecel;
+  bench::PrintHeader("Figure 10: top-1% q-error vs domain size",
+                     "Figure 10 (Section 6.2)");
+
+  const size_t rows = static_cast<size_t>(
+      100000 * std::max(0.2, bench::BenchScale()));
+  WorkloadOptions workload_options;
+  workload_options.ood_probability = 1.0;
+
+  for (const std::string& name : LearnedEstimatorNames()) {
+    AsciiTable out({"domain d", "q1", "median", "q3", "max"});
+    for (int d : {10, 100, 1000, 10000}) {
+      const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0,
+                                              /*correlation=*/1.0, d, 42);
+      const Workload train =
+          GenerateWorkload(table, 1500, 7, workload_options);
+      const Workload test =
+          GenerateWorkload(table, bench::BenchQueryCount(), 8,
+                           workload_options);
+      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
+      TrainContext context;
+      context.training_workload = &train;
+      estimator->Train(table, context);
+      const std::vector<double> top = TopFraction(
+          EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
+      const BoxStats box = Box(top);
+      out.AddRow({std::to_string(d), FormatCompact(box.q1),
+                  FormatCompact(box.median), FormatCompact(box.q3),
+                  FormatCompact(box.max)});
+    }
+    std::printf("\n--- %s ---\n%s", name.c_str(), out.ToString().c_str());
+  }
+
+  bench::PrintPaperExpectation(
+      "All methods except LW-NN degrade as the domain grows; Naru loses the "
+      "most from 1K to 10K (its per-value resolution no longer fits the "
+      "size budget — here via vocabulary binning, in the paper via the "
+      "embedding matrix squeeze); LW-XGB is strongest at d = 10 and ~100x "
+      "worse at large domains; MSCN and DeepDB degrade ~10x.");
+  return 0;
+}

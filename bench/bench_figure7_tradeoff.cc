@@ -1,0 +1,68 @@
+// Reproduces Figure 7: Naru's trade-off between the number of updating
+// epochs and accuracy on Census and Forest. "Stale" is the old model on the
+// new workload; "Updated" is the refreshed model on the whole workload;
+// "Dynamic" mixes them according to how much of the interval T the update
+// consumed — more epochs improve "Updated" but push "Dynamic" back toward
+// "Stale".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dynamic.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "estimators/learned/naru.h"
+#include "util/ascii_table.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace arecel;
+  bench::PrintHeader("Figure 7: Naru update-epochs vs accuracy trade-off",
+                     "Figure 7 (Section 5.3)");
+
+  std::vector<DatasetSpec> specs = {CensusSpec(), ForestSpec()};
+  for (DatasetSpec& spec : specs) {
+    spec.rows = static_cast<size_t>(
+        static_cast<double>(spec.rows) * bench::BenchScale());
+    const Table base = GenerateDataset(spec, 2021);
+    const Table updated = AppendCorrelatedUpdate(base, 0.20, 99);
+    const Workload test =
+        GenerateWorkload(updated, bench::BenchQueryCount(), 2002);
+
+    // T generous enough that every epoch count finishes (paper: 10 min on
+    // Census, 100 min on Forest), scaled to this box.
+    const double interval =
+        static_cast<double>(updated.num_rows()) / 50000.0 * 40.0;
+    std::printf("\n--- dataset %s (T = %.1fs) ---\n", spec.name.c_str(),
+                interval);
+
+    AsciiTable out({"epochs", "t_u (s)", "stale p99", "updated p99",
+                    "dynamic p99"});
+    for (int epochs : {1, 2, 4, 8}) {
+      // A fresh initial model per setting (updates mutate in place); fewer
+      // initial epochs than the Table 4 profile keep the sweep affordable.
+      NaruEstimator::Options initial_options;
+      initial_options.epochs = 10;
+      NaruEstimator naru(initial_options);
+      TrainContext train_context;
+      naru.Train(base, train_context);
+
+      DynamicOptions options;
+      options.update_epochs = epochs;
+      const DynamicProfile profile = ProfileDynamicUpdate(
+          naru, updated, base.num_rows(), test, options);
+      out.AddRow({std::to_string(epochs),
+                  FormatFixed(profile.update_seconds, 2),
+                  FormatCompact(Percentile(profile.stale_errors, 99)),
+                  FormatCompact(Percentile(profile.updated_errors, 99)),
+                  FormatCompact(DynamicP99(profile, interval))});
+    }
+    std::printf("%s", out.ToString().c_str());
+  }
+
+  bench::PrintPaperExpectation(
+      "\"Updated\" improves monotonically with more epochs while \"Dynamic\" "
+      "is U-shaped on Forest: it first drops (better updated model) then "
+      "rises (the longer update leaves more queries on the stale model).");
+  return 0;
+}

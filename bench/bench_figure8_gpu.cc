@@ -1,0 +1,65 @@
+// Reproduces Figure 8: how much the (simulated) GPU helps Naru and LW-NN in
+// dynamic environments, on Forest and DMV.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/device.h"
+#include "core/dynamic.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/ascii_table.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace arecel;
+  bench::PrintHeader("Figure 8: GPU effect in dynamic environments",
+                     "Figure 8 (Section 5.4)");
+
+  std::vector<DatasetSpec> specs = {ForestSpec(), DmvSpec()};
+  for (DatasetSpec& spec : specs) {
+    spec.rows = static_cast<size_t>(
+        static_cast<double>(spec.rows) * bench::BenchScale());
+    const Table base = GenerateDataset(spec, 2021);
+    const Table updated = AppendCorrelatedUpdate(base, 0.20, 99);
+    const Workload initial_train =
+        GenerateWorkload(base, bench::BenchTrainQueryCount(), 1001);
+    const Workload test =
+        GenerateWorkload(updated, bench::BenchQueryCount(), 2002);
+    const double interval =
+        static_cast<double>(updated.num_rows()) / 50000.0 * 25.0;
+    std::printf("\n--- dataset %s (T = %.1fs) ---\n", spec.name.c_str(),
+                interval);
+
+    AsciiTable out({"estimator", "device", "t_u (s)", "dynamic p99"});
+    for (const std::string& name : {std::string("naru"),
+                                    std::string("lw-nn")}) {
+      for (Device device : {Device::kCpu, Device::kGpu}) {
+        std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
+        TrainContext train_context;
+        train_context.training_workload = &initial_train;
+        estimator->Train(base, train_context);
+        DynamicOptions options;
+        options.device = device;
+        options.update_query_count = bench::BenchTrainQueryCount() / 2;
+        const DynamicProfile profile = ProfileDynamicUpdate(
+            *estimator, updated, base.num_rows(), test, options);
+        out.AddRow({name, DeviceLabel(device),
+                    FormatFixed(profile.update_seconds, 2),
+                    FormatCompact(DynamicP99(profile, interval))});
+      }
+    }
+    std::printf("%s", out.ToString().c_str());
+  }
+
+  std::printf("\ngpu(sim) divides the model-update time by the per-method "
+              "speedup factors of core/device.h (DESIGN.md §2, "
+              "substitution 4).\n");
+  bench::PrintPaperExpectation(
+      "LW-NN improves ~10x on Forest and ~2x on DMV with GPU (faster "
+      "training lets a well-trained model answer more of the stream). Naru "
+      "improves ~2x on DMV but not on Forest, where one update epoch is too "
+      "few for a good updated model no matter how fast it runs.");
+  return 0;
+}

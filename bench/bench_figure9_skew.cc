@@ -1,0 +1,54 @@
+// Reproduces Figure 9b: top-1% q-error distribution of the five learned
+// estimators as the first column's skew s rises from uniform (0) to very
+// skewed (2), at correlation c = 1.0 and domain size d = 1000.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/ascii_table.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace arecel;
+  bench::PrintHeader("Figure 9b: top-1% q-error vs skew",
+                     "Figure 9b (Section 6.2)");
+
+  const size_t rows = static_cast<size_t>(
+      100000 * std::max(0.2, bench::BenchScale()));
+  WorkloadOptions workload_options;
+  workload_options.ood_probability = 1.0;
+
+  for (const std::string& name : LearnedEstimatorNames()) {
+    AsciiTable out({"skew s", "q1", "median", "q3", "max"});
+    for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+      const Table table = GenerateSynthetic2D(rows, s, /*correlation=*/1.0,
+                                              /*domain_size=*/1000, 42);
+      const Workload train =
+          GenerateWorkload(table, 1500, 7, workload_options);
+      const Workload test =
+          GenerateWorkload(table, bench::BenchQueryCount(), 8,
+                           workload_options);
+      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
+      TrainContext context;
+      context.training_workload = &train;
+      estimator->Train(table, context);
+      const std::vector<double> top = TopFraction(
+          EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
+      const BoxStats box = Box(top);
+      out.AddRow({FormatFixed(s, 2), FormatCompact(box.q1),
+                  FormatCompact(box.median), FormatCompact(box.q3),
+                  FormatCompact(box.max)});
+    }
+    std::printf("\n--- %s ---\n%s", name.c_str(), out.ToString().c_str());
+  }
+
+  bench::PrintPaperExpectation(
+      "Methods react differently: Naru's max error grows with skew (s > 1), "
+      "while MSCN, LW-XGB/NN and DeepDB — which embed a sample or 1-D "
+      "histogram — tend to improve or stay flat at high skew.");
+  return 0;
+}

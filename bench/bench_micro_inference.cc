@@ -1,0 +1,77 @@
+// google-benchmark microbenchmark: per-query inference latency of every
+// estimator, the quantity behind Figure 4's inference panel. Models are
+// trained once on a small census-like table; the benchmark then measures
+// EstimateSelectivity in isolation.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace arecel;
+
+struct Fixture {
+  Table table;
+  Workload queries;
+  std::vector<std::unique_ptr<CardinalityEstimator>> estimators;
+
+  Fixture() {
+    DatasetSpec spec = CensusSpec();
+    spec.rows = 20000;
+    table = GenerateDataset(spec, 1);
+    queries = GenerateWorkload(table, 256, 2);
+    const Workload train = GenerateWorkload(table, 1200, 3);
+    TrainContext context;
+    context.training_workload = &train;
+    for (const std::string& name : AllEstimatorNames()) {
+      auto estimator = MakeEstimator(name);
+      estimator->Train(table, context);
+      estimators.push_back(std::move(estimator));
+    }
+  }
+
+  const CardinalityEstimator& Get(const std::string& name) const {
+    for (const auto& estimator : estimators) {
+      if (estimator->Name() == name) return *estimator;
+    }
+    std::abort();
+  }
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_Inference(benchmark::State& state, const std::string& name) {
+  const Fixture& fixture = GetFixture();
+  const CardinalityEstimator& estimator = fixture.Get(name);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double sel = estimator.EstimateSelectivity(
+        fixture.queries.queries[i % fixture.queries.size()]);
+    benchmark::DoNotOptimize(sel);
+    ++i;
+  }
+}
+
+const int kRegistered = [] {
+  for (const std::string& name : AllEstimatorNames()) {
+    benchmark::RegisterBenchmark(("inference/" + name).c_str(),
+                                 [name](benchmark::State& state) {
+                                   BM_Inference(state, name);
+                                 });
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmark of the ML substrate: matrix multiply,
+// ResMADE training steps and sliced forwards, GBDT fitting, k-means, RDC —
+// the building blocks whose cost dominates training (Figure 4) and
+// inference (progressive sampling).
+
+#include <benchmark/benchmark.h>
+
+#include "ml/gbdt.h"
+#include "ml/kmeans.h"
+#include "ml/made.h"
+#include "ml/matrix.h"
+#include "ml/rdc.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace arecel;
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  for (auto _ : state) {
+    MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ResMadeTrainStep(benchmark::State& state) {
+  const int vocab = static_cast<int>(state.range(0));
+  ResMade::Options options;
+  options.hidden_units = 64;
+  ResMade made({vocab, vocab, vocab, vocab}, options);
+  Rng rng(2);
+  const size_t batch = 256;
+  Matrix input(batch, made.input_dim());
+  std::vector<int32_t> targets(batch * 4);
+  for (size_t b = 0; b < batch; ++b) {
+    int32_t codes[4];
+    for (int j = 0; j < 4; ++j) {
+      codes[j] = static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(vocab)));
+      targets[b * 4 + static_cast<size_t>(j)] = codes[j];
+    }
+    made.Encode(codes, 4, input.Row(b));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(made.TrainStep(input, targets, 1e-3f));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ResMadeTrainStep)->Arg(64)->Arg(256);
+
+void BM_ResMadeColumnForward(benchmark::State& state) {
+  ResMade::Options options;
+  options.hidden_units = 64;
+  ResMade made({256, 256, 256, 256}, options);
+  Matrix input(128, made.input_dim(), 0.0f);
+  Matrix logits;
+  for (auto _ : state) {
+    made.ForwardColumnLogits(input, 2, &logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_ResMadeColumnForward);
+
+void BM_GbdtTrain(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = 2000;
+  std::vector<std::vector<float>> x(n, std::vector<float>(8));
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : x[i]) v = static_cast<float>(rng.Uniform(0, 1));
+    y[i] = x[i][0] * 2 - x[i][3];
+  }
+  GbdtOptions options;
+  options.num_trees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Gbdt model;
+    model.Train(x, y, options);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+}
+BENCHMARK(BM_GbdtTrain)->Arg(16)->Arg(64);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::vector<double>> points(
+      static_cast<size_t>(state.range(0)), std::vector<double>(6));
+  for (auto& p : points)
+    for (auto& v : p) v = rng.Uniform(0, 1);
+  for (auto _ : state) {
+    const KMeansResult result = KMeans(points, 2, 20, 5);
+    benchmark::DoNotOptimize(result.assignments.data());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000);
+
+void BM_Rdc(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> x(static_cast<size_t>(state.range(0)));
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform();
+    y[i] = rng.Bernoulli(0.5) ? x[i] : rng.Uniform();
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(Rdc(x, y));
+}
+BENCHMARK(BM_Rdc)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

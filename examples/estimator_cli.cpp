@@ -1,0 +1,105 @@
+// Command-line explorer: train any registered estimator on any benchmark
+// dataset and inspect its accuracy, cost, and rule behaviour — the kind of
+// one-command entry point an evaluation repository needs.
+//
+// Usage:
+//   estimator_cli [estimator] [dataset] [queries] [scale]
+//     estimator: postgres|mysql|dbms-a|sampling|mhist|quicksel|bayes|
+//                kde-fb|mscn|lw-xgb|lw-nn|naru|deepdb|dqm-d   (default naru)
+//     dataset:   census|forest|power|dmv|synthetic            (default census)
+//     queries:   test-query count                             (default 300)
+//     scale:     dataset row-count multiplier                 (default 0.25)
+//
+// Example:
+//   ./build/examples/estimator_cli deepdb power 500 0.5
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "core/rules.h"
+#include "data/datasets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace arecel;
+
+Table LoadDataset(const std::string& name, double scale) {
+  if (name == "synthetic")
+    return GenerateSynthetic2D(static_cast<size_t>(200000 * scale), 1.0, 1.0,
+                               1000, 42);
+  DatasetSpec spec;
+  if (name == "census") {
+    spec = CensusSpec();
+  } else if (name == "forest") {
+    spec = ForestSpec();
+  } else if (name == "power") {
+    spec = PowerSpec();
+  } else if (name == "dmv") {
+    spec = DmvSpec();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  spec.rows = static_cast<size_t>(static_cast<double>(spec.rows) * scale);
+  return GenerateDataset(spec, 2021);
+}
+
+bool IsKnownEstimator(const std::string& name) {
+  for (const auto& known : AllEstimatorNames())
+    if (known == name) return true;
+  for (const auto& known : ExtendedEstimatorNames())
+    if (known == name) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string estimator_name = argc > 1 ? argv[1] : "naru";
+  const std::string dataset_name = argc > 2 ? argv[2] : "census";
+  const size_t query_count =
+      argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 300;
+  const double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
+
+  if (!IsKnownEstimator(estimator_name)) {
+    std::fprintf(stderr, "unknown estimator '%s'; known:",
+                 estimator_name.c_str());
+    for (const auto& name : AllEstimatorNames())
+      std::fprintf(stderr, " %s", name.c_str());
+    for (const auto& name : ExtendedEstimatorNames())
+      std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  const Table table = LoadDataset(dataset_name, scale);
+  std::printf("dataset %s: %zu rows, %zu cols, log10(domain)=%.1f\n",
+              table.name().c_str(), table.num_rows(), table.num_cols(),
+              table.Log10JointDomain());
+
+  const Workload train = GenerateWorkload(table, query_count * 4, 1001);
+  const Workload test = GenerateWorkload(table, query_count, 2002);
+
+  auto estimator = MakeEstimator(estimator_name);
+  const EstimatorReport report =
+      EvaluateOnDataset(*estimator, table, train, test);
+  std::printf("\n%s:\n", estimator->Name().c_str());
+  std::printf("  train      %.2f s (model %.0f KB)\n", report.train_seconds,
+              static_cast<double>(report.model_size_bytes) / 1024.0);
+  std::printf("  inference  %.3f ms/query\n", report.avg_inference_ms);
+  std::printf("  q-error    50th=%.2f 95th=%.2f 99th=%.2f max=%.0f\n",
+              report.qerror.p50, report.qerror.p95, report.qerror.p99,
+              report.qerror.max);
+
+  std::printf("  rules      ");
+  for (const RuleResult& rule : CheckLogicalRules(*estimator, table)) {
+    std::printf("%s=%s ", rule.rule.c_str(),
+                rule.satisfied() ? "ok" : "VIOLATED");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Optimizer-integration example: why cardinality estimation quality matters
+// (paper §1 — "a query plan based on a wrongly estimated cardinality can be
+// orders of magnitude slower than the best plan").
+//
+// A toy physical-operator chooser decides, per filter query, whether the
+// qualifying rows feed an index-nested-loop join (cheap only when the
+// *conjunction* is selective: cost ~ result_rows * probe_penalty) or a hash
+// join (flat cost ~ table scan + build). The decision is made with
+// estimated cardinalities but paid with true ones, so multi-predicate
+// estimation errors translate directly into slower plans — exactly the
+// failure mode AVI-style DBMS estimators exhibit on correlated conjunctions.
+//
+//   ./build/examples/optimizer_integration
+
+#include <cstdio>
+#include <memory>
+
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace arecel;
+
+constexpr double kProbePenalty = 25.0;   // per-result-row index probe cost.
+constexpr double kHashPlanFactor = 1.3;  // scan + hash build, in row units.
+
+double PlanCost(bool nested_loop, double true_result_rows, double rows) {
+  return nested_loop ? true_result_rows * kProbePenalty
+                     : rows * kHashPlanFactor;
+}
+
+}  // namespace
+
+int main() {
+  DatasetSpec spec = CensusSpec();
+  spec.rows = 20000;
+  const Table table = GenerateDataset(spec, 1);
+  const Workload train = GenerateWorkload(table, 1500, 7);
+  const Workload test = GenerateWorkload(table, 300, 8);
+  const double rows = static_cast<double>(table.num_rows());
+
+  std::printf("join-strategy choice on %zu filter queries "
+              "(true execution cost, normalized to the oracle's):\n",
+              test.size());
+  for (const char* name : {"postgres", "dbms-a", "lw-xgb", "naru"}) {
+    std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
+    TrainContext context;
+    context.training_workload = &train;
+    estimator->Train(table, context);
+
+    double total_cost = 0.0, oracle_cost = 0.0;
+    int agree = 0;
+    for (size_t i = 0; i < test.size(); ++i) {
+      const Query& query = test.queries[i];
+      const double true_rows = test.selectivities[i] * rows;
+      const double estimated_rows =
+          estimator->EstimateCardinality(query, table.num_rows());
+
+      const bool chose_nested =
+          estimated_rows * kProbePenalty < rows * kHashPlanFactor;
+      const bool best_nested =
+          true_rows * kProbePenalty < rows * kHashPlanFactor;
+      total_cost += PlanCost(chose_nested, true_rows, rows);
+      oracle_cost += PlanCost(best_nested, true_rows, rows);
+      agree += chose_nested == best_nested ? 1 : 0;
+    }
+    std::printf("  %-9s relative plan cost = %.3fx, agreed with oracle on "
+                "%d/%zu plans\n",
+                name, total_cost / oracle_cost, agree, test.size());
+  }
+  std::printf("\nLower is better; 1.000x means every operator decision "
+              "matched the oracle's. Estimators that overshoot correlated "
+              "conjunctions fall back to hash plans for queries an index "
+              "plan would finish far sooner (and vice versa).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a dataset, generate the paper's unified workload, train
+// a traditional and a learned estimator, and compare their q-errors.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "data/datasets.h"
+#include "estimators/traditional/dbms.h"
+#include "estimators/traditional/sampling.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace arecel;
+
+  // 1. A Census-like table (synthetic stand-in for the paper's benchmark).
+  DatasetSpec spec = CensusSpec();
+  spec.rows = 20000;
+  const Table table = GenerateDataset(spec, /*seed=*/1);
+  std::printf("dataset: %s, %zu rows, %zu cols, log10(joint domain)=%.1f\n",
+              table.name().c_str(), table.num_rows(), table.num_cols(),
+              table.Log10JointDomain());
+
+  // 2. The unified workload generator (center: 90%% data / 10%% OOD;
+  //    width: 50%% uniform / 50%% exponential).
+  const Workload test = GenerateWorkload(table, /*count=*/500, /*seed=*/7);
+  std::printf("generated %zu labelled queries; example:\n  %s\n",
+              test.size(), test.queries[0].ToString(table).c_str());
+
+  // 3. Train estimators.
+  TrainContext ctx;
+  auto postgres = MakePostgresEstimator();
+  postgres->Train(table, ctx);
+  SamplingEstimator sampling;
+  sampling.Train(table, ctx);
+
+  // 4. Compare q-errors (Table 4's metric).
+  for (const CardinalityEstimator* est :
+       {postgres.get(), static_cast<CardinalityEstimator*>(&sampling)}) {
+    const auto errors = EvaluateQErrors(*est, test, table.num_rows());
+    const QuantileSummary s = Summarize(errors);
+    std::printf("%-10s q-error: 50th=%.2f 95th=%.2f 99th=%.2f max=%.0f\n",
+                est->Name().c_str(), s.p50, s.p95, s.p99, s.max);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the output into bench_output.txt.
+# Scale knobs: ARECEL_BENCH_SCALE (default 0.5), ARECEL_BENCH_QUERIES (500).
+set -u
+cd "$(dirname "$0")/.."
+out=bench_output.txt
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "=== $b ===" | tee -a "$out"
+  timeout "${ARECEL_BENCH_TIMEOUT:-1800}" "$b" 2>&1 | tee -a "$out"
+done
+echo "ALL BENCHES DONE" | tee -a "$out"

@@ -1,0 +1,18 @@
+#include "core/device.h"
+
+namespace arecel {
+
+double SimulatedSpeedup(const std::string& estimator_name, Device device,
+                        bool training) {
+  if (device == Device::kCpu) return 1.0;
+  if (estimator_name == "naru") return training ? 8.0 : 12.0;
+  if (estimator_name == "lw-nn") return training ? 15.0 : 5.0;
+  if (estimator_name == "mscn") return training ? 0.8 : 1.0;
+  return 1.0;  // no GPU path for the remaining methods.
+}
+
+std::string DeviceLabel(Device device) {
+  return device == Device::kCpu ? "cpu" : "gpu(sim)";
+}
+
+}  // namespace arecel

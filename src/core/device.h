@@ -1,0 +1,33 @@
+#ifndef ARECEL_CORE_DEVICE_H_
+#define ARECEL_CORE_DEVICE_H_
+
+#include <string>
+
+namespace arecel {
+
+// Simulated execution device (DESIGN.md §2, substitution 4).
+//
+// The paper runs the NN methods on both CPUs and an NVIDIA Tesla P100.
+// This reproduction has no GPU; instead, GPU timings are modelled as the
+// measured CPU time divided by a per-method speedup factor calibrated to
+// the paper's Figure 4 narrative:
+//  * Naru: training 5-15x faster on GPU, inference up to 20x;
+//  * LW-NN: training up to 20x faster, inference ~5x;
+//  * MSCN: roughly flat — "GPU is even 3.5x slower than CPU on small
+//    datasets" for training because of its conditional control flow;
+//  * everything else never runs on a GPU (factor 1).
+// Figure 4 and Figure 8 benches use these factors and label the results
+// "simulated GPU".
+enum class Device { kCpu, kGpu };
+
+// Multiplicative speedup of `device` over CPU for the named estimator.
+// Returns 1.0 for kCpu and for methods without a GPU implementation.
+double SimulatedSpeedup(const std::string& estimator_name, Device device,
+                        bool training);
+
+// "cpu" / "gpu(sim)".
+std::string DeviceLabel(Device device);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_DEVICE_H_

@@ -1,0 +1,43 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arecel {
+
+void CardinalityEstimator::Update(const Table& table,
+                                  const UpdateContext& context) {
+  TrainContext train_context;
+  train_context.training_workload = context.update_workload;
+  train_context.seed = context.seed;
+  Train(table, train_context);
+}
+
+double CardinalityEstimator::EstimateCardinality(const Query& query,
+                                                 size_t rows) const {
+  const double sel = EstimateSelectivity(query);
+  const double card = sel * static_cast<double>(rows);
+  return std::clamp(card, 0.0, static_cast<double>(rows));
+}
+
+double QError(double estimated_cardinality, double actual_cardinality) {
+  const double est = std::max(1.0, estimated_cardinality);
+  const double act = std::max(1.0, actual_cardinality);
+  ARECEL_CHECK_MSG(std::isfinite(est), "estimate must be finite");
+  return std::max(est, act) / std::min(est, act);
+}
+
+std::vector<double> EvaluateQErrors(const CardinalityEstimator& estimator,
+                                    const Workload& workload, size_t rows) {
+  std::vector<double> errors(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const double est =
+        estimator.EstimateCardinality(workload.queries[i], rows);
+    errors[i] = QError(est, workload.Cardinality(i, rows));
+  }
+  return errors;
+}
+
+}  // namespace arecel

@@ -1,0 +1,101 @@
+#ifndef ARECEL_CORE_ESTIMATOR_H_
+#define ARECEL_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/archive.h"
+#include "workload/generator.h"
+#include "workload/query.h"
+
+namespace arecel {
+
+// What an estimator may consume at training time. Data-driven methods (Naru,
+// DeepDB, histograms, sampling, Bayes) read only `table`; query-driven
+// methods (MSCN, LW-NN/XGB, QuickSel, KDE-FB) additionally read the labelled
+// `training_workload`, exactly as in the paper's setup (§3).
+struct TrainContext {
+  // Labelled queries for query-driven methods; may be empty for data-driven
+  // ones. Selectivities are ground truth over the training table.
+  const Workload* training_workload = nullptr;
+
+  // Size budget as a fraction of the raw data size (the paper uses 1.5%).
+  double size_budget_fraction = 0.015;
+
+  // Seed forwarded to any stochastic training component.
+  uint64_t seed = 42;
+};
+
+// Context for a §5 dynamic-environment model update after data was appended
+// to the table.
+struct UpdateContext {
+  // Number of rows the estimator was previously trained on; rows at index
+  // >= old_row_count are new.
+  size_t old_row_count = 0;
+
+  // Refreshed labelled queries for query-driven methods (labels recomputed
+  // over the updated table, possibly approximately via a sample — the
+  // harness accounts for that labelling time separately).
+  const Workload* update_workload = nullptr;
+
+  // Number of passes for iteratively trained models (the paper updates Naru
+  // with 1 epoch by default; Figure 7 sweeps this).
+  int epochs = 1;
+
+  uint64_t seed = 43;
+};
+
+// Common interface of all thirteen estimators in the study.
+//
+// Estimates are *selectivities* in [0, 1]; callers convert to cardinalities.
+// Train() must be called before EstimateSelectivity(). Update() retrains or
+// incrementally refreshes the model over the updated table.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  virtual void Train(const Table& table, const TrainContext& context) = 0;
+
+  virtual double EstimateSelectivity(const Query& query) const = 0;
+
+  // Default update: full retrain with the update workload as training data.
+  virtual void Update(const Table& table, const UpdateContext& context);
+
+  // Approximate model size in bytes (reported against the 1.5% budget).
+  virtual size_t SizeBytes() const = 0;
+
+  // True for methods that require a labelled workload to train.
+  virtual bool IsQueryDriven() const { return false; }
+
+  // Optional model persistence (core/model_io.h): estimators that support
+  // it can be trained once and served from a saved model file by another
+  // process. Defaults report "unsupported".
+  virtual bool SerializeModel(ByteWriter* writer) const {
+    (void)writer;
+    return false;
+  }
+  virtual bool DeserializeModel(ByteReader* reader) {
+    (void)reader;
+    return false;
+  }
+
+  // Estimated cardinality on a table with `rows` rows, clamped to [0, rows].
+  double EstimateCardinality(const Query& query, size_t rows) const;
+};
+
+// q-error of an estimate: max(est, act) / min(est, act) with both sides
+// clamped to at least one tuple, as in the paper's released benchmark code.
+double QError(double estimated_cardinality, double actual_cardinality);
+
+// q-errors of an estimator across a labelled workload, on a table with
+// `rows` rows.
+std::vector<double> EvaluateQErrors(const CardinalityEstimator& estimator,
+                                    const Workload& workload, size_t rows);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_ESTIMATOR_H_

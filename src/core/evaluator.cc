@@ -1,0 +1,31 @@
+#include "core/evaluator.h"
+
+#include "util/timer.h"
+
+namespace arecel {
+
+EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
+                                  const Table& table, const Workload& train,
+                                  const Workload& test, uint64_t seed) {
+  EstimatorReport report;
+  report.estimator = estimator.Name();
+  report.dataset = table.name();
+
+  TrainContext context;
+  context.training_workload = &train;
+  context.seed = seed;
+  Timer train_timer;
+  estimator.Train(table, context);
+  report.train_seconds = train_timer.ElapsedSeconds();
+  report.model_size_bytes = estimator.SizeBytes();
+
+  // Queries issued one by one, as the paper measures inference latency.
+  Timer inference_timer;
+  report.raw_qerrors = EvaluateQErrors(estimator, test, table.num_rows());
+  report.avg_inference_ms =
+      inference_timer.ElapsedMillis() / static_cast<double>(test.size());
+  report.qerror = Summarize(report.raw_qerrors);
+  return report;
+}
+
+}  // namespace arecel

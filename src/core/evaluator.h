@@ -1,0 +1,32 @@
+#ifndef ARECEL_CORE_EVALUATOR_H_
+#define ARECEL_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/stats.h"
+
+namespace arecel {
+
+// Result of training + evaluating one estimator on one dataset — the unit
+// behind Table 4 (accuracy) and Figure 4 (training/inference cost).
+struct EstimatorReport {
+  std::string estimator;
+  std::string dataset;
+  QuantileSummary qerror;          // 50th/95th/99th/max.
+  std::vector<double> raw_qerrors;
+  double train_seconds = 0.0;
+  double avg_inference_ms = 0.0;
+  size_t model_size_bytes = 0;
+};
+
+// Trains `estimator` (with `train` as the labelled workload for query-driven
+// methods) and evaluates q-errors over `test`. Wall-clock timings included.
+EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
+                                  const Table& table, const Workload& train,
+                                  const Workload& test, uint64_t seed = 42);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_EVALUATOR_H_

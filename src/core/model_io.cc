@@ -1,0 +1,48 @@
+#include "core/model_io.h"
+
+#include <fstream>
+
+namespace arecel {
+
+namespace {
+constexpr uint32_t kModelMagic = 0x41434d31;  // "ACM1".
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+bool SaveEstimator(const CardinalityEstimator& estimator,
+                   const std::string& path) {
+  ByteWriter payload;
+  if (!estimator.SerializeModel(&payload)) return false;
+
+  ByteWriter file;
+  file.U32(kModelMagic);
+  file.U32(kVersion);
+  file.Str(estimator.Name());
+  file.Str(payload.buffer());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out.write(file.buffer().data(),
+            static_cast<std::streamsize>(file.buffer().size()));
+  return out.good();
+}
+
+bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+
+  ByteReader file(contents);
+  uint32_t magic = 0, version = 0;
+  std::string name, payload;
+  if (!file.U32(&magic) || magic != kModelMagic) return false;
+  if (!file.U32(&version) || version != kVersion) return false;
+  if (!file.Str(&name) || name != estimator->Name()) return false;
+  if (!file.Str(&payload)) return false;
+
+  ByteReader reader(payload);
+  return estimator->DeserializeModel(&reader);
+}
+
+}  // namespace arecel

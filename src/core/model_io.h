@@ -1,0 +1,29 @@
+#ifndef ARECEL_CORE_MODEL_IO_H_
+#define ARECEL_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// Model persistence: save a trained estimator's fitted state to a file and
+// load it back into a freshly constructed estimator of the same kind —
+// train once, serve from the model file elsewhere (the deployment path the
+// paper's cost analysis presumes for the "production-plausible" methods).
+//
+// Supported estimators implement SerializeModel/DeserializeModel:
+// postgres / mysql / dbms-a (per-column statistics), sampling (the
+// materialized sample), lw-xgb (featurizer statistics + boosted trees).
+// SaveEstimator returns false for estimators without support.
+
+bool SaveEstimator(const CardinalityEstimator& estimator,
+                   const std::string& path);
+
+// `estimator` must be a default-constructed instance of the same kind
+// (same Name()) that was saved; returns false on mismatch or corruption.
+bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_MODEL_IO_H_

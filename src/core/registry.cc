@@ -1,0 +1,63 @@
+#include "core/registry.h"
+
+#include "estimators/learned/deepdb.h"
+#include "estimators/learned/dqm.h"
+#include "estimators/learned/lw_nn.h"
+#include "estimators/learned/lw_xgb.h"
+#include "estimators/learned/mscn.h"
+#include "estimators/learned/naru.h"
+#include "estimators/traditional/bayes.h"
+#include "estimators/traditional/dbms.h"
+#include "estimators/traditional/kde.h"
+#include "estimators/traditional/mhist.h"
+#include "estimators/traditional/quicksel.h"
+#include "estimators/traditional/sampling.h"
+#include "util/check.h"
+
+namespace arecel {
+
+const std::vector<std::string>& TraditionalEstimatorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "postgres", "mysql",    "dbms-a", "sampling",
+      "mhist",    "quicksel", "bayes",  "kde-fb"};
+  return *names;
+}
+
+const std::vector<std::string>& LearnedEstimatorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "mscn", "lw-xgb", "lw-nn", "naru", "deepdb"};
+  return *names;
+}
+
+const std::vector<std::string>& ExtendedEstimatorNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"dqm-d"};
+  return *names;
+}
+
+std::vector<std::string> AllEstimatorNames() {
+  std::vector<std::string> all = TraditionalEstimatorNames();
+  for (const auto& name : LearnedEstimatorNames()) all.push_back(name);
+  return all;
+}
+
+std::unique_ptr<CardinalityEstimator> MakeEstimator(const std::string& name) {
+  if (name == "postgres") return MakePostgresEstimator();
+  if (name == "mysql") return MakeMysqlEstimator();
+  if (name == "dbms-a") return MakeDbmsAEstimator();
+  if (name == "sampling") return std::make_unique<SamplingEstimator>();
+  if (name == "mhist") return std::make_unique<MhistEstimator>();
+  if (name == "quicksel") return std::make_unique<QuickSelEstimator>();
+  if (name == "bayes") return std::make_unique<BayesEstimator>();
+  if (name == "kde-fb") return std::make_unique<KdeFbEstimator>();
+  if (name == "mscn") return std::make_unique<MscnEstimator>();
+  if (name == "lw-xgb") return std::make_unique<LwXgbEstimator>();
+  if (name == "lw-nn") return std::make_unique<LwNnEstimator>();
+  if (name == "naru") return std::make_unique<NaruEstimator>();
+  if (name == "deepdb") return std::make_unique<DeepDbEstimator>();
+  if (name == "dqm-d") return std::make_unique<DqmDEstimator>();
+  ARECEL_CHECK_MSG(false, name.c_str());
+  return nullptr;
+}
+
+}  // namespace arecel

@@ -1,0 +1,35 @@
+#ifndef ARECEL_CORE_REGISTRY_H_
+#define ARECEL_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// Names of the eight traditional estimators, in the paper's Table 4 order.
+const std::vector<std::string>& TraditionalEstimatorNames();
+
+// Names of the five learned estimators, in the paper's Table 4 order.
+const std::vector<std::string>& LearnedEstimatorNames();
+
+// All thirteen, traditional first.
+std::vector<std::string> AllEstimatorNames();
+
+// Extra estimators beyond the paper's thirteen: "dqm-d" (the taxonomy's
+// seventh learned method, excluded from the paper's evaluation as "similar
+// to Naru"). Our simplified VEGAS sampler matches Naru on low-dimensional
+// tables but its product-form proposal cannot follow correlated mass on
+// wide tables — see bench_ablation_backbones and EXPERIMENTS.md.
+const std::vector<std::string>& ExtendedEstimatorNames();
+
+// Creates an estimator by name with this repository's default "bench
+// profile" hyper-parameters (scaled-down model sizes / epochs; see
+// DESIGN.md §2 substitution 5). Aborts on an unknown name.
+std::unique_ptr<CardinalityEstimator> MakeEstimator(const std::string& name);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_REGISTRY_H_

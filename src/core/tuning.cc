@@ -1,0 +1,52 @@
+#include "core/tuning.h"
+
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace arecel {
+
+double TuningResult::WorstBestRatio() const {
+  ARECEL_CHECK(best_index >= 0 && worst_index >= 0);
+  const double best = outcomes[static_cast<size_t>(best_index)].max_qerror;
+  const double worst = outcomes[static_cast<size_t>(worst_index)].max_qerror;
+  return best > 0 ? worst / best : 0.0;
+}
+
+TuningResult RunTuning(const std::vector<TuningCandidate>& candidates,
+                       const Table& table, const Workload& train,
+                       const Workload& validation, uint64_t seed) {
+  ARECEL_CHECK(!candidates.empty());
+  TuningResult result;
+  for (const TuningCandidate& candidate : candidates) {
+    std::unique_ptr<CardinalityEstimator> estimator = candidate.make();
+    TrainContext context;
+    context.training_workload = &train;
+    context.seed = seed;
+    Timer timer;
+    estimator->Train(table, context);
+    TuningOutcome outcome;
+    outcome.label = candidate.label;
+    outcome.train_seconds = timer.ElapsedSeconds();
+    const std::vector<double> errors =
+        EvaluateQErrors(*estimator, validation, table.num_rows());
+    const QuantileSummary summary = Summarize(errors);
+    outcome.max_qerror = summary.max;
+    outcome.p99_qerror = summary.p99;
+    result.outcomes.push_back(outcome);
+  }
+  for (size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (result.best_index < 0 ||
+        result.outcomes[i].max_qerror <
+            result.outcomes[static_cast<size_t>(result.best_index)].max_qerror)
+      result.best_index = static_cast<int>(i);
+    if (result.worst_index < 0 ||
+        result.outcomes[i].max_qerror >
+            result.outcomes[static_cast<size_t>(result.worst_index)]
+                .max_qerror)
+      result.worst_index = static_cast<int>(i);
+  }
+  return result;
+}
+
+}  // namespace arecel

@@ -1,0 +1,46 @@
+#ifndef ARECEL_CORE_TUNING_H_
+#define ARECEL_CORE_TUNING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// Hyper-parameter tuning harness (§4.3 "Hyper-parameter Tuning" and
+// Table 5). Each candidate is a factory producing a freshly configured
+// estimator; the harness trains every candidate, measures its max q-error
+// on the validation workload, and reports the spread — the paper's
+// "ratio between the worst and best max q-error".
+
+struct TuningCandidate {
+  std::string label;
+  std::function<std::unique_ptr<CardinalityEstimator>()> make;
+};
+
+struct TuningOutcome {
+  std::string label;
+  double max_qerror = 0.0;
+  double p99_qerror = 0.0;
+  double train_seconds = 0.0;
+};
+
+struct TuningResult {
+  std::vector<TuningOutcome> outcomes;
+  int best_index = -1;   // smallest max q-error.
+  int worst_index = -1;  // largest max q-error.
+
+  double WorstBestRatio() const;
+  const TuningOutcome& best() const { return outcomes[best_index]; }
+};
+
+TuningResult RunTuning(const std::vector<TuningCandidate>& candidates,
+                       const Table& table, const Workload& train,
+                       const Workload& validation, uint64_t seed = 11);
+
+}  // namespace arecel
+
+#endif  // ARECEL_CORE_TUNING_H_

@@ -1,0 +1,28 @@
+#ifndef ARECEL_DATA_IO_H_
+#define ARECEL_DATA_IO_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "workload/generator.h"
+
+namespace arecel {
+
+// Compact binary persistence for tables and labelled workloads.
+//
+// Ground-truth labelling is the most expensive part of preparing an
+// experiment (a full scan per query); saving a labelled workload next to
+// its table lets repeated bench runs skip it. The format is a little-endian
+// tagged container (magic + version header); loads validate the header and
+// return false on any structural mismatch rather than aborting.
+
+bool SaveTable(const Table& table, const std::string& path);
+// On success the returned table is finalized (domains/codes rebuilt).
+bool LoadTable(const std::string& path, Table* table);
+
+bool SaveWorkload(const Workload& workload, const std::string& path);
+bool LoadWorkload(const std::string& path, Workload* workload);
+
+}  // namespace arecel
+
+#endif  // ARECEL_DATA_IO_H_

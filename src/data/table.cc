@@ -1,0 +1,114 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+int32_t Column::LowerBoundCode(double v) const {
+  const auto it = std::lower_bound(domain.begin(), domain.end(), v);
+  return static_cast<int32_t>(it - domain.begin());
+}
+
+int32_t Column::UpperBoundCode(double v) const {
+  const auto it = std::upper_bound(domain.begin(), domain.end(), v);
+  return static_cast<int32_t>(it - domain.begin()) - 1;
+}
+
+void Table::AddColumn(std::string col_name, std::vector<double> values,
+                      bool categorical) {
+  if (!columns_.empty()) {
+    ARECEL_CHECK_MSG(values.size() == num_rows_,
+                     "all columns must have the same length");
+  } else {
+    num_rows_ = values.size();
+  }
+  Column col;
+  col.name = std::move(col_name);
+  col.categorical = categorical;
+  col.values = std::move(values);
+  columns_.push_back(std::move(col));
+}
+
+void Table::Finalize() {
+  for (Column& col : columns_) {
+    col.domain = col.values;
+    std::sort(col.domain.begin(), col.domain.end());
+    col.domain.erase(std::unique(col.domain.begin(), col.domain.end()),
+                     col.domain.end());
+    ARECEL_CHECK_MSG(!col.domain.empty(), "column must be non-empty");
+    col.codes.resize(col.values.size());
+    for (size_t r = 0; r < col.values.size(); ++r) {
+      const auto it = std::lower_bound(col.domain.begin(), col.domain.end(),
+                                       col.values[r]);
+      col.codes[r] = static_cast<int32_t>(it - col.domain.begin());
+    }
+  }
+}
+
+void Table::AppendRows(const Table& other) {
+  ARECEL_CHECK(other.num_cols() == num_cols());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const auto& src = other.columns_[c].values;
+    auto& dst = columns_[c].values;
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  num_rows_ += other.num_rows_;
+}
+
+Table Table::Head(size_t count) const {
+  ARECEL_CHECK(count <= num_rows_);
+  Table out(name_);
+  for (const Column& col : columns_) {
+    out.AddColumn(col.name,
+                  std::vector<double>(col.values.begin(),
+                                      col.values.begin() +
+                                          static_cast<long>(count)),
+                  col.categorical);
+  }
+  out.Finalize();
+  return out;
+}
+
+Table Table::SampleRows(size_t count, uint64_t seed) const {
+  ARECEL_CHECK(count <= num_rows_);
+  Rng rng(seed);
+  const std::vector<int> rows = rng.SampleWithoutReplacement(
+      static_cast<int>(num_rows_), static_cast<int>(count));
+  Table out(name_ + "_sample");
+  for (const Column& col : columns_) {
+    std::vector<double> vals(count);
+    for (size_t i = 0; i < count; ++i)
+      vals[i] = col.values[static_cast<size_t>(rows[i])];
+    out.AddColumn(col.name, std::move(vals), col.categorical);
+  }
+  out.Finalize();
+  return out;
+}
+
+Table Table::SortedColumnsCopy() const {
+  Table out(name_ + "_sorted");
+  for (const Column& col : columns_) {
+    std::vector<double> vals = col.values;
+    std::sort(vals.begin(), vals.end());
+    out.AddColumn(col.name, std::move(vals), col.categorical);
+  }
+  out.Finalize();
+  return out;
+}
+
+double Table::Log10JointDomain() const {
+  double log10_domain = 0.0;
+  for (const Column& col : columns_)
+    log10_domain += std::log10(static_cast<double>(col.domain.size()));
+  return log10_domain;
+}
+
+size_t Table::DataSizeBytes() const {
+  return num_rows_ * num_cols() * sizeof(double);
+}
+
+}  // namespace arecel

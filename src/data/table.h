@@ -1,0 +1,87 @@
+#ifndef ARECEL_DATA_TABLE_H_
+#define ARECEL_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arecel {
+
+// One attribute of a relation, stored column-major.
+//
+// Every value is a double drawn from a finite sorted `domain` (categorical
+// attributes hold integer codes). Alongside the raw values the column keeps
+// the dictionary code of each row (`codes[r]` = index of values[r] within
+// `domain`), which the discrete estimators (Naru, Bayes, MHIST bucketing)
+// consume directly.
+struct Column {
+  std::string name;
+  bool categorical = false;
+  std::vector<double> values;   // length = table rows.
+  std::vector<double> domain;   // sorted distinct values; filled by Finalize.
+  std::vector<int32_t> codes;   // per-row index into domain; by Finalize.
+
+  double min() const { return domain.front(); }
+  double max() const { return domain.back(); }
+  size_t domain_size() const { return domain.size(); }
+
+  // Index of the first domain value >= v (domain_size() if none).
+  int32_t LowerBoundCode(double v) const;
+  // Index of the last domain value <= v (-1 if none).
+  int32_t UpperBoundCode(double v) const;
+};
+
+// A single relation. Columns all share the same row count.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Adds a column of raw values; all columns must have equal length.
+  void AddColumn(std::string col_name, std::vector<double> values,
+                 bool categorical);
+
+  // Rebuilds every column's domain and code vectors. Must be called after
+  // construction and after any AppendRows.
+  void Finalize();
+
+  // Appends the rows of `other` (same schema order) to this table. Call
+  // Finalize() afterwards.
+  void AppendRows(const Table& other);
+
+  // Returns a new table containing rows [0, count) of this table.
+  Table Head(size_t count) const;
+
+  // Returns a uniform random sample (without replacement) of `count` rows.
+  Table SampleRows(size_t count, uint64_t seed) const;
+
+  // Returns a copy in which every column is sorted ascending independently —
+  // the paper's §5.1 construction that maximizes Spearman correlation
+  // between every pair of columns.
+  Table SortedColumnsCopy() const;
+
+  // Total number of distinct-value combinations, as log10 (the paper's
+  // "Domain" column in Table 3).
+  double Log10JointDomain() const;
+
+  // Approximate in-memory size in bytes (raw values only), mirroring the
+  // paper's use of data size to set the 1.5% model budget.
+  size_t DataSizeBytes() const;
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_DATA_TABLE_H_

@@ -1,0 +1,61 @@
+#include "estimators/extensions/guarded.h"
+
+#include <algorithm>
+
+namespace arecel {
+
+namespace {
+constexpr size_t kMaxCachedQueries = 1u << 17;
+}  // namespace
+
+void GuardedEstimator::Train(const Table& table, const TrainContext& context) {
+  col_min_.resize(table.num_cols());
+  col_max_.resize(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    col_min_[c] = table.column(c).min();
+    col_max_[c] = table.column(c).max();
+  }
+  cache_.clear();
+  base_->Train(table, context);
+}
+
+void GuardedEstimator::Update(const Table& table,
+                              const UpdateContext& context) {
+  cache_.clear();
+  base_->Update(table, context);
+}
+
+double GuardedEstimator::EstimateSelectivity(const Query& query) const {
+  // Fidelity-B: an unsatisfiable conjunct means an exactly empty result.
+  if (!query.IsSatisfiable()) return 0.0;
+
+  // Fidelity-A: drop predicates that cover the whole trained domain; they
+  // cannot filter anything and only confuse the model.
+  Query effective;
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    if (c < col_min_.size() && p.lo <= col_min_[c] && p.hi >= col_max_[c])
+      continue;
+    effective.predicates.push_back(p);
+  }
+  if (effective.predicates.empty()) return 1.0;
+
+  // Stability: normalize (sort by column) and memoize.
+  std::vector<std::pair<int, std::pair<double, double>>> key;
+  key.reserve(effective.predicates.size());
+  for (const Predicate& p : effective.predicates)
+    key.push_back({p.column, {p.lo, p.hi}});
+  std::sort(key.begin(), key.end());
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const double sel =
+      std::clamp(base_->EstimateSelectivity(effective), 0.0, 1.0);
+  // Bound the memo so a long-running server cannot grow it without limit;
+  // a full reset keeps the stability guarantee per cache generation.
+  if (cache_.size() >= kMaxCachedQueries) cache_.clear();
+  cache_.emplace(std::move(key), sel);
+  return sel;
+}
+
+}  // namespace arecel

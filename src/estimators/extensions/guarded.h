@@ -1,0 +1,51 @@
+#ifndef ARECEL_ESTIMATORS_EXTENSIONS_GUARDED_H_
+#define ARECEL_ESTIMATORS_EXTENSIONS_GUARDED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// GuardedEstimator — the paper's §7.2 "handle illogical behaviours with
+// simple checking mechanisms", implemented as a wrapper around any base
+// estimator. It restores three of the five Table 6 rules without touching
+// the underlying model:
+//  * Fidelity-B: unsatisfiable predicates (lo > hi) answer exactly 0;
+//  * Fidelity-A: predicates covering a column's whole domain are dropped
+//    before reaching the model (a query that only had whole-domain
+//    predicates answers exactly 1);
+//  * Stability: estimates are memoized per normalized query, so repeated
+//    identical queries always return the same value even when the base
+//    model's inference is stochastic (Naru).
+// Monotonicity and consistency are properties of the model's function shape
+// and cannot be restored by a wrapper without changing its answers.
+class GuardedEstimator : public CardinalityEstimator {
+ public:
+  explicit GuardedEstimator(std::unique_ptr<CardinalityEstimator> base)
+      : base_(std::move(base)) {}
+
+  std::string Name() const override { return "guarded(" + base_->Name() + ")"; }
+  bool IsQueryDriven() const override { return base_->IsQueryDriven(); }
+  void Train(const Table& table, const TrainContext& context) override;
+  void Update(const Table& table, const UpdateContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override { return base_->SizeBytes(); }
+
+  const CardinalityEstimator& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<CardinalityEstimator> base_;
+  std::vector<double> col_min_, col_max_;
+  // Memoized estimates keyed by the normalized predicate list.
+  mutable std::map<std::vector<std::pair<int, std::pair<double, double>>>,
+                   double>
+      cache_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_EXTENSIONS_GUARDED_H_

@@ -1,0 +1,81 @@
+#ifndef ARECEL_ESTIMATORS_EXTENSIONS_HYBRID_H_
+#define ARECEL_ESTIMATORS_EXTENSIONS_HYBRID_H_
+
+#include <memory>
+#include <string>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// HybridEstimator — the paper's §7.1 ensemble direction, "apply multiple
+// approaches in a hierarchical fashion": route simple queries (few
+// predicates) to a cheap estimator and complex ones to the heavy, accurate
+// model; and while the heavy model is mid-update, fall back to the cheap
+// one (which refreshes in milliseconds), so a fast-updating temporary
+// replacement always serves the stream.
+class HybridEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    // Queries with <= this many predicates go to the light estimator.
+    int light_predicate_limit = 1;
+  };
+
+  HybridEstimator(std::unique_ptr<CardinalityEstimator> light,
+                  std::unique_ptr<CardinalityEstimator> heavy)
+      : light_(std::move(light)), heavy_(std::move(heavy)) {}
+  HybridEstimator(std::unique_ptr<CardinalityEstimator> light,
+                  std::unique_ptr<CardinalityEstimator> heavy,
+                  Options options)
+      : options_(options), light_(std::move(light)), heavy_(std::move(heavy)) {}
+
+  std::string Name() const override {
+    return "hybrid(" + light_->Name() + "+" + heavy_->Name() + ")";
+  }
+  bool IsQueryDriven() const override {
+    return light_->IsQueryDriven() || heavy_->IsQueryDriven();
+  }
+
+  void Train(const Table& table, const TrainContext& context) override {
+    light_->Train(table, context);
+    heavy_->Train(table, context);
+    heavy_ready_ = true;
+  }
+
+  // Two-stage update: the light estimator refreshes first and serves alone
+  // (heavy_ready_ = false) until the heavy model finishes.
+  void Update(const Table& table, const UpdateContext& context) override {
+    light_->Update(table, context);
+    heavy_ready_ = false;
+    heavy_->Update(table, context);
+    heavy_ready_ = true;
+  }
+
+  // Marks the heavy model stale (e.g. data changed but its update has not
+  // run yet); estimates fall back to the light model.
+  void MarkHeavyStale() { heavy_ready_ = false; }
+  bool heavy_ready() const { return heavy_ready_; }
+
+  double EstimateSelectivity(const Query& query) const override {
+    if (!heavy_ready_ ||
+        static_cast<int>(query.predicates.size()) <=
+            options_.light_predicate_limit) {
+      return light_->EstimateSelectivity(query);
+    }
+    return heavy_->EstimateSelectivity(query);
+  }
+
+  size_t SizeBytes() const override {
+    return light_->SizeBytes() + heavy_->SizeBytes();
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<CardinalityEstimator> light_;
+  std::unique_ptr<CardinalityEstimator> heavy_;
+  bool heavy_ready_ = false;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_EXTENSIONS_HYBRID_H_

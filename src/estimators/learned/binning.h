@@ -1,0 +1,44 @@
+#ifndef ARECEL_ESTIMATORS_LEARNED_BINNING_H_
+#define ARECEL_ESTIMATORS_LEARNED_BINNING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+
+namespace arecel {
+
+// Per-column quantile binning shared by the autoregressive estimators
+// (Naru, DQM-D). Columns whose domain fits under the vocabulary cap keep
+// one bin per distinct value; larger domains are packed greedily into bins
+// of roughly equal row mass. Range predicates snap to the bins whose raw
+// value extent intersects them.
+struct ColumnBinning {
+  // Per bin: the smallest and largest raw value it contains.
+  std::vector<double> bin_min;
+  std::vector<double> bin_max;
+
+  int num_bins() const { return static_cast<int>(bin_min.size()); }
+
+  // First/last bin intersecting [lo, hi]; first > last means empty.
+  std::pair<int, int> Range(double lo, double hi) const;
+
+  // Last bin whose min <= v, clamped into [0, num_bins).
+  int BinForValue(double v) const;
+};
+
+// Builds binnings for every column of `table` under `max_vocab`.
+std::vector<ColumnBinning> BuildColumnBinnings(const Table& table,
+                                               int max_vocab);
+
+// Encodes every row of `table` into model bins (row-major, rows * cols).
+// Values outside a binning's trained extent land in the edge bins, which is
+// how a stale model sees appended out-of-range data.
+void EncodeRowsWithBinnings(const Table& table,
+                            const std::vector<ColumnBinning>& binnings,
+                            std::vector<int32_t>* codes);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_LEARNED_BINNING_H_

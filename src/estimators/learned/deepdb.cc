@@ -1,0 +1,355 @@
+#include "estimators/learned/deepdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "ml/kmeans.h"
+#include "ml/rdc.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+// SPN node. A leaf keeps an exact value->count histogram of one column; a
+// product multiplies children over disjoint column groups; a sum mixes row
+// clusters weighted by their row counts.
+struct DeepDbEstimator::Node {
+  enum class Type { kSum, kProduct, kLeaf };
+  Type type = Type::kLeaf;
+  size_t row_count = 0;
+
+  // Sum / product children.
+  std::vector<std::unique_ptr<Node>> children;
+  // Sum only: cluster centers in normalized column space, aligned with
+  // children; `sum_cols` lists the columns the centers are expressed in.
+  std::vector<std::vector<double>> centers;
+  std::vector<int> sum_cols;
+
+  // Leaf only.
+  int column = -1;
+  std::vector<double> values;   // sorted distinct values.
+  std::vector<double> counts;   // aligned with values.
+};
+
+DeepDbEstimator::DeepDbEstimator() : DeepDbEstimator(Options()) {}
+DeepDbEstimator::DeepDbEstimator(Options options)
+    : options_(std::move(options)) {}
+DeepDbEstimator::~DeepDbEstimator() = default;
+
+namespace {
+
+// Fraction of leaf mass inside [lo, hi].
+double LeafRange(const DeepDbEstimator::Node& leaf, double lo, double hi);
+
+}  // namespace
+
+std::unique_ptr<DeepDbEstimator::Node> DeepDbEstimator::BuildLeaf(
+    const Table& table, const std::vector<uint32_t>& rows, int col) {
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kLeaf;
+  node->column = col;
+  node->row_count = rows.size();
+  std::map<double, double> histogram;
+  const auto& column_values = table.column(static_cast<size_t>(col)).values;
+  for (uint32_t r : rows) histogram[column_values[r]] += 1.0;
+  node->values.reserve(histogram.size());
+  node->counts.reserve(histogram.size());
+  for (const auto& [v, c] : histogram) {
+    node->values.push_back(v);
+    node->counts.push_back(c);
+  }
+  return node;
+}
+
+std::unique_ptr<DeepDbEstimator::Node>
+DeepDbEstimator::BuildIndependentProduct(const Table& table,
+                                         const std::vector<uint32_t>& rows,
+                                         const std::vector<int>& cols) {
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kProduct;
+  node->row_count = rows.size();
+  for (int c : cols) node->children.push_back(BuildLeaf(table, rows, c));
+  return node;
+}
+
+std::unique_ptr<DeepDbEstimator::Node> DeepDbEstimator::Build(
+    const Table& table, const std::vector<uint32_t>& rows,
+    const std::vector<int>& cols, int depth, uint64_t seed) {
+  ARECEL_CHECK(!cols.empty());
+  if (cols.size() == 1) return BuildLeaf(table, rows, cols[0]);
+  if (rows.size() <= min_instance_rows_ || depth >= options_.max_depth) {
+    // Minimum instance slice reached: assume independence.
+    return BuildIndependentProduct(table, rows, cols);
+  }
+
+  Rng rng(seed);
+
+  // --- Column split attempt: pairwise RDC on a row subsample. ---
+  std::vector<uint32_t> rdc_rows = rows;
+  if (rdc_rows.size() > options_.rdc_sample_rows) {
+    rng.Shuffle(rdc_rows);
+    rdc_rows.resize(options_.rdc_sample_rows);
+  }
+  const size_t k = cols.size();
+  // Union-find over columns: join pairs with RDC >= threshold.
+  std::vector<size_t> parent(k);
+  for (size_t i = 0; i < k; ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<double> xi(rdc_rows.size()), yi(rdc_rows.size());
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      if (find(a) == find(b)) continue;
+      const auto& col_a = table.column(static_cast<size_t>(cols[a])).values;
+      const auto& col_b = table.column(static_cast<size_t>(cols[b])).values;
+      for (size_t i = 0; i < rdc_rows.size(); ++i) {
+        xi[i] = col_a[rdc_rows[i]];
+        yi[i] = col_b[rdc_rows[i]];
+      }
+      const double rdc = Rdc(xi, yi, /*num_features=*/5, /*sigma=*/1.0,
+                             seed + a * 131 + b);
+      if (rdc >= options_.rdc_threshold) parent[find(a)] = find(b);
+    }
+  }
+  std::map<size_t, std::vector<int>> groups;
+  for (size_t i = 0; i < k; ++i) groups[find(i)].push_back(cols[i]);
+  if (groups.size() > 1) {
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kProduct;
+    node->row_count = rows.size();
+    int child_index = 0;
+    for (const auto& [root, group] : groups) {
+      node->children.push_back(Build(table, rows, group, depth + 1,
+                                     seed * 31 + 7 +
+                                         static_cast<uint64_t>(child_index)));
+      ++child_index;
+    }
+    return node;
+  }
+
+  // --- Row split: k-means over normalized column values. ---
+  auto normalize_row = [&](uint32_t r) {
+    std::vector<double> point(cols.size());
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const size_t c = static_cast<size_t>(cols[i]);
+      const double span = std::max(col_max_[c] - col_min_[c], 1e-12);
+      point[i] = (table.column(c).values[r] - col_min_[c]) / span;
+    }
+    return point;
+  };
+  std::vector<uint32_t> km_rows = rows;
+  if (km_rows.size() > options_.kmeans_sample_rows) {
+    rng.Shuffle(km_rows);
+    km_rows.resize(options_.kmeans_sample_rows);
+  }
+  std::vector<std::vector<double>> points(km_rows.size());
+  for (size_t i = 0; i < km_rows.size(); ++i)
+    points[i] = normalize_row(km_rows[i]);
+  const KMeansResult km =
+      KMeans(points, options_.kmeans_k, /*max_iterations=*/20, seed + 5);
+
+  // Assign every row of this slice to its nearest center.
+  std::vector<std::vector<uint32_t>> cluster_rows(km.centers.size());
+  for (uint32_t r : rows) {
+    const int a = NearestCenter(km.centers, normalize_row(r));
+    cluster_rows[static_cast<size_t>(a)].push_back(r);
+  }
+  // Degenerate split (all rows in one cluster): fall back to independence
+  // to guarantee termination.
+  size_t non_empty = 0;
+  for (const auto& cr : cluster_rows)
+    if (!cr.empty()) ++non_empty;
+  if (non_empty <= 1) return BuildIndependentProduct(table, rows, cols);
+
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kSum;
+  node->row_count = rows.size();
+  node->sum_cols = cols;
+  for (size_t c = 0; c < cluster_rows.size(); ++c) {
+    if (cluster_rows[c].empty()) continue;
+    node->centers.push_back(km.centers[c]);
+    node->children.push_back(Build(table, cluster_rows[c], cols, depth + 1,
+                                   seed * 131 + 17 + c));
+  }
+  return node;
+}
+
+void DeepDbEstimator::Train(const Table& table, const TrainContext& context) {
+  total_rows_ = table.num_rows();
+  min_instance_rows_ = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(total_rows_) *
+                              options_.min_instance_fraction));
+  col_min_.resize(table.num_cols());
+  col_max_.resize(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    col_min_[c] = table.column(c).min();
+    col_max_[c] = table.column(c).max();
+  }
+  std::vector<uint32_t> rows(table.num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<uint32_t>(r);
+  std::vector<int> cols(table.num_cols());
+  for (size_t c = 0; c < cols.size(); ++c) cols[c] = static_cast<int>(c);
+  root_ = Build(table, rows, cols, /*depth=*/0, context.seed);
+}
+
+namespace {
+
+double LeafRange(const DeepDbEstimator::Node& leaf, double lo, double hi) {
+  if (leaf.row_count == 0) return 0.0;
+  const auto begin = std::lower_bound(leaf.values.begin(), leaf.values.end(),
+                                      lo);
+  const auto end =
+      std::upper_bound(leaf.values.begin(), leaf.values.end(), hi);
+  double mass = 0.0;
+  for (auto it = begin; it != end; ++it)
+    mass += leaf.counts[static_cast<size_t>(it - leaf.values.begin())];
+  return mass / static_cast<double>(leaf.row_count);
+}
+
+}  // namespace
+
+double DeepDbEstimator::Probability(const Node& node,
+                                    const Query& query) const {
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      double lo = -std::numeric_limits<double>::infinity();
+      double hi = std::numeric_limits<double>::infinity();
+      bool constrained = false;
+      for (const Predicate& p : query.predicates) {
+        if (p.column == node.column) {
+          lo = std::max(lo, p.lo);
+          hi = std::min(hi, p.hi);
+          constrained = true;
+        }
+      }
+      if (!constrained) return 1.0;
+      if (lo > hi) return 0.0;
+      return LeafRange(node, lo, hi);
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (const auto& child : node.children) p *= Probability(*child, query);
+      return p;
+    }
+    case Node::Type::kSum: {
+      double p = 0.0;
+      for (const auto& child : node.children) {
+        const double w = static_cast<double>(child->row_count) /
+                         static_cast<double>(node.row_count);
+        p += w * Probability(*child, query);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+double DeepDbEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(root_ != nullptr, "Train() must run first");
+  if (!query.IsSatisfiable()) return 0.0;
+  return std::clamp(Probability(*root_, query), 0.0, 1.0);
+}
+
+void DeepDbEstimator::Insert(Node& node,
+                             const std::vector<double>& row_values) {
+  ++node.row_count;
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      const double v = row_values[static_cast<size_t>(node.column)];
+      const auto it =
+          std::lower_bound(node.values.begin(), node.values.end(), v);
+      const size_t idx = static_cast<size_t>(it - node.values.begin());
+      if (it != node.values.end() && *it == v) {
+        node.counts[idx] += 1.0;
+      } else {
+        node.values.insert(it, v);
+        node.counts.insert(node.counts.begin() + static_cast<long>(idx), 1.0);
+      }
+      return;
+    }
+    case Node::Type::kProduct: {
+      for (auto& child : node.children) Insert(*child, row_values);
+      return;
+    }
+    case Node::Type::kSum: {
+      std::vector<double> point(node.sum_cols.size());
+      for (size_t i = 0; i < node.sum_cols.size(); ++i) {
+        const size_t c = static_cast<size_t>(node.sum_cols[i]);
+        const double span = std::max(col_max_[c] - col_min_[c], 1e-12);
+        point[i] = (row_values[c] - col_min_[c]) / span;
+      }
+      const int a = NearestCenter(node.centers, point);
+      Insert(*node.children[static_cast<size_t>(a)], row_values);
+      return;
+    }
+  }
+}
+
+void DeepDbEstimator::Update(const Table& table,
+                             const UpdateContext& context) {
+  ARECEL_CHECK_MSG(root_ != nullptr, "Train() must run before Update()");
+  ARECEL_CHECK(context.old_row_count <= table.num_rows());
+  const size_t appended = table.num_rows() - context.old_row_count;
+  // Insert a small sample of the appended rows, scaled back up: DeepDB's
+  // incremental update inserts a 1% sample; to keep the mixture weights in
+  // proportion we insert each sampled row `1/fraction` times (equivalent to
+  // weighting, since inserts only bump counts).
+  const size_t sample = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(appended) *
+                             options_.update_sample_fraction));
+  Rng rng(context.seed);
+  const int repeat = static_cast<int>(std::max(
+      1.0, std::round(1.0 / options_.update_sample_fraction)));
+  std::vector<double> row_values(table.num_cols());
+  for (size_t i = 0; i < sample; ++i) {
+    const size_t r = context.old_row_count +
+                     rng.UniformInt(static_cast<uint64_t>(appended));
+    for (size_t c = 0; c < table.num_cols(); ++c)
+      row_values[c] = table.column(c).values[r];
+    for (int rep = 0; rep < repeat; ++rep) Insert(*root_, row_values);
+  }
+  total_rows_ = table.num_rows();
+}
+
+size_t DeepDbEstimator::SizeBytes() const {
+  size_t total = 0;
+  std::function<void(const Node&)> visit = [&](const Node& node) {
+    total += sizeof(Node);
+    total += node.values.size() * sizeof(double) * 2;
+    for (const auto& center : node.centers)
+      total += center.size() * sizeof(double);
+    for (const auto& child : node.children) visit(*child);
+  };
+  if (root_) visit(*root_);
+  return total;
+}
+
+DeepDbEstimator::NodeCounts DeepDbEstimator::CountNodes() const {
+  NodeCounts counts;
+  std::function<void(const Node&)> visit = [&](const Node& node) {
+    switch (node.type) {
+      case Node::Type::kSum:
+        ++counts.sum;
+        break;
+      case Node::Type::kProduct:
+        ++counts.product;
+        break;
+      case Node::Type::kLeaf:
+        ++counts.leaf;
+        break;
+    }
+    for (const auto& child : node.children) visit(*child);
+  };
+  if (root_) visit(*root_);
+  return counts;
+}
+
+}  // namespace arecel

@@ -1,0 +1,86 @@
+#ifndef ARECEL_ESTIMATORS_LEARNED_DEEPDB_H_
+#define ARECEL_ESTIMATORS_LEARNED_DEEPDB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// DeepDB (Hilprecht et al., VLDB'20): a sum-product network learned from
+// data (§2.4). Structure learning recursively
+//  * splits columns into independent groups when every cross-group pairwise
+//    RDC falls below `rdc_threshold` (product node);
+//  * otherwise clusters rows with k-means (sum node, weights = cluster
+//    fractions);
+//  * stops at single columns or at `min_instance_fraction` of the table
+//    (leaf = exact value-frequency histogram; below the minimum instance
+//    slice, columns are assumed independent).
+//
+// Because leaves are plain histograms and internal nodes only add and
+// multiply, DeepDB natively satisfies all five logical rules of Table 6.
+//
+// Updates insert a sample of the appended rows directly into the tree
+// (route by nearest cluster center at sum nodes), the incremental update
+// procedure from the DeepDB paper that §5 relies on.
+class DeepDbEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    double rdc_threshold = 0.3;
+    double min_instance_fraction = 0.01;
+    int kmeans_k = 2;
+    size_t rdc_sample_rows = 2000;   // rows used per RDC evaluation.
+    size_t kmeans_sample_rows = 5000;
+    double update_sample_fraction = 0.01;  // of appended rows (paper: 1%).
+    int max_depth = 24;
+  };
+
+  // Constructors and destructor are out-of-line: Node is incomplete here
+  // and the unique_ptr<Node> member needs a complete type at those points.
+  DeepDbEstimator();
+  explicit DeepDbEstimator(Options options);
+  ~DeepDbEstimator() override;
+
+  std::string Name() const override { return "deepdb"; }
+  void Train(const Table& table, const TrainContext& context) override;
+  void Update(const Table& table, const UpdateContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+  // Introspection for tests: counts of node kinds.
+  struct NodeCounts {
+    size_t sum = 0, product = 0, leaf = 0;
+  };
+  NodeCounts CountNodes() const;
+
+  // SPN node; defined in the .cc. Public so file-local helpers there can
+  // take it by reference.
+  struct Node;
+
+ private:
+
+  std::unique_ptr<Node> Build(const Table& table,
+                              const std::vector<uint32_t>& rows,
+                              const std::vector<int>& cols, int depth,
+                              uint64_t seed);
+  std::unique_ptr<Node> BuildLeaf(const Table& table,
+                                  const std::vector<uint32_t>& rows, int col);
+  std::unique_ptr<Node> BuildIndependentProduct(
+      const Table& table, const std::vector<uint32_t>& rows,
+      const std::vector<int>& cols);
+  double Probability(const Node& node, const Query& query) const;
+  void Insert(Node& node, const std::vector<double>& row_values);
+
+  Options options_;
+  size_t min_instance_rows_ = 0;
+  std::unique_ptr<Node> root_;
+  size_t total_rows_ = 0;
+  std::vector<double> col_min_, col_max_;  // for k-means normalization.
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_LEARNED_DEEPDB_H_

@@ -1,0 +1,192 @@
+#include "estimators/learned/dqm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+void DqmDEstimator::RunEpochs(const Table& table, int epochs, uint64_t seed) {
+  const size_t n = table.num_cols();
+  std::vector<int32_t> all_codes;
+  EncodeRowsWithBinnings(table, binnings_, &all_codes);
+  const size_t rows = table.num_rows();
+
+  Rng rng(seed);
+  const size_t train_rows = std::min(rows, options_.max_train_rows);
+  std::vector<size_t> order(rows);
+  for (size_t i = 0; i < rows; ++i) order[i] = i;
+
+  const size_t batch = std::min(options_.batch_size, train_rows);
+  std::vector<int32_t> batch_codes(batch * n);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_nll = 0.0;
+    size_t steps = 0;
+    for (size_t start = 0; start + batch <= train_rows; start += batch) {
+      for (size_t b = 0; b < batch; ++b) {
+        const size_t row = order[start + b];
+        std::copy(&all_codes[row * n], &all_codes[row * n] + n,
+                  &batch_codes[b * n]);
+      }
+      epoch_nll +=
+          model_->TrainStep(batch_codes, batch, options_.learning_rate);
+      ++steps;
+    }
+    if (steps > 0) final_loss_ = epoch_nll / static_cast<double>(steps);
+  }
+}
+
+void DqmDEstimator::Train(const Table& table, const TrainContext& context) {
+  binnings_ = BuildColumnBinnings(table, options_.max_vocab);
+  std::vector<int> vocabs;
+  vocabs.reserve(table.num_cols());
+  for (const auto& binning : binnings_) vocabs.push_back(binning.num_bins());
+  ResMadeBackboneOptions model_options;
+  model_options.hidden_units = options_.hidden_units;
+  model_options.num_blocks = options_.num_blocks;
+  model_options.seed = context.seed;
+  model_ = MakeResMadeModel(std::move(vocabs), model_options);
+  RunEpochs(table, options_.epochs, context.seed + 1);
+}
+
+void DqmDEstimator::Update(const Table& table, const UpdateContext& context) {
+  ARECEL_CHECK_MSG(model_ != nullptr, "Train() must run before Update()");
+  const int epochs =
+      context.epochs > 0 ? context.epochs : options_.update_epochs;
+  RunEpochs(table, epochs, context.seed);
+}
+
+void DqmDEstimator::JointProbabilities(
+    const std::vector<int32_t>& codes, size_t batch,
+    std::vector<double>* probabilities) const {
+  const size_t n = binnings_.size();
+  probabilities->assign(batch, 1.0);
+  Matrix logits;
+  for (size_t c = 0; c < n; ++c) {
+    model_->ColumnLogits(codes, batch, c, &logits);
+    const size_t vocab = static_cast<size_t>(binnings_[c].num_bins());
+    for (size_t s = 0; s < batch; ++s) {
+      const float* row = logits.Row(s);
+      float max_v = row[0];
+      for (size_t v = 1; v < vocab; ++v) max_v = std::max(max_v, row[v]);
+      double sum = 0.0;
+      for (size_t v = 0; v < vocab; ++v)
+        sum += std::exp(static_cast<double>(row[v] - max_v));
+      const size_t code = static_cast<size_t>(codes[s * n + c]);
+      const double p =
+          std::exp(static_cast<double>(row[code] - max_v)) / sum;
+      (*probabilities)[s] *= p;
+    }
+  }
+}
+
+double DqmDEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(model_ != nullptr, "Train() must run first");
+  const size_t n = binnings_.size();
+
+  // Per-column allowed bin ranges.
+  std::vector<std::pair<int, int>> ranges(n);
+  for (size_t c = 0; c < n; ++c)
+    ranges[c] = {0, binnings_[c].num_bins() - 1};
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    const auto [first, last] = binnings_[c].Range(p.lo, p.hi);
+    ranges[c].first = std::max(ranges[c].first, first);
+    ranges[c].second = std::min(ranges[c].second, last);
+    if (ranges[c].first > ranges[c].second) return 0.0;
+  }
+
+  const uint64_t draw =
+      options_.pin_sampling_seed ? 0x13572468u : estimate_counter_++;
+  Rng rng(0xd1342543de82ef95ULL ^ (draw * 0x9e3779b97f4a7c15ULL));
+
+  // VEGAS: independent per-column proposals over the allowed bins,
+  // refined toward sqrt(E[w^2 | bin]) after every stage.
+  std::vector<std::vector<double>> proposal(n);
+  for (size_t c = 0; c < n; ++c) {
+    const int width = ranges[c].second - ranges[c].first + 1;
+    proposal[c].assign(static_cast<size_t>(width),
+                       1.0 / static_cast<double>(width));
+  }
+
+  const size_t samples = static_cast<size_t>(options_.stage_samples);
+  std::vector<int32_t> codes(samples * n, 0);
+  std::vector<double> densities(samples);
+  std::vector<double> joint(samples);
+  double estimate = 0.0;
+  for (int stage = 0; stage < options_.stages; ++stage) {
+    // Draw stage points from the current proposal.
+    for (size_t s = 0; s < samples; ++s) {
+      double density = 1.0;
+      for (size_t c = 0; c < n; ++c) {
+        const std::vector<double>& q = proposal[c];
+        double target = rng.Uniform();
+        size_t chosen = q.size() - 1;
+        for (size_t b = 0; b < q.size(); ++b) {
+          target -= q[b];
+          if (target <= 0.0) {
+            chosen = b;
+            break;
+          }
+        }
+        codes[s * n + c] =
+            static_cast<int32_t>(ranges[c].first) +
+            static_cast<int32_t>(chosen);
+        density *= q[chosen];
+      }
+      densities[s] = density;
+    }
+    JointProbabilities(codes, samples, &joint);
+
+    // Importance weights and the stage estimate.
+    double stage_total = 0.0;
+    for (size_t s = 0; s < samples; ++s)
+      stage_total += joint[s] / densities[s];
+    estimate = stage_total / static_cast<double>(samples);
+
+    if (stage + 1 == options_.stages) break;
+
+    // VEGAS refinement: per column, accumulate w^2 per sampled bin and move
+    // the proposal toward the square root of that contribution.
+    for (size_t c = 0; c < n; ++c) {
+      std::vector<double>& q = proposal[c];
+      std::vector<double> contribution(q.size(), 0.0);
+      for (size_t s = 0; s < samples; ++s) {
+        const double w = joint[s] / densities[s];
+        const size_t b = static_cast<size_t>(
+            codes[s * n + c] - static_cast<int32_t>(ranges[c].first));
+        contribution[b] += w * w;
+      }
+      double total = 0.0;
+      for (double& v : contribution) {
+        v = std::sqrt(v);
+        total += v;
+      }
+      if (total <= 0.0) continue;  // dead region; keep the old proposal.
+      for (size_t b = 0; b < q.size(); ++b) {
+        const double refined = contribution[b] / total;
+        // Damping keeps some mass everywhere (proposal must dominate the
+        // integrand for unbiasedness).
+        q[b] = options_.vegas_damping * q[b] +
+               (1.0 - options_.vegas_damping) * refined;
+        q[b] = std::max(q[b], 1e-6);
+      }
+      double norm = 0.0;
+      for (double v : q) norm += v;
+      for (double& v : q) v /= norm;
+    }
+  }
+  return std::clamp(estimate, 0.0, 1.0);
+}
+
+size_t DqmDEstimator::SizeBytes() const {
+  size_t binning_bytes = 0;
+  for (const auto& binning : binnings_)
+    binning_bytes += 2 * binning.bin_min.size() * sizeof(double);
+  return (model_ ? model_->ParamCount() * sizeof(float) : 0) + binning_bytes;
+}
+
+}  // namespace arecel

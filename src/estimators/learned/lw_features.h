@@ -1,0 +1,65 @@
+#ifndef ARECEL_ESTIMATORS_LEARNED_LW_FEATURES_H_
+#define ARECEL_ESTIMATORS_LEARNED_LW_FEATURES_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "util/archive.h"
+#include "ml/histogram.h"
+#include "workload/query.h"
+
+namespace arecel {
+
+// Feature extraction for the lightweight models of Dutt et al. (LW-XGB /
+// LW-NN, §2.3): range features plus CE features.
+//
+//  * Range features: per column, the predicate interval [lo, hi] normalized
+//    to the column domain ([0, 1] when the column is unconstrained).
+//  * CE features: three heuristic estimates cheaply derived from per-column
+//    statistics, log-transformed:
+//      AVI     — attribute value independence (product of per-column sels);
+//      MinSel  — minimum per-column selectivity;
+//      EBO     — exponential backoff combination (s1 * s2^1/2 * s3^1/4 *
+//                s4^1/8 over the four most selective predicates).
+//
+// The paper computes these from Postgres's single-column statistics; this
+// implementation uses the same ColumnStats objects as our Postgres stand-in.
+class LwFeaturizer {
+ public:
+  // `include_ce_features` = false drops the three heuristic features
+  // (ablation: range features only).
+  void Build(const Table& table, bool include_ce_features = true);
+
+  // Feature vector of dimension FeatureDim() = 2 * num_cols + 3.
+  std::vector<float> Featurize(const Query& query) const;
+
+  size_t FeatureDim() const {
+    return 2 * stats_.size() + (include_ce_features_ ? 3 : 0);
+  }
+
+  // The three heuristic selectivities (not log-transformed).
+  double Avi(const Query& query) const;
+  double MinSel(const Query& query) const;
+  double Ebo(const Query& query) const;
+
+  // Log-selectivity label transform shared by both LW models: natural log
+  // of the selectivity clamped to at least half a tuple.
+  static double LogLabel(double selectivity, size_t rows);
+
+  size_t SizeBytes() const;
+
+  void Serialize(ByteWriter* writer) const;
+  bool Deserialize(ByteReader* reader);
+
+ private:
+  std::vector<double> PerPredicateSelectivities(const Query& query) const;
+
+  std::vector<ColumnStats> stats_;
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
+  bool include_ce_features_ = true;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_LEARNED_LW_FEATURES_H_

@@ -1,0 +1,55 @@
+#ifndef ARECEL_ESTIMATORS_LEARNED_LW_NN_H_
+#define ARECEL_ESTIMATORS_LEARNED_LW_NN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "estimators/learned/lw_features.h"
+#include "ml/nn.h"
+
+namespace arecel {
+
+// LW-NN (Dutt et al., VLDB'19): a small fully-connected network over the
+// same range + CE features as LW-XGB, trained with Adam on the MSE of the
+// log-transformed selectivity. Query-driven.
+class LwNnEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    std::vector<size_t> hidden = {64, 64};
+    int epochs = 60;
+    int update_epochs = 10;  // fewer passes for §5 dynamic updates.
+    size_t batch_size = 128;
+    float learning_rate = 1e-3f;
+    bool include_ce_features = true;  // ablation knob.
+  };
+
+  LwNnEstimator() : LwNnEstimator(Options()) {}
+  explicit LwNnEstimator(Options options) : options_(std::move(options)) {}
+
+  std::string Name() const override { return "lw-nn"; }
+  bool IsQueryDriven() const override { return true; }
+  void Train(const Table& table, const TrainContext& context) override;
+  void Update(const Table& table, const UpdateContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+  // Final training loss (mean squared error on log labels) — used by the
+  // hyper-parameter tuning harness.
+  double final_loss() const { return final_loss_; }
+
+ private:
+  void FitWorkload(const Table& table, const Workload& workload, int epochs,
+                   uint64_t seed, bool reuse_model);
+
+  Options options_;
+  LwFeaturizer featurizer_;
+  std::unique_ptr<Mlp> model_;
+  size_t trained_rows_ = 0;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_LEARNED_LW_NN_H_

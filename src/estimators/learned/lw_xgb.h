@@ -1,0 +1,43 @@
+#ifndef ARECEL_ESTIMATORS_LEARNED_LW_XGB_H_
+#define ARECEL_ESTIMATORS_LEARNED_LW_XGB_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "estimators/learned/lw_features.h"
+#include "ml/gbdt.h"
+
+namespace arecel {
+
+// LW-XGB (Dutt et al., VLDB'19): gradient-boosted trees over range + CE
+// features, minimizing the MSE of the log-transformed selectivity (which
+// equals minimizing the geometric mean of q-error with more weight on
+// large errors). Query-driven: requires a labelled training workload.
+class LwXgbEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    GbdtOptions gbdt;  // the paper sweeps num_trees in {16, 32, 64, ...}.
+    bool include_ce_features = true;  // ablation knob.
+  };
+
+  LwXgbEstimator() : LwXgbEstimator(Options()) {}
+  explicit LwXgbEstimator(Options options) : options_(std::move(options)) {}
+
+  std::string Name() const override { return "lw-xgb"; }
+  bool IsQueryDriven() const override { return true; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
+ private:
+  Options options_;
+  LwFeaturizer featurizer_;
+  Gbdt model_;
+  size_t trained_rows_ = 0;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_LEARNED_LW_XGB_H_

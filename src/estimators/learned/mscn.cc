@@ -1,0 +1,239 @@
+#include "estimators/learned/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/loss.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+namespace {
+// Q-error in log space explodes exponentially; clip the exponent so a badly
+// initialized model cannot produce inf gradients.
+constexpr double kMaxLogDiff = 8.0;
+}  // namespace
+
+Matrix MscnEstimator::PredicateFeatures(const Query& query) const {
+  // Feature layout per atom: [column one-hot | is_eq, is_ge, is_le | value].
+  const size_t pred_dim = num_cols_ + 4;
+  std::vector<std::vector<float>> atoms;
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    const double span = std::max(col_max_[c] - col_min_[c], 1e-12);
+    auto normalize = [&](double v) {
+      return static_cast<float>(std::clamp((v - col_min_[c]) / span, 0.0,
+                                           1.0));
+    };
+    if (p.is_equality()) {
+      std::vector<float> atom(pred_dim, 0.0f);
+      atom[c] = 1.0f;
+      atom[num_cols_] = 1.0f;
+      atom[num_cols_ + 3] = normalize(p.lo);
+      atoms.push_back(std::move(atom));
+      continue;
+    }
+    if (!std::isinf(p.lo)) {
+      std::vector<float> atom(pred_dim, 0.0f);
+      atom[c] = 1.0f;
+      atom[num_cols_ + 1] = 1.0f;  // >= lo.
+      atom[num_cols_ + 3] = normalize(p.lo);
+      atoms.push_back(std::move(atom));
+    }
+    if (!std::isinf(p.hi)) {
+      std::vector<float> atom(pred_dim, 0.0f);
+      atom[c] = 1.0f;
+      atom[num_cols_ + 2] = 1.0f;  // <= hi.
+      atom[num_cols_ + 3] = normalize(p.hi);
+      atoms.push_back(std::move(atom));
+    }
+  }
+  if (atoms.empty()) {
+    // No finite atom (e.g. a fully unbounded probe): a single zero row keeps
+    // the pooling well-defined.
+    atoms.emplace_back(pred_dim, 0.0f);
+  }
+  Matrix features(atoms.size(), pred_dim);
+  for (size_t i = 0; i < atoms.size(); ++i)
+    std::copy(atoms[i].begin(), atoms[i].end(), features.Row(i));
+  return features;
+}
+
+std::vector<float> MscnEstimator::SampleBitmap(const Query& query) const {
+  std::vector<float> bitmap(options_.sample_size, 0.0f);
+  if (!options_.use_sample_bitmap) return bitmap;
+  const size_t rows = sample_.num_rows();
+  for (size_t r = 0; r < rows && r < options_.sample_size; ++r) {
+    bool match = true;
+    for (const Predicate& p : query.predicates) {
+      const double v = sample_.column(static_cast<size_t>(p.column)).values[r];
+      if (v < p.lo || v > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    bitmap[r] = match ? 1.0f : 0.0f;
+  }
+  return bitmap;
+}
+
+float MscnEstimator::Forward(const Matrix& pred_features,
+                             const std::vector<float>& bitmap, bool train) {
+  const size_t h = options_.hidden_units;
+  // Predicate module with average pooling.
+  Matrix pred_embed;
+  if (train) {
+    pred_mlp_->ForwardTrain(pred_features, &pred_embed);
+    cached_pred_embed_ = pred_embed;
+    cached_pred_count_ = pred_features.rows();
+  } else {
+    pred_mlp_->Forward(pred_features, &pred_embed);
+  }
+  std::vector<float> pooled(h, 0.0f);
+  for (size_t r = 0; r < pred_embed.rows(); ++r) {
+    const float* row = pred_embed.Row(r);
+    for (size_t j = 0; j < h; ++j) pooled[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(pred_embed.rows());
+  for (float& v : pooled) v *= inv;
+
+  // Sample module.
+  Matrix bitmap_in(1, bitmap.size());
+  std::copy(bitmap.begin(), bitmap.end(), bitmap_in.Row(0));
+  Matrix sample_embed;
+  if (train) {
+    sample_mlp_->ForwardTrain(bitmap_in, &sample_embed);
+  } else {
+    sample_mlp_->Forward(bitmap_in, &sample_embed);
+  }
+
+  // Output module over the concatenation.
+  Matrix concat(1, 2 * h);
+  std::copy(pooled.begin(), pooled.end(), concat.Row(0));
+  std::copy(sample_embed.Row(0), sample_embed.Row(0) + h,
+            concat.Row(0) + h);
+  Matrix out;
+  if (train) {
+    out_mlp_->ForwardTrain(concat, &out);
+  } else {
+    out_mlp_->Forward(concat, &out);
+  }
+  return out.At(0, 0);
+}
+
+void MscnEstimator::FitWorkload(const Table& table, const Workload& workload,
+                                int epochs, uint64_t seed, bool reuse_model) {
+  const size_t h = options_.hidden_units;
+  num_cols_ = table.num_cols();
+  col_min_.resize(num_cols_);
+  col_max_.resize(num_cols_);
+  for (size_t c = 0; c < num_cols_; ++c) {
+    col_min_[c] = table.column(c).min();
+    col_max_[c] = table.column(c).max();
+  }
+  // Refresh the materialized sample over the (possibly updated) table.
+  sample_ = table.SampleRows(std::min(options_.sample_size, table.num_rows()),
+                             seed + 99);
+  trained_rows_ = table.num_rows();
+
+  if (!reuse_model || pred_mlp_ == nullptr) {
+    Rng init(seed);
+    pred_mlp_ = std::make_unique<Mlp>(
+        std::vector<size_t>{num_cols_ + 4, h, h}, init);
+    sample_mlp_ = std::make_unique<Mlp>(
+        std::vector<size_t>{options_.sample_size, h, h}, init);
+    out_mlp_ = std::make_unique<Mlp>(std::vector<size_t>{2 * h, h, 1}, init);
+  }
+
+  const size_t n = workload.size();
+  std::vector<Matrix> pred_features(n);
+  std::vector<std::vector<float>> bitmaps(n);
+  std::vector<double> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    pred_features[i] = PredicateFeatures(workload.queries[i]);
+    bitmaps[i] = SampleBitmap(workload.queries[i]);
+    const double floor_sel = 0.5 / static_cast<double>(trained_rows_);
+    labels[i] = std::log(std::max(workload.selectivities[i], floor_sel));
+  }
+
+  Rng rng(seed + 1);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t steps = 0;
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      const size_t end = std::min(n, start + options_.batch_size);
+      for (size_t i = start; i < end; ++i) {
+        const size_t q = order[i];
+        const float z = Forward(pred_features[q], bitmaps[q], /*train=*/true);
+        // Mean q-error loss (ml/loss.h): L = exp(|z - t|), clipped.
+        const LossValueGrad loss = QErrorLoss(z, labels[q], kMaxLogDiff);
+        epoch_loss += loss.loss;
+        const float dz = static_cast<float>(
+            loss.dloss_dz / static_cast<double>(end - start));
+        // Backward through the three modules.
+        Matrix out_grad(1, 1);
+        out_grad.At(0, 0) = dz;
+        Matrix concat_grad;
+        out_mlp_->Backward(out_grad, &concat_grad);
+        const size_t hh = options_.hidden_units;
+        // Split: first h to predicate pooling, last h to sample module.
+        Matrix sample_grad(1, hh);
+        std::copy(concat_grad.Row(0) + hh, concat_grad.Row(0) + 2 * hh,
+                  sample_grad.Row(0));
+        sample_mlp_->Backward(sample_grad);
+        Matrix pred_grad(cached_pred_count_, hh);
+        const float inv = 1.0f / static_cast<float>(cached_pred_count_);
+        for (size_t r = 0; r < cached_pred_count_; ++r)
+          for (size_t j = 0; j < hh; ++j)
+            pred_grad.At(r, j) = concat_grad.At(0, j) * inv;
+        pred_mlp_->Backward(pred_grad);
+      }
+      pred_mlp_->AdamStep(options_.learning_rate);
+      sample_mlp_->AdamStep(options_.learning_rate);
+      out_mlp_->AdamStep(options_.learning_rate);
+      ++steps;
+    }
+    final_loss_ = epoch_loss / static_cast<double>(n);
+    (void)steps;
+  }
+}
+
+void MscnEstimator::Train(const Table& table, const TrainContext& context) {
+  ARECEL_CHECK_MSG(context.training_workload != nullptr &&
+                       context.training_workload->size() > 0,
+                   "MSCN is query-driven and needs a labelled workload");
+  FitWorkload(table, *context.training_workload, options_.epochs,
+              context.seed, /*reuse_model=*/false);
+}
+
+void MscnEstimator::Update(const Table& table, const UpdateContext& context) {
+  ARECEL_CHECK(context.update_workload != nullptr);
+  const int epochs =
+      context.epochs > 0 ? context.epochs : options_.update_epochs;
+  FitWorkload(table, *context.update_workload, epochs, context.seed,
+              /*reuse_model=*/true);
+}
+
+double MscnEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(out_mlp_ != nullptr, "Train() must run first");
+  auto* self = const_cast<MscnEstimator*>(this);
+  const float z = self->Forward(PredicateFeatures(query), SampleBitmap(query),
+                                /*train=*/false);
+  return std::clamp(std::exp(static_cast<double>(z)), 0.0, 1.0);
+}
+
+size_t MscnEstimator::SizeBytes() const {
+  size_t params = 0;
+  if (pred_mlp_) {
+    params = pred_mlp_->ParamCount() + sample_mlp_->ParamCount() +
+             out_mlp_->ParamCount();
+  }
+  return params * sizeof(float) + sample_.DataSizeBytes();
+}
+
+}  // namespace arecel

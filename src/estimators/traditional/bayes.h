@@ -1,0 +1,80 @@
+#ifndef ARECEL_ESTIMATORS_TRADITIONAL_BAYES_H_
+#define ARECEL_ESTIMATORS_TRADITIONAL_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// Bayesian-network estimator in the Chow-Liu tree family (§4.1 "Bayes"):
+// learns the maximum-mutual-information spanning tree over the columns,
+// stores smoothed conditional probability tables over binned column
+// domains, and answers range queries with exact sum-product message
+// passing on the tree. (The paper's reference implementation estimates
+// ranges with progressive sampling; exact tree inference computes the same
+// quantity without sampling noise and is feasible because the tree has
+// treewidth 1 — the deterministic inference also means Bayes never violates
+// the Table 6 stability rule, matching its classical reputation.)
+class BayesEstimator : public CardinalityEstimator {
+ public:
+  // Inference mode: exact message passing (default; deterministic) or the
+  // paper's progressive sampling (stochastic — ancestor-sample the tree
+  // root-down, masking each conditional by the query's coverage weights;
+  // the estimate is the mean product of masked masses). The sampled mode
+  // exists to mirror the reference implementation and to show the
+  // stability cost of sampling (see bench_ablation_bayes).
+  enum class Inference { kExactMessagePassing, kProgressiveSampling };
+
+  struct Options {
+    int max_bins = 64;        // per-column bin budget for the CPTs.
+    double laplace = 0.1;     // CPT smoothing pseudo-count.
+    size_t max_build_rows = 200000;
+    Inference inference = Inference::kExactMessagePassing;
+    int sample_count = 200;   // progressive-sampling paths.
+  };
+
+  BayesEstimator() : BayesEstimator(Options()) {}
+  explicit BayesEstimator(Options options) : options_(options) {}
+
+  std::string Name() const override { return "bayes"; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+  // Tree structure for tests: parent[i] is i's parent column (-1 for root).
+  const std::vector<int>& parents() const { return parent_; }
+
+ private:
+  double EstimateExact(
+      const std::vector<std::vector<double>>& coverage) const;
+  double EstimateSampled(
+      const std::vector<std::vector<double>>& coverage) const;
+
+  struct ColumnBins {
+    // bin_min/bin_max: raw-value extent of each bin; bin_values: number of
+    // distinct values per bin (for partial-coverage weighting).
+    std::vector<double> bin_min, bin_max;
+    std::vector<int> bin_values;
+    int num_bins() const { return static_cast<int>(bin_min.size()); }
+  };
+
+  // Per-bin query coverage weights in [0, 1] for `col` under [lo, hi].
+  std::vector<double> CoverageWeights(size_t col, double lo, double hi) const;
+
+  Options options_;
+  std::vector<ColumnBins> bins_;
+  std::vector<int> parent_;          // Chow-Liu tree; -1 = root.
+  std::vector<std::vector<int>> children_;
+  int root_ = 0;
+  std::vector<double> root_marginal_;              // P(root bin).
+  // cpt_[c][a * bins_c + b] = P(col c = bin b | parent(c) = bin a).
+  std::vector<std::vector<double>> cpt_;
+  // Fresh randomness per estimate in progressive-sampling mode.
+  mutable uint64_t estimate_counter_ = 0;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_TRADITIONAL_BAYES_H_

@@ -1,0 +1,57 @@
+#ifndef ARECEL_ESTIMATORS_TRADITIONAL_KDE_H_
+#define ARECEL_ESTIMATORS_TRADITIONAL_KDE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "data/table.h"
+
+namespace arecel {
+
+// KDE-FB (Heimel et al., SIGMOD'15): Gaussian kernel density estimation
+// over a uniform row sample, with per-dimension bandwidths tuned by query
+// feedback. A range query's selectivity under a product-Gaussian kernel is
+//   (1/S) * sum_s prod_d [ Phi((hi_d - x_sd)/h_d) - Phi((lo_d - x_sd)/h_d) ]
+// which is differentiable in h_d, so the feedback step runs gradient
+// descent on log-bandwidths against the squared selectivity error of a
+// labelled workload (the "FB" part).
+class KdeFbEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    size_t max_sample_rows = 4000;
+    int feedback_iterations = 30;
+    size_t feedback_queries = 400;
+    double feedback_learning_rate = 0.25;
+  };
+
+  KdeFbEstimator() : KdeFbEstimator(Options()) {}
+  explicit KdeFbEstimator(Options options) : options_(options) {}
+
+  std::string Name() const override { return "kde-fb"; }
+  bool IsQueryDriven() const override { return true; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+ private:
+  // Per-sample per-dim kernel mass for a query; returns the estimate and,
+  // when `bandwidth_grad` is non-null, d(estimate)/d(log h_d).
+  double Evaluate(const Query& query, std::vector<double>* bandwidth_grad)
+      const;
+
+  Options options_;
+  Table sample_;
+  std::vector<double> bandwidths_;  // per dimension.
+  size_t num_cols_ = 0;
+  // Per-column sorted domain, for snapping predicate bounds to cell edges
+  // (continuity correction: an equality on a discrete value integrates the
+  // kernel over that value's cell instead of a zero-width interval).
+  std::vector<std::vector<double>> domains_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_TRADITIONAL_KDE_H_

@@ -1,0 +1,172 @@
+#include "estimators/traditional/mhist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+void MhistEstimator::ComputeSplitCandidate(const Table& table,
+                                           Bucket* bucket) const {
+  bucket->best_maxdiff = 0.0;
+  bucket->best_dim = -1;
+  if (bucket->rows.size() < 2) return;
+  for (size_t d = 0; d < num_cols_; ++d) {
+    const auto& values = table.column(d).values;
+    // Marginal frequency of each distinct value inside the bucket.
+    std::map<double, double> freq;
+    for (uint32_t r : bucket->rows) freq[values[r]] += 1.0;
+    bucket->distinct[d] = static_cast<int>(freq.size());
+    if (freq.size() < 2) continue;
+    // MaxDiff(V, A): area = frequency * spread (distance to next value);
+    // find the largest difference between adjacent areas.
+    std::vector<std::pair<double, double>> marginal(freq.begin(), freq.end());
+    double prev_area = 0.0;
+    for (size_t i = 0; i < marginal.size(); ++i) {
+      const double spread = i + 1 < marginal.size()
+                                ? marginal[i + 1].first - marginal[i].first
+                                : marginal[i].first - marginal[i - 1].first;
+      const double area = marginal[i].second * std::max(spread, 1e-9);
+      if (i > 0) {
+        const double diff = std::fabs(area - prev_area);
+        if (diff > bucket->best_maxdiff) {
+          bucket->best_maxdiff = diff;
+          bucket->best_dim = static_cast<int>(d);
+          bucket->best_split = marginal[i - 1].first;
+        }
+      }
+      prev_area = area;
+    }
+  }
+}
+
+void MhistEstimator::Train(const Table& table, const TrainContext& context) {
+  num_cols_ = table.num_cols();
+  buckets_.clear();
+
+  // Bucket directory entry cost: 2 bounds + 1 distinct count per dim plus
+  // the count, all 8 bytes. Respect min(budget, max_buckets).
+  const size_t entry_bytes = (2 * num_cols_ + num_cols_ + 1) * 8;
+  const size_t budget_bytes = static_cast<size_t>(
+      static_cast<double>(table.DataSizeBytes()) *
+      context.size_budget_fraction);
+  const int budget_buckets = static_cast<int>(
+      std::max<size_t>(8, budget_bytes / entry_bytes));
+  const int max_buckets = std::min(options_.max_buckets, budget_buckets);
+
+  // Root bucket over a (possibly subsampled) row set.
+  std::vector<uint32_t> rows;
+  if (table.num_rows() > options_.max_build_rows) {
+    Rng rng(context.seed);
+    const std::vector<int> sampled = rng.SampleWithoutReplacement(
+        static_cast<int>(table.num_rows()),
+        static_cast<int>(options_.max_build_rows));
+    rows.assign(sampled.begin(), sampled.end());
+  } else {
+    rows.resize(table.num_rows());
+    for (size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<uint32_t>(r);
+  }
+  const double total_rows = static_cast<double>(rows.size());
+
+  Bucket root;
+  root.lo.resize(num_cols_);
+  root.hi.resize(num_cols_);
+  root.distinct.assign(num_cols_, 0);
+  for (size_t d = 0; d < num_cols_; ++d) {
+    root.lo[d] = table.column(d).min();
+    root.hi[d] = table.column(d).max();
+  }
+  root.rows = std::move(rows);
+  root.row_fraction = 1.0;
+  ComputeSplitCandidate(table, &root);
+  buckets_.push_back(std::move(root));
+
+  while (static_cast<int>(buckets_.size()) < max_buckets) {
+    // MHIST-2: split the bucket holding the globally largest maxdiff.
+    int victim = -1;
+    double best = 0.0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b].best_dim >= 0 && buckets_[b].best_maxdiff > best) {
+        best = buckets_[b].best_maxdiff;
+        victim = static_cast<int>(b);
+      }
+    }
+    if (victim < 0) break;  // nothing left to split.
+
+    Bucket& old = buckets_[static_cast<size_t>(victim)];
+    const size_t dim = static_cast<size_t>(old.best_dim);
+    const double split = old.best_split;
+    const auto& values = table.column(dim).values;
+
+    Bucket left, right;
+    left.lo = old.lo;
+    left.hi = old.hi;
+    left.hi[dim] = split;
+    right.lo = old.lo;
+    right.hi = old.hi;
+    right.lo[dim] = split;  // refined to actual min below.
+    left.distinct.assign(num_cols_, 0);
+    right.distinct.assign(num_cols_, 0);
+    double right_min = old.hi[dim];
+    for (uint32_t r : old.rows) {
+      if (values[r] <= split) {
+        left.rows.push_back(r);
+      } else {
+        right.rows.push_back(r);
+        right_min = std::min(right_min, values[r]);
+      }
+    }
+    right.lo[dim] = right_min;
+    ARECEL_CHECK(!left.rows.empty() && !right.rows.empty());
+    left.row_fraction = static_cast<double>(left.rows.size()) / total_rows;
+    right.row_fraction = static_cast<double>(right.rows.size()) / total_rows;
+    ComputeSplitCandidate(table, &left);
+    ComputeSplitCandidate(table, &right);
+    buckets_[static_cast<size_t>(victim)] = std::move(left);
+    buckets_.push_back(std::move(right));
+  }
+
+  for (Bucket& bucket : buckets_) {
+    bucket.rows.clear();
+    bucket.rows.shrink_to_fit();
+  }
+}
+
+double MhistEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(!buckets_.empty(), "Train() must run first");
+  double total = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    double fraction = bucket.row_fraction;
+    for (const Predicate& p : query.predicates) {
+      const size_t d = static_cast<size_t>(p.column);
+      const double b_lo = bucket.lo[d];
+      const double b_hi = bucket.hi[d];
+      if (p.hi < b_lo || p.lo > b_hi) {
+        fraction = 0.0;
+        break;
+      }
+      if (p.is_equality()) {
+        // Uniform-distinct assumption: the point holds 1/distinct of the
+        // bucket's mass in this dimension.
+        fraction /= std::max(1, bucket.distinct[d]);
+        continue;
+      }
+      if (b_hi > b_lo) {
+        const double overlap = std::min(p.hi, b_hi) - std::max(p.lo, b_lo);
+        fraction *= std::clamp(overlap / (b_hi - b_lo), 0.0, 1.0);
+      }
+      // Zero-width bucket dimension inside the range: full containment.
+    }
+    total += fraction;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+size_t MhistEstimator::SizeBytes() const {
+  return buckets_.size() * (2 * num_cols_ + num_cols_ + 1) * 8;
+}
+
+}  // namespace arecel

@@ -1,0 +1,57 @@
+#ifndef ARECEL_ESTIMATORS_TRADITIONAL_MHIST_H_
+#define ARECEL_ESTIMATORS_TRADITIONAL_MHIST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// MHIST-2 (Poosala & Ioannidis, VLDB'97) with the MaxDiff(V, A) partition
+// constraint the paper selects (§4.1): a multidimensional histogram built
+// by repeatedly splitting the bucket that contains the largest difference
+// between adjacent "areas" (value frequency x spread) along any dimension.
+// Splitting stops when the bucket directory reaches the size budget.
+//
+// Estimation assumes uniform value spread inside each bucket and
+// independence across dimensions within the bucket.
+class MhistEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    int max_buckets = 400;  // overridden by the size budget when smaller.
+    size_t max_build_rows = 200000;  // row subsample cap for construction.
+  };
+
+  MhistEstimator() : MhistEstimator(Options()) {}
+  explicit MhistEstimator(Options options) : options_(options) {}
+
+  std::string Name() const override { return "mhist"; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    std::vector<double> lo, hi;        // per-dim value bounds (inclusive).
+    std::vector<int> distinct;         // per-dim distinct count inside.
+    double row_fraction = 0.0;         // of the training table.
+    // Split bookkeeping (cleared once building finishes).
+    std::vector<uint32_t> rows;
+    double best_maxdiff = 0.0;
+    int best_dim = -1;
+    double best_split = 0.0;  // values <= split go left.
+  };
+
+  void ComputeSplitCandidate(const Table& table, Bucket* bucket) const;
+
+  Options options_;
+  std::vector<Bucket> buckets_;
+  size_t num_cols_ = 0;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_TRADITIONAL_MHIST_H_

@@ -1,0 +1,154 @@
+#include "estimators/traditional/quicksel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+double QuickSelEstimator::Box::Volume() const {
+  double v = 1.0;
+  for (size_t d = 0; d < lo.size(); ++d) v *= std::max(hi[d] - lo[d], 0.0);
+  return v;
+}
+
+QuickSelEstimator::Box QuickSelEstimator::QueryToBox(
+    const Query& query) const {
+  Box box;
+  const size_t n = domains_.size();
+  box.lo.assign(n, 0.0);
+  box.hi.assign(n, 1.0);
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    const auto& domain = domains_[c];
+    const double size = static_cast<double>(domain.size());
+    // First code >= lo and last code <= hi; the box covers the code cells
+    // [first, last + 1) normalized by the domain size.
+    const auto first_it =
+        std::lower_bound(domain.begin(), domain.end(), p.lo);
+    const auto last_it = std::upper_bound(domain.begin(), domain.end(), p.hi);
+    const double first = static_cast<double>(first_it - domain.begin());
+    const double last = static_cast<double>(last_it - domain.begin());
+    box.lo[c] = std::clamp(first / size, 0.0, 1.0);
+    box.hi[c] = std::clamp(last / size, 0.0, 1.0);
+  }
+  return box;
+}
+
+double QuickSelEstimator::OverlapFraction(const Box& query_box,
+                                          const Box& component) {
+  const double component_volume = component.Volume();
+  if (component_volume <= 0.0) return 0.0;
+  double intersection = 1.0;
+  for (size_t d = 0; d < query_box.lo.size(); ++d) {
+    const double lo = std::max(query_box.lo[d], component.lo[d]);
+    const double hi = std::min(query_box.hi[d], component.hi[d]);
+    if (hi <= lo) return 0.0;
+    intersection *= hi - lo;
+  }
+  return intersection / component_volume;
+}
+
+void QuickSelEstimator::Train(const Table& table,
+                              const TrainContext& context) {
+  ARECEL_CHECK_MSG(context.training_workload != nullptr &&
+                       context.training_workload->size() > 0,
+                   "QuickSel is query-driven and needs a labelled workload");
+  domains_.resize(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c)
+    domains_[c] = table.column(c).domain;
+
+  const Workload& workload = *context.training_workload;
+
+  // Mixture components: the whole-domain box plus a subsample of training
+  // query boxes.
+  components_.clear();
+  Box whole;
+  whole.lo.assign(table.num_cols(), 0.0);
+  whole.hi.assign(table.num_cols(), 1.0);
+  components_.push_back(whole);
+  Rng rng(context.seed);
+  std::vector<size_t> order(workload.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t m = std::min(options_.max_mixture_components - 1,
+                            workload.size());
+  for (size_t i = 0; i < m; ++i) {
+    Box box = QueryToBox(workload.queries[order[i]]);
+    if (box.Volume() > 0.0) components_.push_back(std::move(box));
+  }
+
+  // Feedback constraints: all training queries.
+  const size_t n_constraints = workload.size();
+  const size_t n_components = components_.size();
+  std::vector<std::vector<double>> a(n_constraints);
+  std::vector<double> s(n_constraints);
+  for (size_t i = 0; i < n_constraints; ++i) {
+    const Box query_box = QueryToBox(workload.queries[i]);
+    a[i].resize(n_components);
+    for (size_t j = 0; j < n_components; ++j)
+      a[i][j] = OverlapFraction(query_box, components_[j]);
+    s[i] = workload.selectivities[i];
+  }
+
+  // Projected gradient on the probability simplex.
+  weights_.assign(n_components, 1.0 / static_cast<double>(n_components));
+  std::vector<double> residual(n_constraints);
+  std::vector<double> grad(n_components);
+  auto project_simplex = [&](std::vector<double>& w) {
+    // Euclidean projection (Duchi et al. 2008).
+    std::vector<double> sorted = w;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    double cumulative = 0.0;
+    double theta = 0.0;
+    int rho = 0;
+    for (size_t k = 0; k < sorted.size(); ++k) {
+      cumulative += sorted[k];
+      const double t = (cumulative - 1.0) / static_cast<double>(k + 1);
+      if (sorted[k] - t > 0.0) {
+        rho = static_cast<int>(k + 1);
+        theta = t;
+      }
+    }
+    ARECEL_CHECK(rho > 0);
+    for (double& wi : w) wi = std::max(0.0, wi - theta);
+  };
+  const double inv_n = 1.0 / static_cast<double>(n_constraints);
+  for (int iter = 0; iter < options_.solver_iterations; ++iter) {
+    for (size_t i = 0; i < n_constraints; ++i) {
+      double estimate = 0.0;
+      for (size_t j = 0; j < n_components; ++j)
+        estimate += a[i][j] * weights_[j];
+      residual[i] = estimate - s[i];
+    }
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n_constraints; ++i) {
+      const double r = residual[i];
+      if (r == 0.0) continue;
+      for (size_t j = 0; j < n_components; ++j) grad[j] += 2.0 * r * a[i][j];
+    }
+    for (size_t j = 0; j < n_components; ++j)
+      weights_[j] -= options_.solver_learning_rate * grad[j] * inv_n;
+    project_simplex(weights_);
+  }
+}
+
+double QuickSelEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(!components_.empty(), "Train() must run first");
+  const Box query_box = QueryToBox(query);
+  double selectivity = 0.0;
+  for (size_t j = 0; j < components_.size(); ++j)
+    selectivity += weights_[j] * OverlapFraction(query_box, components_[j]);
+  return std::clamp(selectivity, 0.0, 1.0);
+}
+
+size_t QuickSelEstimator::SizeBytes() const {
+  size_t total = weights_.size() * sizeof(double);
+  for (const Box& box : components_)
+    total += (box.lo.size() + box.hi.size()) * sizeof(double);
+  return total;
+}
+
+}  // namespace arecel

@@ -1,0 +1,57 @@
+#ifndef ARECEL_ESTIMATORS_TRADITIONAL_QUICKSEL_H_
+#define ARECEL_ESTIMATORS_TRADITIONAL_QUICKSEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// QuickSel (Park et al., SIGMOD'20): models the data distribution as a
+// uniform mixture whose components are the hyper-rectangles of observed
+// training queries, with component weights fitted to the queries' observed
+// selectivities (query feedback). Query-driven.
+//
+// Implementation notes: queries are mapped to boxes in per-column *code
+// space* (equality on a categorical value becomes the unit cell of that
+// dictionary code), which keeps every box full-dimensional. Weights solve
+//   min ||A w - s||^2  s.t.  w >= 0, sum w = 1
+// by projected gradient descent with simplex projection, where
+// A[i][j] = vol(box_i ∩ box_j) / vol(box_j).
+class QuickSelEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    size_t max_mixture_components = 256;
+    int solver_iterations = 400;
+    double solver_learning_rate = 0.05;
+  };
+
+  QuickSelEstimator() : QuickSelEstimator(Options()) {}
+  explicit QuickSelEstimator(Options options) : options_(options) {}
+
+  std::string Name() const override { return "quicksel"; }
+  bool IsQueryDriven() const override { return true; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override;
+
+ private:
+  struct Box {
+    std::vector<double> lo, hi;  // normalized code space, in [0, 1].
+    double Volume() const;
+  };
+
+  Box QueryToBox(const Query& query) const;
+  static double OverlapFraction(const Box& query_box, const Box& component);
+
+  Options options_;
+  // Per-column dictionaries for code-space normalization.
+  std::vector<std::vector<double>> domains_;
+  std::vector<Box> components_;
+  std::vector<double> weights_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_TRADITIONAL_QUICKSEL_H_

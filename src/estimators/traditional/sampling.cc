@@ -1,0 +1,53 @@
+#include "estimators/traditional/sampling.h"
+
+#include <algorithm>
+
+namespace arecel {
+
+void SamplingEstimator::Train(const Table& table,
+                              const TrainContext& context) {
+  size_t rows = static_cast<size_t>(static_cast<double>(table.num_rows()) *
+                                    context.size_budget_fraction);
+  rows = std::clamp<size_t>(rows, std::min<size_t>(table.num_rows(), 100),
+                            std::min(max_sample_rows_, table.num_rows()));
+  sample_ = table.SampleRows(rows, context.seed);
+}
+
+double SamplingEstimator::EstimateSelectivity(const Query& query) const {
+  return ExecuteSelectivity(sample_, query);
+}
+
+bool SamplingEstimator::SerializeModel(ByteWriter* writer) const {
+  writer->Str(sample_.name());
+  writer->U64(sample_.num_cols());
+  for (size_t c = 0; c < sample_.num_cols(); ++c) {
+    const Column& col = sample_.column(c);
+    writer->Str(col.name);
+    writer->U32(col.categorical ? 1 : 0);
+    writer->Doubles(col.values);
+  }
+  return true;
+}
+
+bool SamplingEstimator::DeserializeModel(ByteReader* reader) {
+  std::string name;
+  uint64_t cols = 0;
+  if (!reader->Str(&name) || !reader->U64(&cols) || cols > 4096) return false;
+  Table loaded(name);
+  for (uint64_t c = 0; c < cols; ++c) {
+    std::string col_name;
+    uint32_t categorical = 0;
+    std::vector<double> values;
+    if (!reader->Str(&col_name) || !reader->U32(&categorical) ||
+        !reader->Doubles(&values)) {
+      return false;
+    }
+    loaded.AddColumn(std::move(col_name), std::move(values),
+                     categorical != 0);
+  }
+  loaded.Finalize();
+  sample_ = std::move(loaded);
+  return true;
+}
+
+}  // namespace arecel

@@ -1,0 +1,33 @@
+#ifndef ARECEL_ESTIMATORS_TRADITIONAL_SAMPLING_H_
+#define ARECEL_ESTIMATORS_TRADITIONAL_SAMPLING_H_
+
+#include <string>
+
+#include "core/estimator.h"
+
+namespace arecel {
+
+// Uniform-random-sample estimator (§4.1): keeps a 1.5%-of-data sample
+// (matching the learned models' size budget) and answers a query with the
+// fraction of sample rows that satisfy it.
+class SamplingEstimator : public CardinalityEstimator {
+ public:
+  // `max_sample_rows` caps the sample like the paper's 150K cap for KDE.
+  explicit SamplingEstimator(size_t max_sample_rows = 150000)
+      : max_sample_rows_(max_sample_rows) {}
+
+  std::string Name() const override { return "sampling"; }
+  void Train(const Table& table, const TrainContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  size_t SizeBytes() const override { return sample_.DataSizeBytes(); }
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
+ private:
+  size_t max_sample_rows_;
+  Table sample_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_TRADITIONAL_SAMPLING_H_

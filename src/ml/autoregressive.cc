@@ -1,0 +1,65 @@
+#include "ml/autoregressive.h"
+
+#include "ml/made.h"
+#include "ml/transformer.h"
+
+namespace arecel {
+
+namespace {
+
+// Adapter exposing ResMade through the AutoregressiveModel interface: it
+// owns the bit encoding that ResMade's masked layers consume.
+class ResMadeModel : public AutoregressiveModel {
+ public:
+  ResMadeModel(std::vector<int> vocab_sizes,
+               const ResMadeBackboneOptions& options)
+      : made_(std::move(vocab_sizes), [&options] {
+          ResMade::Options made_options;
+          made_options.hidden_units = options.hidden_units;
+          made_options.num_blocks = options.num_blocks;
+          made_options.seed = options.seed;
+          return made_options;
+        }()) {}
+
+  size_t num_columns() const override { return made_.num_columns(); }
+  int vocab_size(size_t col) const override { return made_.vocab_size(col); }
+
+  float TrainStep(const std::vector<int32_t>& codes, size_t batch,
+                  float learning_rate) override {
+    const size_t n = made_.num_columns();
+    input_.Resize(batch, made_.input_dim());
+    for (size_t b = 0; b < batch; ++b)
+      made_.Encode(&codes[b * n], n, input_.Row(b));
+    return made_.TrainStep(input_, codes, learning_rate);
+  }
+
+  void ColumnLogits(const std::vector<int32_t>& codes, size_t batch,
+                    size_t col, Matrix* logits) const override {
+    const size_t n = made_.num_columns();
+    Matrix input(batch, made_.input_dim());
+    for (size_t b = 0; b < batch; ++b)
+      made_.Encode(&codes[b * n], col, input.Row(b));
+    made_.ForwardColumnLogits(input, col, logits);
+  }
+
+  size_t ParamCount() const override { return made_.ParamCount(); }
+
+ private:
+  ResMade made_;
+  Matrix input_;  // scratch for training batches.
+};
+
+}  // namespace
+
+std::unique_ptr<AutoregressiveModel> MakeResMadeModel(
+    std::vector<int> vocab_sizes, const ResMadeBackboneOptions& options) {
+  return std::make_unique<ResMadeModel>(std::move(vocab_sizes), options);
+}
+
+std::unique_ptr<AutoregressiveModel> MakeTransformerModel(
+    std::vector<int> vocab_sizes, const TransformerBackboneOptions& options) {
+  return std::make_unique<AutoregressiveTransformer>(std::move(vocab_sizes),
+                                                     options);
+}
+
+}  // namespace arecel

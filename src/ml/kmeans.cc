@@ -1,0 +1,117 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+int NearestCenter(const std::vector<std::vector<double>>& centers,
+                  const std::vector<double>& point) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const double d = SquaredDistance(centers[c], point);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iterations, uint64_t seed) {
+  ARECEL_CHECK(!points.empty());
+  ARECEL_CHECK(k >= 1);
+  const size_t n = points.size();
+  const size_t dims = points[0].size();
+  k = static_cast<int>(std::min<size_t>(static_cast<size_t>(k), n));
+
+  Rng rng(seed);
+  KMeansResult result;
+  // k-means++ seeding.
+  result.centers.push_back(points[rng.UniformInt(static_cast<uint64_t>(n))]);
+  std::vector<double> min_d(n, 0.0);
+  while (static_cast<int>(result.centers.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      min_d[i] = SquaredDistance(points[i], result.centers[0]);
+      for (size_t c = 1; c < result.centers.size(); ++c)
+        min_d[i] = std::min(min_d[i],
+                            SquaredDistance(points[i], result.centers[c]));
+      total += min_d[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      result.centers.push_back(points[rng.UniformInt(
+          static_cast<uint64_t>(n))]);
+      continue;
+    }
+    double target = rng.Uniform() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= min_d[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centers.push_back(points[chosen]);
+  }
+
+  result.assignments.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const int a = NearestCenter(result.centers, points[i]);
+      if (a != result.assignments[i]) {
+        result.assignments[i] = a;
+        changed = true;
+      }
+    }
+    // Recompute centers.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto a = static_cast<size_t>(result.assignments[i]);
+      ++counts[a];
+      for (size_t d = 0; d < dims; ++d) sums[a][d] += points[i][d];
+    }
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster from a random point.
+        result.centers[c] = points[rng.UniformInt(static_cast<uint64_t>(n))];
+        changed = true;
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d)
+        result.centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.cluster_sizes.assign(static_cast<size_t>(k), 0);
+  for (int a : result.assignments)
+    ++result.cluster_sizes[static_cast<size_t>(a)];
+  return result;
+}
+
+}  // namespace arecel

@@ -1,0 +1,29 @@
+#ifndef ARECEL_ML_KMEANS_H_
+#define ARECEL_ML_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace arecel {
+
+// Lloyd's k-means over dense double points — DeepDB uses it to split rows
+// into the children of a sum node.
+struct KMeansResult {
+  std::vector<std::vector<double>> centers;  // k x dims.
+  std::vector<int> assignments;              // per point.
+  std::vector<size_t> cluster_sizes;         // per cluster.
+};
+
+// Runs k-means with k-means++-style seeding. `points` is n x dims.
+// Empty clusters are reseeded from the farthest point.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iterations, uint64_t seed);
+
+// Index of the nearest center to `point`.
+int NearestCenter(const std::vector<std::vector<double>>& centers,
+                  const std::vector<double>& point);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_KMEANS_H_

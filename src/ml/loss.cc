@@ -1,0 +1,19 @@
+#include "ml/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arecel {
+
+LossValueGrad MseLogLoss(double z, double target) {
+  const double diff = z - target;
+  return {diff * diff, 2.0 * diff};
+}
+
+LossValueGrad QErrorLoss(double z, double target, double max_log_diff) {
+  const double diff = std::clamp(z - target, -max_log_diff, max_log_diff);
+  const double loss = std::exp(std::fabs(diff));
+  return {loss, loss * (diff >= 0 ? 1.0 : -1.0)};
+}
+
+}  // namespace arecel

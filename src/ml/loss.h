@@ -1,0 +1,28 @@
+#ifndef ARECEL_ML_LOSS_H_
+#define ARECEL_ML_LOSS_H_
+
+namespace arecel {
+
+// Scalar losses used by the query-driven estimators, with analytic
+// gradients w.r.t. the model's log-selectivity output z.
+//
+//  * MSE on the log-transformed label (LW-XGB/NN, §2.3): equals minimizing
+//    the geometric mean of q-error with more weight on large errors.
+//  * Mean q-error (MSCN): q-error = exp(|z - t|) in log space; the paper
+//    notes MSCN minimizes it directly. The exponent is clipped so a badly
+//    initialized model cannot emit infinite gradients.
+
+struct LossValueGrad {
+  double loss = 0.0;
+  double dloss_dz = 0.0;
+};
+
+// L = (z - target)^2.
+LossValueGrad MseLogLoss(double z, double target);
+
+// L = exp(min(|z - target|, max_log_diff)); dL/dz = L * sign(z - target).
+LossValueGrad QErrorLoss(double z, double target, double max_log_diff = 8.0);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_LOSS_H_

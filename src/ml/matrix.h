@@ -1,0 +1,56 @@
+#ifndef ARECEL_ML_MATRIX_H_
+#define ARECEL_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace arecel {
+
+// Dense row-major float matrix — the numeric workhorse of the neural-network
+// substrate (Naru's ResMADE, MSCN, LW-NN). Float (not double) halves memory
+// traffic; the models here are small enough that fp32 is numerically ample.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v);
+  void Resize(size_t rows, size_t cols);  // contents unspecified after.
+
+ private:
+  size_t rows_, cols_;
+  std::vector<float> data_;
+};
+
+// out = a * b. Shapes must agree; out is resized. Cache-blocked i-k-j loop.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a * b^T (b stored row-major as (n x k); result (m x n) for a (m x k)).
+void MatMulBT(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a^T * b for a (k x m), b (k x n); result (m x n).
+void MatMulAT(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out += row broadcast: adds `bias` (length cols) to every row of m.
+void AddRowBroadcast(Matrix* m, const std::vector<float>& bias);
+
+// Column-wise sum of m into out (length cols).
+void ColumnSums(const Matrix& m, std::vector<float>* out);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_MATRIX_H_

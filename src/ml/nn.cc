@@ -1,0 +1,189 @@
+#include "ml/nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arecel {
+
+namespace {
+constexpr float kAdamBeta1 = 0.9f;
+constexpr float kAdamBeta2 = 0.999f;
+constexpr float kAdamEps = 1e-8f;
+}  // namespace
+
+DenseLayer::DenseLayer(size_t in_features, size_t out_features,
+                       Activation activation, Rng& rng)
+    : activation_(activation),
+      weights_(in_features, out_features),
+      bias_(out_features, 0.0f),
+      weight_grad_(in_features, out_features),
+      bias_grad_(out_features, 0.0f),
+      m_w_(in_features, out_features),
+      v_w_(in_features, out_features),
+      m_b_(out_features, 0.0f),
+      v_b_(out_features, 0.0f) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features));
+  for (size_t i = 0; i < weights_.size(); ++i)
+    weights_.data()[i] =
+        static_cast<float>(rng.Uniform(-bound, bound));
+}
+
+void DenseLayer::SetMask(Matrix mask) {
+  ARECEL_CHECK(mask.rows() == weights_.rows() &&
+               mask.cols() == weights_.cols());
+  mask_ = std::move(mask);
+  has_mask_ = true;
+  for (size_t i = 0; i < weights_.size(); ++i)
+    weights_.data()[i] *= mask_.data()[i];
+}
+
+void DenseLayer::Forward(const Matrix& input, Matrix* output) const {
+  MatMul(input, weights_, output);
+  AddRowBroadcast(output, bias_);
+  if (activation_ == Activation::kRelu) {
+    for (size_t i = 0; i < output->size(); ++i)
+      output->data()[i] = std::max(0.0f, output->data()[i]);
+  }
+}
+
+void DenseLayer::ForwardTrain(const Matrix& input, Matrix* output) {
+  cached_input_ = input;
+  MatMul(input, weights_, &cached_preact_);
+  AddRowBroadcast(&cached_preact_, bias_);
+  *output = cached_preact_;
+  if (activation_ == Activation::kRelu) {
+    for (size_t i = 0; i < output->size(); ++i)
+      output->data()[i] = std::max(0.0f, output->data()[i]);
+  }
+}
+
+void DenseLayer::Backward(const Matrix& output_grad, Matrix* input_grad) {
+  ARECEL_CHECK(output_grad.rows() == cached_input_.rows());
+  ARECEL_CHECK(output_grad.cols() == weights_.cols());
+
+  // dL/dz: fold the ReLU derivative into a local copy.
+  Matrix dz = output_grad;
+  if (activation_ == Activation::kRelu) {
+    for (size_t i = 0; i < dz.size(); ++i) {
+      if (cached_preact_.data()[i] <= 0.0f) dz.data()[i] = 0.0f;
+    }
+  }
+
+  // Accumulate parameter gradients: dW += X^T dz, db += colsum(dz).
+  Matrix dw;
+  MatMulAT(cached_input_, dz, &dw);
+  for (size_t i = 0; i < weight_grad_.size(); ++i)
+    weight_grad_.data()[i] += dw.data()[i];
+  std::vector<float> db;
+  ColumnSums(dz, &db);
+  for (size_t i = 0; i < bias_grad_.size(); ++i) bias_grad_[i] += db[i];
+
+  if (input_grad != nullptr) {
+    // dX = dz * W^T.
+    MatMulBT(dz, weights_, input_grad);
+  }
+}
+
+void DenseLayer::AdamStep(float learning_rate) {
+  ++adam_step_;
+  if (has_mask_) {
+    for (size_t i = 0; i < weight_grad_.size(); ++i)
+      weight_grad_.data()[i] *= mask_.data()[i];
+  }
+  const float bias_correct1 =
+      1.0f - std::pow(kAdamBeta1, static_cast<float>(adam_step_));
+  const float bias_correct2 =
+      1.0f - std::pow(kAdamBeta2, static_cast<float>(adam_step_));
+  auto update = [&](float* param, float* grad, float* m, float* v, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = kAdamBeta1 * m[i] + (1.0f - kAdamBeta1) * grad[i];
+      v[i] = kAdamBeta2 * v[i] + (1.0f - kAdamBeta2) * grad[i] * grad[i];
+      const float m_hat = m[i] / bias_correct1;
+      const float v_hat = v[i] / bias_correct2;
+      param[i] -= learning_rate * m_hat / (std::sqrt(v_hat) + kAdamEps);
+    }
+  };
+  update(weights_.data(), weight_grad_.data(), m_w_.data(), v_w_.data(),
+         weights_.size());
+  update(bias_.data(), bias_grad_.data(), m_b_.data(), v_b_.data(),
+         bias_.size());
+  if (has_mask_) {
+    for (size_t i = 0; i < weights_.size(); ++i)
+      weights_.data()[i] *= mask_.data()[i];
+  }
+  ZeroGradients();
+}
+
+void DenseLayer::ZeroGradients() {
+  weight_grad_.Fill(0.0f);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0f);
+}
+
+Mlp::Mlp(const std::vector<size_t>& layer_sizes, Rng& rng) {
+  ARECEL_CHECK(layer_sizes.size() >= 2);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    const bool last = i + 2 == layer_sizes.size();
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1],
+                         last ? Activation::kNone : Activation::kRelu, rng);
+  }
+  buffers_.resize(layers_.size());
+}
+
+void Mlp::Forward(const Matrix& input, Matrix* output) const {
+  const Matrix* cur = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].Forward(*cur, &buffers_[i]);
+    cur = &buffers_[i];
+  }
+  *output = *cur;
+}
+
+void Mlp::ForwardTrain(const Matrix& input, Matrix* output) {
+  const Matrix* cur = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].ForwardTrain(*cur, &buffers_[i]);
+    cur = &buffers_[i];
+  }
+  *output = *cur;
+}
+
+void Mlp::Backward(const Matrix& output_grad, Matrix* input_grad) {
+  Matrix grad = output_grad;
+  Matrix prev_grad;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    Matrix* dst = i == 0 ? input_grad : &prev_grad;
+    layers_[i].Backward(grad, dst);
+    if (i != 0) grad = prev_grad;
+  }
+}
+
+void Mlp::AdamStep(float learning_rate) {
+  for (auto& layer : layers_) layer.AdamStep(learning_rate);
+}
+
+size_t Mlp::ParamCount() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer.ParamCount();
+  return total;
+}
+
+void SoftmaxRows(Matrix* m, size_t begin_col, size_t end_col) {
+  ARECEL_CHECK(begin_col < end_col && end_col <= m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    float max_v = row[begin_col];
+    for (size_t c = begin_col; c < end_col; ++c)
+      max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (size_t c = begin_col; c < end_col; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (size_t c = begin_col; c < end_col; ++c) row[c] /= sum;
+  }
+}
+
+}  // namespace arecel

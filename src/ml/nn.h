@@ -1,0 +1,116 @@
+#ifndef ARECEL_ML_NN_H_
+#define ARECEL_ML_NN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/random.h"
+
+namespace arecel {
+
+// Minimal feed-forward neural-network substrate with hand-derived backward
+// passes — the stand-in for PyTorch in this reproduction (DESIGN.md §2).
+// It supports exactly what the paper's three NN estimators need:
+//  * Dense layers with optional ReLU and optional elementwise weight masks
+//    (masks implement MADE's autoregressive connectivity for Naru);
+//  * residual additions (ResMADE);
+//  * Adam;
+//  * MSE-on-log and mean-q-error losses (ml/loss.h).
+//
+// Matrices are (batch x features), row-major.
+
+enum class Activation { kNone, kRelu };
+
+// Fully-connected layer: out = act(in * W + b), with an optional binary
+// mask applied to W on every access (the mask also zeroes the corresponding
+// gradients, so masked connections stay dead under Adam).
+class DenseLayer {
+ public:
+  // He-uniform initialization.
+  DenseLayer(size_t in_features, size_t out_features, Activation activation,
+             Rng& rng);
+
+  // Sets the MADE connectivity mask; shape (in_features x out_features),
+  // entries 0/1. Applies immediately to the current weights.
+  void SetMask(Matrix mask);
+
+  // Inference forward; no caches.
+  void Forward(const Matrix& input, Matrix* output) const;
+
+  // Training forward: caches input and pre-activation for Backward.
+  void ForwardTrain(const Matrix& input, Matrix* output);
+
+  // Backprop: consumes dL/d(output), accumulates weight/bias gradients and
+  // writes dL/d(input) to `input_grad` (may be nullptr for the first layer).
+  void Backward(const Matrix& output_grad, Matrix* input_grad);
+
+  // Adam update with the accumulated gradients; zeroes them afterwards.
+  void AdamStep(float learning_rate);
+
+  void ZeroGradients();
+
+  size_t in_features() const { return weights_.rows(); }
+  size_t out_features() const { return weights_.cols(); }
+  size_t ParamCount() const { return weights_.size() + bias_.size(); }
+
+  Matrix& mutable_weights() { return weights_; }
+  const Matrix& weights() const { return weights_; }
+  std::vector<float>& mutable_bias() { return bias_; }
+  const std::vector<float>& bias() const { return bias_; }
+
+ private:
+  Activation activation_;
+  Matrix weights_;           // (in x out).
+  std::vector<float> bias_;  // (out).
+  bool has_mask_ = false;
+  Matrix mask_;
+
+  // Gradients.
+  Matrix weight_grad_;
+  std::vector<float> bias_grad_;
+
+  // Adam state.
+  Matrix m_w_, v_w_;
+  std::vector<float> m_b_, v_b_;
+  int adam_step_ = 0;
+
+  // Caches from ForwardTrain.
+  Matrix cached_input_;
+  Matrix cached_preact_;
+};
+
+// A plain multilayer perceptron: a stack of DenseLayers. The last layer is
+// linear; hidden layers use ReLU.
+class Mlp {
+ public:
+  // layer_sizes = {in, hidden..., out}.
+  Mlp(const std::vector<size_t>& layer_sizes, Rng& rng);
+
+  void Forward(const Matrix& input, Matrix* output) const;
+  void ForwardTrain(const Matrix& input, Matrix* output);
+
+  // Backprop from dL/d(output). When `input_grad` is non-null it receives
+  // dL/d(input) — needed when this MLP is an inner module of a larger
+  // network (e.g. MSCN's predicate/sample sub-networks).
+  void Backward(const Matrix& output_grad, Matrix* input_grad = nullptr);
+
+  void AdamStep(float learning_rate);
+
+  size_t ParamCount() const;
+
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<DenseLayer> layers_;
+  // Per-layer activation buffers for training.
+  mutable std::vector<Matrix> buffers_;
+};
+
+// Softmax over the columns of each row segment [begin, end). In-place.
+void SoftmaxRows(Matrix* m, size_t begin_col, size_t end_col);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_NN_H_

@@ -1,0 +1,170 @@
+#include "ml/rdc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace arecel {
+
+namespace {
+
+using Mat = std::vector<std::vector<double>>;
+
+Mat MatProd(const Mat& a, const Mat& b) {
+  const size_t m = a.size(), k = b.size(), n = b[0].size();
+  Mat out(m, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < m; ++i)
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = a[i][kk];
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) out[i][j] += av * b[kk][j];
+    }
+  return out;
+}
+
+// Gauss-Jordan inverse for tiny symmetric positive-definite matrices
+// (ridge regularization guarantees invertibility).
+Mat Invert(Mat a) {
+  const size_t n = a.size();
+  Mat inv(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) inv[i][i] = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(inv[col], inv[pivot]);
+    const double diag = a[col][col];
+    ARECEL_CHECK_MSG(std::fabs(diag) > 1e-12, "singular matrix in RDC");
+    for (size_t j = 0; j < n; ++j) {
+      a[col][j] /= diag;
+      inv[col][j] /= diag;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col];
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        a[r][j] -= factor * a[col][j];
+        inv[r][j] -= factor * inv[col][j];
+      }
+    }
+  }
+  return inv;
+}
+
+// Covariance of two centered feature matrices: Cab = A^T B / n.
+Mat Covariance(const std::vector<std::vector<double>>& a,
+               const std::vector<std::vector<double>>& b) {
+  const size_t n = a.size(), p = a[0].size(), q = b[0].size();
+  Mat cov(p, std::vector<double>(q, 0.0));
+  for (size_t r = 0; r < n; ++r)
+    for (size_t i = 0; i < p; ++i) {
+      const double av = a[r][i];
+      for (size_t j = 0; j < q; ++j) cov[i][j] += av * b[r][j];
+    }
+  for (auto& row : cov)
+    for (double& v : row) v /= static_cast<double>(n);
+  return cov;
+}
+
+void CenterColumns(std::vector<std::vector<double>>* m) {
+  if (m->empty()) return;
+  const size_t n = m->size(), p = (*m)[0].size();
+  for (size_t j = 0; j < p; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += (*m)[i][j];
+    mean /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) (*m)[i][j] -= mean;
+  }
+}
+
+}  // namespace
+
+double LargestCanonicalCorrelation(
+    const std::vector<std::vector<double>>& x_features,
+    const std::vector<std::vector<double>>& y_features, uint64_t seed) {
+  ARECEL_CHECK(x_features.size() == y_features.size());
+  ARECEL_CHECK(!x_features.empty());
+  std::vector<std::vector<double>> x = x_features;
+  std::vector<std::vector<double>> y = y_features;
+  CenterColumns(&x);
+  CenterColumns(&y);
+
+  const size_t p = x[0].size(), q = y[0].size();
+  constexpr double kRidge = 1e-4;
+  Mat cxx = Covariance(x, x);
+  Mat cyy = Covariance(y, y);
+  for (size_t i = 0; i < p; ++i) cxx[i][i] += kRidge;
+  for (size_t i = 0; i < q; ++i) cyy[i][i] += kRidge;
+  const Mat cxy = Covariance(x, y);
+  Mat cyx(q, std::vector<double>(p));
+  for (size_t i = 0; i < p; ++i)
+    for (size_t j = 0; j < q; ++j) cyx[j][i] = cxy[i][j];
+
+  // M = Cxx^-1 Cxy Cyy^-1 Cyx; largest eigenvalue = rho^2.
+  const Mat m =
+      MatProd(MatProd(Invert(cxx), cxy), MatProd(Invert(cyy), cyx));
+
+  // Power iteration.
+  Rng rng(seed);
+  std::vector<double> v(p);
+  for (double& vi : v) vi = rng.Uniform(-1.0, 1.0);
+  double eigen = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<double> next(p, 0.0);
+    for (size_t i = 0; i < p; ++i)
+      for (size_t j = 0; j < p; ++j) next[i] += m[i][j] * v[j];
+    double norm = 0.0;
+    for (double nv : next) norm += nv * nv;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) return 0.0;
+    for (double& nv : next) nv /= norm;
+    eigen = norm;
+    v = next;
+  }
+  return std::sqrt(std::clamp(eigen, 0.0, 1.0));
+}
+
+double Rdc(const std::vector<double>& x, const std::vector<double>& y,
+           int num_features, double sigma, uint64_t seed) {
+  ARECEL_CHECK(x.size() == y.size());
+  ARECEL_CHECK(x.size() >= 2);
+  const size_t n = x.size();
+
+  // 1. Copula transform.
+  std::vector<double> ux = Ranks(x);
+  std::vector<double> uy = Ranks(y);
+  for (double& v : ux) v /= static_cast<double>(n);
+  for (double& v : uy) v /= static_cast<double>(n);
+
+  // 2. Random sine features (plus the raw copula value for stability).
+  Rng rng(seed);
+  const size_t k = static_cast<size_t>(num_features);
+  std::vector<double> wx(k), bx(k), wy(k), by(k);
+  for (size_t f = 0; f < k; ++f) {
+    wx[f] = rng.Gaussian() * sigma;
+    bx[f] = rng.Uniform(0.0, 2.0 * M_PI);
+    wy[f] = rng.Gaussian() * sigma;
+    by[f] = rng.Uniform(0.0, 2.0 * M_PI);
+  }
+  std::vector<std::vector<double>> fx(n, std::vector<double>(k + 1));
+  std::vector<std::vector<double>> fy(n, std::vector<double>(k + 1));
+  for (size_t i = 0; i < n; ++i) {
+    fx[i][0] = ux[i];
+    fy[i][0] = uy[i];
+    for (size_t f = 0; f < k; ++f) {
+      fx[i][f + 1] = std::sin(wx[f] * ux[i] * 2.0 * M_PI + bx[f]);
+      fy[i][f + 1] = std::sin(wy[f] * uy[i] * 2.0 * M_PI + by[f]);
+    }
+  }
+
+  // 3. Largest canonical correlation.
+  return LargestCanonicalCorrelation(fx, fy, seed + 1);
+}
+
+}  // namespace arecel

@@ -1,0 +1,28 @@
+#ifndef ARECEL_ML_RDC_H_
+#define ARECEL_ML_RDC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace arecel {
+
+// Randomized Dependence Coefficient (Lopez-Paz et al., NeurIPS'13) — the
+// dependence test DeepDB uses to decide whether two column groups can be
+// split by a product node. Pipeline:
+//   1. copula transform: values -> empirical CDF ranks in [0, 1];
+//   2. k random sine features per side: sin(w * u + b), w ~ N(0, s), b ~ U;
+//   3. largest canonical correlation between the two feature sets.
+// Returns a value in [0, 1]; independent columns score near 0.
+double Rdc(const std::vector<double>& x, const std::vector<double>& y,
+           int num_features = 5, double sigma = 1.0, uint64_t seed = 17);
+
+// Largest canonical correlation between feature matrices X (n x p) and
+// Y (n x q), computed by power iteration on the CCA operator with ridge
+// regularization. Exposed for testing.
+double LargestCanonicalCorrelation(
+    const std::vector<std::vector<double>>& x_features,
+    const std::vector<std::vector<double>>& y_features, uint64_t seed);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_RDC_H_

@@ -1,0 +1,72 @@
+#include "util/archive.h"
+
+#include <cstring>
+
+namespace arecel {
+
+namespace {
+// One container may not claim more than this many elements; bounds the
+// allocation a corrupt length prefix can trigger.
+constexpr uint64_t kMaxElements = 1ull << 30;
+}  // namespace
+
+void ByteWriter::Raw(const void* data, size_t bytes) {
+  buffer_.append(static_cast<const char*>(data), bytes);
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U64(s.size());
+  Raw(s.data(), s.size());
+}
+
+void ByteWriter::Floats(const std::vector<float>& v) {
+  U64(v.size());
+  Raw(v.data(), v.size() * sizeof(float));
+}
+
+void ByteWriter::Doubles(const std::vector<double>& v) {
+  U64(v.size());
+  Raw(v.data(), v.size() * sizeof(double));
+}
+
+void ByteWriter::Ints(const std::vector<int>& v) {
+  U64(v.size());
+  Raw(v.data(), v.size() * sizeof(int));
+}
+
+bool ByteReader::Raw(void* data, size_t bytes) {
+  if (position_ + bytes > buffer_.size()) return false;
+  std::memcpy(data, buffer_.data() + position_, bytes);
+  position_ += bytes;
+  return true;
+}
+
+bool ByteReader::Str(std::string* s) {
+  uint64_t size = 0;
+  if (!U64(&size) || size > kMaxElements) return false;
+  s->resize(size);
+  return Raw(s->data(), size);
+}
+
+bool ByteReader::Floats(std::vector<float>* v) {
+  uint64_t size = 0;
+  if (!U64(&size) || size > kMaxElements) return false;
+  v->resize(size);
+  return Raw(v->data(), size * sizeof(float));
+}
+
+bool ByteReader::Doubles(std::vector<double>* v) {
+  uint64_t size = 0;
+  if (!U64(&size) || size > kMaxElements) return false;
+  v->resize(size);
+  return Raw(v->data(), size * sizeof(double));
+}
+
+bool ByteReader::Ints(std::vector<int>* v) {
+  uint64_t size = 0;
+  if (!U64(&size) || size > kMaxElements) return false;
+  v->resize(size);
+  return Raw(v->data(), size * sizeof(int));
+}
+
+}  // namespace arecel

@@ -1,0 +1,58 @@
+#ifndef ARECEL_UTIL_ARCHIVE_H_
+#define ARECEL_UTIL_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arecel {
+
+// Minimal binary archive over an in-memory buffer: the substrate for model
+// persistence (core/model_io.h). Writers append little-endian fixed-width
+// scalars and length-prefixed containers; readers validate bounds and
+// report failure instead of aborting, so corrupt files degrade gracefully.
+
+class ByteWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s);
+  void Floats(const std::vector<float>& v);
+  void Doubles(const std::vector<double>& v);
+  void Ints(const std::vector<int>& v);
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  void Raw(const void* data, size_t bytes);
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buffer) : buffer_(buffer) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I32(int32_t* v) { return Raw(v, sizeof(*v)); }
+  bool F32(float* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s);
+  bool Floats(std::vector<float>* v);
+  bool Doubles(std::vector<double>* v);
+  bool Ints(std::vector<int>* v);
+
+  bool AtEnd() const { return position_ == buffer_.size(); }
+
+ private:
+  bool Raw(void* data, size_t bytes);
+  const std::string& buffer_;
+  size_t position_ = 0;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_ARCHIVE_H_

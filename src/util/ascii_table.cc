@@ -1,0 +1,64 @@
+#include "util/ascii_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace arecel {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::ToString() const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols && c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit(header_);
+  out << "|";
+  for (size_t c = 0; c < cols; ++c)
+    out << std::string(width[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string FormatCompact(double value) {
+  char buf[64];
+  const double a = std::fabs(value);
+  if (a != 0.0 && (a >= 1e4 || a < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.1e", value);
+  } else if (a >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace arecel

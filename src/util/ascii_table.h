@@ -1,0 +1,39 @@
+#ifndef ARECEL_UTIL_ASCII_TABLE_H_
+#define ARECEL_UTIL_ASCII_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace arecel {
+
+// Renders rows of strings as an aligned, pipe-separated text table —
+// the output format every bench binary uses to print its paper table or
+// figure series.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header rule. Cells are left-aligned; missing cells in a
+  // short row render empty.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Compact number formatting used in table cells: two/three significant
+// digits, switching to scientific notation for large magnitudes, mirroring
+// the paper's "2·10^5"-style cells.
+std::string FormatCompact(double value);
+
+// Fixed-precision helper.
+std::string FormatFixed(double value, int digits);
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_ASCII_TABLE_H_

@@ -1,0 +1,29 @@
+#ifndef ARECEL_UTIL_CHECK_H_
+#define ARECEL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// ARECEL_CHECK(cond) aborts with a message when `cond` is false. It is
+// enabled in all build modes: estimator code validates its invariants with
+// these checks rather than exceptions (per DESIGN.md §4), so a violated
+// invariant fails loudly in benches too.
+#define ARECEL_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ARECEL_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define ARECEL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ARECEL_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // ARECEL_UTIL_CHECK_H_

@@ -1,0 +1,95 @@
+#ifndef ARECEL_UTIL_RANDOM_H_
+#define ARECEL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace arecel {
+
+// Deterministic pseudo-random generator used across the project.
+//
+// A thin, fast wrapper around splitmix64/xoshiro256**. Every stochastic
+// component in the repository owns one of these, seeded explicitly, so that
+// all experiments are reproducible (DESIGN.md §4, "Determinism").
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+
+  // Exponential with rate lambda (mean 1/lambda).
+  double Exponential(double lambda);
+
+  // Pareto-style skewed sample in [0, 1): returns a value whose density
+  // concentrates near 0 as `shape` grows. shape == 0 is uniform. This is the
+  // generator behind the paper's synthetic "genpareto(s)" column.
+  double SkewedUnit(double shape);
+
+  // Zipf-distributed integer in [0, n) with exponent `s` (s = 0 uniform).
+  // Uses inverse-CDF over precomputed weights for small n; rejection
+  // sampling otherwise. Requires n > 0.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Samples k distinct integers from [0, n) (k <= n), in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Returns true with probability p.
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint64_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Precomputed Zipf sampler: O(n) setup, O(log n) per sample. Use this when
+// drawing many values from the same Zipf(n, s) distribution (e.g. dataset
+// generation); Rng::Zipf recomputes the normalizer on every call.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // Rank whose CDF interval contains u (u in [0, 1)). Sample() is
+  // InvertCdf(rng.Uniform()); exposing the inversion lets generators drive
+  // the marginal from a shared latent uniform (see data/datasets.cc).
+  uint64_t InvertCdf(double u) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cumulative normalized weights, size n.
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_RANDOM_H_

@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace arecel {
+
+double Percentile(const std::vector<double>& values, double p) {
+  ARECEL_CHECK(!values.empty());
+  ARECEL_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+QuantileSummary Summarize(const std::vector<double>& values) {
+  ARECEL_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  QuantileSummary s;
+  s.p50 = at(50);
+  s.p95 = at(95);
+  s.p99 = at(99);
+  s.max = sorted.back();
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  ARECEL_CHECK(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  ARECEL_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    ARECEL_CHECK(v > 0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Variance(const std::vector<double>& values) {
+  const double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  ARECEL_CHECK(x.size() == y.size());
+  ARECEL_CHECK(!x.empty());
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+std::vector<double> TopFraction(const std::vector<double>& values,
+                                double fraction) {
+  ARECEL_CHECK(!values.empty());
+  ARECEL_CHECK(fraction > 0.0 && fraction <= 1.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  size_t count = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(sorted.size())));
+  count = std::max<size_t>(1, std::min(count, sorted.size()));
+  return std::vector<double>(sorted.end() - static_cast<long>(count),
+                             sorted.end());
+}
+
+BoxStats Box(const std::vector<double>& values) {
+  BoxStats b;
+  b.min = Percentile(values, 0);
+  b.q1 = Percentile(values, 25);
+  b.median = Percentile(values, 50);
+  b.q3 = Percentile(values, 75);
+  b.max = Percentile(values, 100);
+  return b;
+}
+
+}  // namespace arecel

@@ -1,0 +1,59 @@
+#ifndef ARECEL_UTIL_STATS_H_
+#define ARECEL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace arecel {
+
+// Descriptive statistics used by the evaluation harness and the data
+// generators. All functions take values by const reference and never mutate
+// their input (they copy when sorting is needed).
+
+// p-th percentile (p in [0, 100]) with linear interpolation between ranks,
+// matching numpy.percentile's default. Requires a non-empty input.
+double Percentile(const std::vector<double>& values, double p);
+
+// Convenience: {50th, 95th, 99th, max} of `values` — the four columns the
+// paper's Table 4 reports per dataset.
+struct QuantileSummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+QuantileSummary Summarize(const std::vector<double>& values);
+
+double Mean(const std::vector<double>& values);
+double GeometricMean(const std::vector<double>& values);  // requires > 0.
+double Variance(const std::vector<double>& values);       // population var.
+double StdDev(const std::vector<double>& values);
+
+// Pearson linear correlation of two equal-length vectors. Returns 0 when
+// either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+// This is the statistic the paper maximizes when constructing the dynamic-
+// environment data update (§5.1: sorted-copy append).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+// Fractional ranks (1-based, ties share the average rank).
+std::vector<double> Ranks(const std::vector<double>& values);
+
+// Returns the top `fraction` (e.g. 0.01) largest values, sorted ascending —
+// the "top 1% q-error distribution" used by Figures 9 and 10.
+std::vector<double> TopFraction(const std::vector<double>& values,
+                                double fraction);
+
+// Five-number box-plot summary (min, q1, median, q3, max) of `values`.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxStats Box(const std::vector<double>& values);
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_STATS_H_

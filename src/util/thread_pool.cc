@@ -1,0 +1,47 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace arecel {
+
+int ParallelWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const int workers = ParallelWorkerCount();
+  if (workers == 1 || n < 2) {
+    fn(begin, end);
+    return;
+  }
+  // Static partition into `workers` contiguous slices; the bodies we run
+  // (per-query labelling, per-row scans) are uniform enough that dynamic
+  // stealing is not worth the synchronization.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  const size_t chunk = (n + static_cast<size_t>(workers) - 1) /
+                       static_cast<size_t>(workers);
+  for (int w = 0; w < workers; ++w) {
+    const size_t lo = begin + static_cast<size_t>(w) * chunk;
+    if (lo >= end) break;
+    const size_t hi = std::min(end, lo + chunk);
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForChunked(begin, end, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace arecel

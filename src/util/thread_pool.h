@@ -1,0 +1,28 @@
+#ifndef ARECEL_UTIL_THREAD_POOL_H_
+#define ARECEL_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace arecel {
+
+// ParallelFor(begin, end, fn) runs fn(i) for i in [begin, end) across a
+// process-wide pool of std::threads (hardware_concurrency workers, capped).
+// Blocks until every index has been processed. fn must be safe to call
+// concurrently for distinct i. Used by the ground-truth executor and the
+// estimator evaluation harness where thousands of independent queries are
+// labelled against multi-hundred-thousand-row tables.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+// Chunked variant: fn(chunk_begin, chunk_end) per contiguous slice. Lower
+// dispatch overhead for cheap bodies.
+void ParallelForChunked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn);
+
+// Number of workers ParallelFor will use.
+int ParallelWorkerCount();
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_THREAD_POOL_H_

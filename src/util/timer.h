@@ -1,0 +1,29 @@
+#ifndef ARECEL_UTIL_TIMER_H_
+#define ARECEL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace arecel {
+
+// Simple wall-clock stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_TIMER_H_

@@ -1,0 +1,70 @@
+#include "workload/query.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/thread_pool.h"
+
+namespace arecel {
+
+bool Query::IsSatisfiable() const {
+  for (const Predicate& p : predicates) {
+    if (p.lo > p.hi) return false;
+  }
+  return true;
+}
+
+std::string Query::ToString(const Table& table) const {
+  std::ostringstream out;
+  out << "SELECT COUNT(*) FROM " << table.name() << " WHERE ";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    if (i > 0) out << " AND ";
+    const std::string& col = table.column(static_cast<size_t>(p.column)).name;
+    if (p.is_equality()) {
+      out << col << " = " << p.lo;
+    } else if (std::isinf(p.lo)) {
+      out << col << " <= " << p.hi;
+    } else if (std::isinf(p.hi)) {
+      out << col << " >= " << p.lo;
+    } else {
+      out << p.lo << " <= " << col << " <= " << p.hi;
+    }
+  }
+  return out.str();
+}
+
+size_t ExecuteCount(const Table& table, const Query& query) {
+  if (!query.IsSatisfiable()) return 0;
+  const size_t rows = table.num_rows();
+  size_t count = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    bool match = true;
+    for (const Predicate& p : query.predicates) {
+      const double v = table.column(static_cast<size_t>(p.column)).values[r];
+      if (v < p.lo || v > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    count += match ? 1 : 0;
+  }
+  return count;
+}
+
+double ExecuteSelectivity(const Table& table, const Query& query) {
+  if (table.num_rows() == 0) return 0.0;
+  return static_cast<double>(ExecuteCount(table, query)) /
+         static_cast<double>(table.num_rows());
+}
+
+std::vector<double> LabelQueries(const Table& table,
+                                 const std::vector<Query>& queries) {
+  std::vector<double> selectivities(queries.size(), 0.0);
+  ParallelFor(0, queries.size(), [&](size_t i) {
+    selectivities[i] = ExecuteSelectivity(table, queries[i]);
+  });
+  return selectivities;
+}
+
+}  // namespace arecel

@@ -1,0 +1,48 @@
+#ifndef ARECEL_WORKLOAD_QUERY_H_
+#define ARECEL_WORKLOAD_QUERY_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace arecel {
+
+// One conjunct: lo <= column <= hi (inclusive). Equality predicates have
+// lo == hi; open ranges use +/-infinity on the unbounded side, which is how
+// the unified generator represents ranges that spilled past the column
+// domain (§3 "Workload" of the paper).
+struct Predicate {
+  int column = 0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool is_equality() const { return lo == hi; }
+  bool Matches(double v) const { return v >= lo && v <= hi; }
+};
+
+// A conjunctive COUNT(*) query over one table.
+struct Query {
+  std::vector<Predicate> predicates;
+
+  // True when every predicate interval is non-empty (lo <= hi).
+  bool IsSatisfiable() const;
+
+  // SQL-ish rendering for logs and examples.
+  std::string ToString(const Table& table) const;
+};
+
+// Exact number of rows of `table` matching `query` (full scan).
+size_t ExecuteCount(const Table& table, const Query& query);
+
+// Exact selectivity = ExecuteCount / rows.
+double ExecuteSelectivity(const Table& table, const Query& query);
+
+// Labels every query in parallel. Returns selectivities in [0, 1].
+std::vector<double> LabelQueries(const Table& table,
+                                 const std::vector<Query>& queries);
+
+}  // namespace arecel
+
+#endif  // ARECEL_WORKLOAD_QUERY_H_

@@ -1,0 +1,88 @@
+// Integration smoke test: every registered estimator trains on a small
+// Census-like table and produces sane selectivities with reasonable median
+// accuracy. This is the cross-module test gluing data -> workload ->
+// estimators -> core together.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace arecel {
+namespace {
+
+class EstimatorSmokeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = CensusSpec();
+    spec.rows = 8000;
+    // Trim to 6 columns to keep NN training fast in unit tests.
+    spec.num_cols = 6;
+    spec.num_categorical = 3;
+    spec.domain_sizes.resize(6);
+    spec.skews.resize(6);
+    spec.correlations.resize(6);
+    table_ = new Table(GenerateDataset(spec, 1));
+    train_ = new Workload(GenerateWorkload(*table_, 800, 2));
+    test_ = new Workload(GenerateWorkload(*table_, 300, 3));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    delete train_;
+    delete test_;
+    table_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static Table* table_;
+  static Workload* train_;
+  static Workload* test_;
+};
+
+Table* EstimatorSmokeTest::table_ = nullptr;
+Workload* EstimatorSmokeTest::train_ = nullptr;
+Workload* EstimatorSmokeTest::test_ = nullptr;
+
+TEST_P(EstimatorSmokeTest, TrainsAndEstimatesSanely) {
+  std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(GetParam());
+  ASSERT_NE(estimator, nullptr);
+  EXPECT_EQ(estimator->Name(), GetParam());
+
+  TrainContext context;
+  context.training_workload = train_;
+  context.seed = 7;
+  estimator->Train(*table_, context);
+  EXPECT_GT(estimator->SizeBytes(), 0u);
+
+  // All selectivities must be valid probabilities.
+  for (size_t i = 0; i < test_->size(); ++i) {
+    const double sel = estimator->EstimateSelectivity(test_->queries[i]);
+    ASSERT_GE(sel, 0.0) << test_->queries[i].ToString(*table_);
+    ASSERT_LE(sel, 1.0) << test_->queries[i].ToString(*table_);
+  }
+
+  // Median q-error should be far better than random guessing.
+  const std::vector<double> errors =
+      EvaluateQErrors(*estimator, *test_, table_->num_rows());
+  const QuantileSummary summary = Summarize(errors);
+  EXPECT_LT(summary.p50, 30.0) << "median q-error too large";
+  EXPECT_GE(summary.p50, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, EstimatorSmokeTest,
+                         ::testing::ValuesIn(AllEstimatorNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace arecel

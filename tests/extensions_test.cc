@@ -1,0 +1,148 @@
+// Tests for the §7 research-opportunity extensions: the rule-guarding
+// wrapper and the hierarchical hybrid estimator.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/rules.h"
+#include "data/datasets.h"
+#include "estimators/extensions/guarded.h"
+#include "estimators/extensions/hybrid.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace arecel {
+namespace {
+
+struct SharedData {
+  Table table = GenerateSynthetic2D(20000, 0.5, 1.0, 300, 5);
+  Workload train = GenerateWorkload(table, 800, 6);
+  Workload test = GenerateWorkload(table, 200, 7);
+};
+
+const SharedData& Shared() {
+  static const SharedData* data = new SharedData();
+  return *data;
+}
+
+TEST(GuardedEstimatorTest, RestoresFidelityAndStability) {
+  GuardedEstimator guarded(MakeEstimator("lw-xgb"));
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  guarded.Train(Shared().table, context);
+
+  const auto rules = CheckLogicalRules(guarded, Shared().table);
+  for (const RuleResult& rule : rules) {
+    if (rule.rule == "stability" || rule.rule == "fidelity-a" ||
+        rule.rule == "fidelity-b") {
+      EXPECT_TRUE(rule.satisfied()) << rule.rule;
+    }
+  }
+}
+
+TEST(GuardedEstimatorTest, StabilizesNaru) {
+  GuardedEstimator guarded(MakeEstimator("naru"));
+  TrainContext context;
+  guarded.Train(Shared().table, context);
+  const Query& q = Shared().test.queries[0];
+  const double first = guarded.EstimateSelectivity(q);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(guarded.EstimateSelectivity(q), first);
+}
+
+TEST(GuardedEstimatorTest, AccuracyUnchangedOnRegularQueries) {
+  auto base = MakeEstimator("lw-xgb");
+  GuardedEstimator guarded(MakeEstimator("lw-xgb"));
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  base->Train(Shared().table, context);
+  guarded.Train(Shared().table, context);
+  // Same seeds, same model: estimates agree on queries without whole-domain
+  // or invalid predicates.
+  for (size_t i = 0; i < 50; ++i) {
+    const Query& q = Shared().test.queries[i];
+    bool plain = q.IsSatisfiable();
+    for (const Predicate& p : q.predicates) {
+      const Column& col =
+          Shared().table.column(static_cast<size_t>(p.column));
+      if (p.lo <= col.min() && p.hi >= col.max()) plain = false;
+    }
+    if (!plain) continue;
+    EXPECT_DOUBLE_EQ(guarded.EstimateSelectivity(q),
+                     base->EstimateSelectivity(q));
+  }
+}
+
+TEST(GuardedEstimatorTest, UpdateClearsCache) {
+  GuardedEstimator guarded(MakeEstimator("postgres"));
+  guarded.Train(Shared().table, {});
+  const Query& q = Shared().test.queries[1];
+  const double before = guarded.EstimateSelectivity(q);
+  const Table updated = AppendCorrelatedUpdate(Shared().table, 0.5, 9);
+  UpdateContext context;
+  context.old_row_count = Shared().table.num_rows();
+  guarded.Update(updated, context);
+  // Not asserted equal/unequal numerically (data changed), but the cache
+  // must not serve the old value verbatim if the distribution moved a lot.
+  const double after = guarded.EstimateSelectivity(q);
+  EXPECT_GE(after, 0.0);
+  EXPECT_LE(after, 1.0);
+  (void)before;
+}
+
+TEST(HybridEstimatorTest, RoutesByPredicateCount) {
+  HybridEstimator hybrid(MakeEstimator("postgres"), MakeEstimator("deepdb"));
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  hybrid.Train(Shared().table, context);
+
+  auto postgres = MakeEstimator("postgres");
+  postgres->Train(Shared().table, context);
+
+  Query single;
+  single.predicates.push_back({0, 10, 50});
+  // One predicate -> answered by the light (postgres) estimator.
+  EXPECT_DOUBLE_EQ(hybrid.EstimateSelectivity(single),
+                   postgres->EstimateSelectivity(single));
+}
+
+TEST(HybridEstimatorTest, FallsBackWhileHeavyIsStale) {
+  HybridEstimator hybrid(MakeEstimator("postgres"), MakeEstimator("deepdb"));
+  TrainContext context;
+  hybrid.Train(Shared().table, context);
+  ASSERT_TRUE(hybrid.heavy_ready());
+
+  auto postgres = MakeEstimator("postgres");
+  postgres->Train(Shared().table, context);
+
+  Query multi;
+  multi.predicates.push_back({0, 10, 150});
+  multi.predicates.push_back({1, 10, 150});
+  hybrid.MarkHeavyStale();
+  EXPECT_DOUBLE_EQ(hybrid.EstimateSelectivity(multi),
+                   postgres->EstimateSelectivity(multi));
+}
+
+TEST(HybridEstimatorTest, AccuracyAtLeastLightModel) {
+  HybridEstimator hybrid(MakeEstimator("postgres"), MakeEstimator("deepdb"));
+  auto light_only = MakeEstimator("postgres");
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  hybrid.Train(Shared().table, context);
+  light_only->Train(Shared().table, context);
+  const double hybrid_p95 = Percentile(
+      EvaluateQErrors(hybrid, Shared().test, Shared().table.num_rows()), 95);
+  const double light_p95 = Percentile(
+      EvaluateQErrors(*light_only, Shared().test,
+                      Shared().table.num_rows()),
+      95);
+  // The heavy model handles the hard multi-predicate queries; the hybrid
+  // must not be dramatically worse than the light model and should usually
+  // be much better on this correlated table.
+  EXPECT_LT(hybrid_p95, light_p95 * 1.2);
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,142 @@
+#include "ml/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+TEST(RegressionTreeTest, ConstantTargetSingleLeaf) {
+  std::vector<std::vector<float>> x{{0}, {1}, {2}, {3}};
+  std::vector<double> y{5, 5, 5, 5};
+  RegressionTree tree;
+  GbdtOptions options;
+  options.min_leaf_size = 1;
+  tree.Fit(x, y, options);
+  EXPECT_DOUBLE_EQ(tree.Predict({1.5f}), 5.0);
+}
+
+TEST(RegressionTreeTest, PerfectStepFunction) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i < 50 ? -1.0 : 1.0);
+  }
+  RegressionTree tree;
+  GbdtOptions options;
+  options.min_leaf_size = 5;
+  options.max_depth = 3;
+  tree.Fit(x, y, options);
+  EXPECT_DOUBLE_EQ(tree.Predict({10.0f}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({90.0f}), 1.0);
+}
+
+TEST(RegressionTreeTest, RespectsMinLeafSize) {
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i);
+  }
+  RegressionTree tree;
+  GbdtOptions options;
+  options.min_leaf_size = 10;
+  options.max_depth = 10;
+  tree.Fit(x, y, options);
+  // Only one split possible: 20 rows into two 10-row leaves -> 3 nodes.
+  EXPECT_LE(tree.num_nodes(), 3u);
+}
+
+TEST(RegressionTreeTest, SplitsOnInformativeFeature) {
+  Rng rng(1);
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const float noise = static_cast<float>(rng.Uniform(0, 1));
+    const float signal = static_cast<float>(rng.Uniform(0, 1));
+    x.push_back({noise, signal});
+    y.push_back(signal > 0.5f ? 10.0 : 0.0);
+  }
+  RegressionTree tree;
+  GbdtOptions options;
+  options.min_leaf_size = 20;
+  options.max_depth = 1;
+  tree.Fit(x, y, options);
+  EXPECT_NEAR(tree.Predict({0.9f, 0.9f}), 10.0, 1.5);
+  EXPECT_NEAR(tree.Predict({0.9f, 0.1f}), 0.0, 1.5);
+}
+
+TEST(GbdtTest, FitsNonlinearFunction) {
+  Rng rng(2);
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 1000; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-2, 2));
+    const float b = static_cast<float>(rng.Uniform(-2, 2));
+    x.push_back({a, b});
+    y.push_back(std::sin(a) + 0.5 * b * b);
+  }
+  Gbdt model;
+  GbdtOptions options;
+  options.num_trees = 80;
+  options.max_depth = 4;
+  options.min_leaf_size = 5;
+  options.learning_rate = 0.2;
+  model.Train(x, y, options);
+  double sse = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = model.Predict(x[i]) - y[i];
+    sse += d * d;
+  }
+  EXPECT_LT(sse / static_cast<double>(x.size()), 0.02);
+}
+
+TEST(GbdtTest, MoreTreesReduceTrainingError) {
+  Rng rng(3);
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.Uniform(0, 1));
+    x.push_back({a});
+    y.push_back(std::exp(2.0 * a));
+  }
+  auto sse_with_trees = [&](int trees) {
+    Gbdt model;
+    GbdtOptions options;
+    options.num_trees = trees;
+    options.min_leaf_size = 5;
+    model.Train(x, y, options);
+    double sse = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = model.Predict(x[i]) - y[i];
+      sse += d * d;
+    }
+    return sse;
+  };
+  EXPECT_LT(sse_with_trees(64), sse_with_trees(4));
+}
+
+TEST(GbdtTest, SizeGrowsWithTrees) {
+  Rng rng(4);
+  std::vector<std::vector<float>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(i % 7);
+  }
+  Gbdt small, large;
+  GbdtOptions options;
+  options.num_trees = 4;
+  small.Train(x, y, options);
+  options.num_trees = 32;
+  large.Train(x, y, options);
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes());
+  EXPECT_EQ(large.num_trees(), 32u);
+}
+
+}  // namespace
+}  // namespace arecel

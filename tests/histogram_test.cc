@@ -1,0 +1,108 @@
+#include "ml/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+TEST(EquiDepthHistogramTest, UniformDataFractions) {
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 100);
+  EquiDepthHistogram h;
+  h.Build(values, 50);
+  EXPECT_NEAR(h.EstimateRange(0, 49), 0.5, 0.03);
+  EXPECT_NEAR(h.EstimateRange(0, 99), 1.0, 1e-9);
+  EXPECT_NEAR(h.EstimateRange(25, 74), 0.5, 0.03);
+}
+
+TEST(EquiDepthHistogramTest, EmptyRangeIsZero) {
+  EquiDepthHistogram h;
+  h.Build({1, 2, 3}, 4);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(5, 2), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(10, 20), 0.0);
+}
+
+TEST(EquiDepthHistogramTest, HeavyValueZeroWidthBuckets) {
+  // 90% of rows share one value; buckets collapse but mass is preserved.
+  std::vector<double> values(900, 42.0);
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  EquiDepthHistogram h;
+  h.Build(values, 20);
+  EXPECT_NEAR(h.EstimateRange(42, 42), 0.9, 0.1);
+  EXPECT_NEAR(h.EstimateRange(-10, 200), 1.0, 1e-9);
+}
+
+TEST(EquiDepthHistogramTest, OpenRanges) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  EquiDepthHistogram h;
+  h.Build(values, 100);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(h.EstimateRange(-inf, 499), 0.5, 0.02);
+  EXPECT_NEAR(h.EstimateRange(500, inf), 0.5, 0.02);
+}
+
+TEST(ColumnStatsTest, EqualityOnMcv) {
+  std::vector<double> values(500, 7.0);
+  for (int i = 0; i < 500; ++i) values.push_back(i + 100);
+  ColumnStats stats;
+  ColumnStats::Options options;
+  options.num_mcvs = 4;
+  options.num_buckets = 16;
+  stats.Build(values, options);
+  EXPECT_NEAR(stats.EstimateEquality(7.0), 0.5, 1e-9);
+}
+
+TEST(ColumnStatsTest, EqualityOnNonMcvUsesDistinctSpread) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);  // all distinct.
+  ColumnStats stats;
+  ColumnStats::Options options;
+  options.num_mcvs = 10;
+  options.num_buckets = 50;
+  stats.Build(values, options);
+  // Non-MCV equality ~ (1 - mcv_mass) / (distinct - mcvs) = 0.99 / 990.
+  EXPECT_NEAR(stats.EstimateEquality(500.5), 0.99 / 990.0, 1e-6);
+}
+
+TEST(ColumnStatsTest, RangeCombinesMcvAndHistogram) {
+  std::vector<double> values(400, 50.0);  // heavy value inside the range.
+  for (int i = 0; i < 600; ++i) values.push_back(i % 100);
+  ColumnStats stats;
+  ColumnStats::Options options;
+  options.num_mcvs = 1;
+  options.num_buckets = 20;
+  stats.Build(values, options);
+  const double sel = stats.EstimateRange(40, 60);
+  // Exact answer: 400 (mcv) + 0.21 * 600 = 526 rows -> 0.526.
+  EXPECT_NEAR(sel, 0.526, 0.05);
+}
+
+TEST(ColumnStatsTest, FullRangeIsOne) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.Uniform(0, 1000));
+  ColumnStats stats;
+  stats.Build(values, {});
+  EXPECT_NEAR(stats.EstimateRange(-1e18, 1e18), 1.0, 1e-9);
+}
+
+TEST(ColumnStatsTest, DistinctCount) {
+  ColumnStats stats;
+  stats.Build({1, 1, 2, 3, 3, 3}, {});
+  EXPECT_EQ(stats.distinct_count(), 3u);
+}
+
+TEST(ColumnStatsTest, EmptyInput) {
+  ColumnStats stats;
+  stats.Build({}, {});
+  EXPECT_DOUBLE_EQ(stats.EstimateRange(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateEquality(0), 0.0);
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,108 @@
+#include "data/io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "workload/generator.h"
+
+namespace arecel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TableIoTest, RoundTrip) {
+  DatasetSpec spec = CensusSpec();
+  spec.rows = 2000;
+  const Table original = GenerateDataset(spec, 7);
+  const std::string path = TempPath("table_roundtrip.bin");
+  ASSERT_TRUE(SaveTable(original, path));
+
+  Table loaded;
+  ASSERT_TRUE(LoadTable(path, &loaded));
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  ASSERT_EQ(loaded.num_cols(), original.num_cols());
+  EXPECT_EQ(loaded.name(), original.name());
+  for (size_t c = 0; c < original.num_cols(); ++c) {
+    EXPECT_EQ(loaded.column(c).name, original.column(c).name);
+    EXPECT_EQ(loaded.column(c).categorical, original.column(c).categorical);
+    EXPECT_EQ(loaded.column(c).values, original.column(c).values);
+    // Finalize() ran on load: domains/codes rebuilt.
+    EXPECT_EQ(loaded.column(c).domain, original.column(c).domain);
+    EXPECT_EQ(loaded.column(c).codes, original.column(c).codes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a table", f);
+  std::fclose(f);
+  Table loaded;
+  EXPECT_FALSE(LoadTable(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RejectsMissingFile) {
+  Table loaded;
+  EXPECT_FALSE(LoadTable(TempPath("does_not_exist.bin"), &loaded));
+}
+
+TEST(WorkloadIoTest, RoundTripPreservesLabels) {
+  const Table table = GenerateSynthetic2D(3000, 0.5, 0.5, 50, 3);
+  const Workload original = GenerateWorkload(table, 200, 4);
+  const std::string path = TempPath("workload_roundtrip.bin");
+  ASSERT_TRUE(SaveWorkload(original, path));
+
+  Workload loaded;
+  ASSERT_TRUE(LoadWorkload(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.selectivities[i], original.selectivities[i]);
+    ASSERT_EQ(loaded.queries[i].predicates.size(),
+              original.queries[i].predicates.size());
+    for (size_t p = 0; p < original.queries[i].predicates.size(); ++p) {
+      EXPECT_EQ(loaded.queries[i].predicates[p].column,
+                original.queries[i].predicates[p].column);
+      EXPECT_EQ(loaded.queries[i].predicates[p].lo,
+                original.queries[i].predicates[p].lo);
+      EXPECT_EQ(loaded.queries[i].predicates[p].hi,
+                original.queries[i].predicates[p].hi);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, RoundTripPreservesOpenRanges) {
+  Workload original;
+  Query q;
+  q.predicates.push_back(
+      {2, -std::numeric_limits<double>::infinity(), 5.0});
+  original.queries.push_back(q);
+  original.selectivities.push_back(0.25);
+  const std::string path = TempPath("workload_inf.bin");
+  ASSERT_TRUE(SaveWorkload(original, path));
+  Workload loaded;
+  ASSERT_TRUE(LoadWorkload(path, &loaded));
+  EXPECT_TRUE(std::isinf(loaded.queries[0].predicates[0].lo));
+  EXPECT_DOUBLE_EQ(loaded.queries[0].predicates[0].hi, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, WrongMagicRejected) {
+  const Table table = GenerateSynthetic2D(1000, 0.5, 0.5, 20, 5);
+  const std::string path = TempPath("table_as_workload.bin");
+  ASSERT_TRUE(SaveTable(table, path));
+  Workload loaded;
+  EXPECT_FALSE(LoadWorkload(path, &loaded));  // table magic != workload.
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,61 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i)
+    points.push_back({rng.Gaussian() * 0.1, rng.Gaussian() * 0.1});
+  for (int i = 0; i < 200; ++i)
+    points.push_back({5 + rng.Gaussian() * 0.1, 5 + rng.Gaussian() * 0.1});
+  const KMeansResult result = KMeans(points, 2, 30, 7);
+  ASSERT_EQ(result.centers.size(), 2u);
+  // All points of each blob share one assignment.
+  const int first_blob = result.assignments[0];
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(result.assignments[static_cast<size_t>(i)], first_blob);
+  const int second_blob = result.assignments[200];
+  EXPECT_NE(first_blob, second_blob);
+  for (int i = 200; i < 400; ++i)
+    EXPECT_EQ(result.assignments[static_cast<size_t>(i)], second_blob);
+  EXPECT_EQ(result.cluster_sizes[static_cast<size_t>(first_blob)], 200u);
+}
+
+TEST(KMeansTest, CentersNearBlobMeans) {
+  Rng rng(2);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 300; ++i) points.push_back({rng.Gaussian() * 0.2});
+  for (int i = 0; i < 300; ++i) points.push_back({10 + rng.Gaussian() * 0.2});
+  const KMeansResult result = KMeans(points, 2, 30, 8);
+  double lo = std::min(result.centers[0][0], result.centers[1][0]);
+  double hi = std::max(result.centers[0][0], result.centers[1][0]);
+  EXPECT_NEAR(lo, 0.0, 0.2);
+  EXPECT_NEAR(hi, 10.0, 0.2);
+}
+
+TEST(KMeansTest, KLargerThanPointsClamps) {
+  std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  const KMeansResult result = KMeans(points, 5, 10, 9);
+  EXPECT_EQ(result.centers.size(), 2u);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  std::vector<std::vector<double>> points(50, {3.0, 3.0});
+  const KMeansResult result = KMeans(points, 2, 10, 10);
+  EXPECT_EQ(result.assignments.size(), 50u);
+}
+
+TEST(NearestCenterTest, PicksClosest) {
+  const std::vector<std::vector<double>> centers{{0, 0}, {10, 10}};
+  EXPECT_EQ(NearestCenter(centers, {1, 1}), 0);
+  EXPECT_EQ(NearestCenter(centers, {9, 9}), 1);
+}
+
+}  // namespace
+}  // namespace arecel

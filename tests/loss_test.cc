@@ -1,0 +1,51 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace arecel {
+namespace {
+
+TEST(MseLogLossTest, ValueAndGradient) {
+  const LossValueGrad r = MseLogLoss(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.loss, 4.0);
+  EXPECT_DOUBLE_EQ(r.dloss_dz, 4.0);
+}
+
+TEST(MseLogLossTest, ZeroAtTarget) {
+  const LossValueGrad r = MseLogLoss(-2.5, -2.5);
+  EXPECT_DOUBLE_EQ(r.loss, 0.0);
+  EXPECT_DOUBLE_EQ(r.dloss_dz, 0.0);
+}
+
+TEST(QErrorLossTest, SymmetricValue) {
+  // exp(|z-t|) is symmetric in over/underestimation — the q-error property.
+  EXPECT_DOUBLE_EQ(QErrorLoss(2.0, 0.0).loss, QErrorLoss(-2.0, 0.0).loss);
+}
+
+TEST(QErrorLossTest, GradientSignFollowsError) {
+  EXPECT_GT(QErrorLoss(1.0, 0.0).dloss_dz, 0.0);
+  EXPECT_LT(QErrorLoss(-1.0, 0.0).dloss_dz, 0.0);
+}
+
+TEST(QErrorLossTest, PerfectEstimateCostsOne) {
+  // q-error of a perfect estimate is 1 (not 0), matching the metric.
+  EXPECT_DOUBLE_EQ(QErrorLoss(5.0, 5.0).loss, 1.0);
+}
+
+TEST(QErrorLossTest, ClipBoundsGradient) {
+  const LossValueGrad r = QErrorLoss(100.0, 0.0, 8.0);
+  EXPECT_DOUBLE_EQ(r.loss, std::exp(8.0));
+  EXPECT_DOUBLE_EQ(r.dloss_dz, std::exp(8.0));
+}
+
+TEST(QErrorLossTest, NumericalGradientMatches) {
+  const double z = 1.3, t = 0.4, eps = 1e-6;
+  const double numeric =
+      (QErrorLoss(z + eps, t).loss - QErrorLoss(z - eps, t).loss) / (2 * eps);
+  EXPECT_NEAR(QErrorLoss(z, t).dloss_dz, numeric, 1e-5);
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,117 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+  return m;
+}
+
+Matrix NaiveMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0f);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < b.cols(); ++j)
+      for (size_t k = 0; k < a.cols(); ++k)
+        out.At(i, j) += a.At(i, k) * b.At(k, j);
+  return out;
+}
+
+void ExpectNear(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(a.data()[i], b.data()[i], 1e-3f);
+}
+
+TEST(MatrixTest, MatMulMatchesNaive) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(7, 5, rng);
+  const Matrix b = RandomMatrix(5, 9, rng);
+  Matrix out;
+  MatMul(a, b, &out);
+  ExpectNear(out, NaiveMul(a, b));
+}
+
+TEST(MatrixTest, MatMulLargeTriggersParallelPath) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(200, 150, rng);
+  const Matrix b = RandomMatrix(150, 180, rng);
+  Matrix out;
+  MatMul(a, b, &out);  // 200*150*180 > parallel threshold.
+  ExpectNear(out, NaiveMul(a, b));
+}
+
+TEST(MatrixTest, MatMulBTMatchesNaive) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  const Matrix b = RandomMatrix(8, 4, rng);  // interpreted as B^T: 4x8.
+  Matrix bt(4, 8);
+  for (size_t i = 0; i < 8; ++i)
+    for (size_t j = 0; j < 4; ++j) bt.At(j, i) = b.At(i, j);
+  Matrix out;
+  MatMulBT(a, b, &out);
+  ExpectNear(out, NaiveMul(a, bt));
+}
+
+TEST(MatrixTest, MatMulATMatchesNaive) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(5, 6, rng);  // A^T is 6x5.
+  const Matrix b = RandomMatrix(5, 7, rng);
+  Matrix at(6, 5);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 6; ++j) at.At(j, i) = a.At(i, j);
+  Matrix out;
+  MatMulAT(a, b, &out);
+  ExpectNear(out, NaiveMul(at, b));
+}
+
+TEST(MatrixTest, MatMulATLargeTriggersParallelPath) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(400, 80, rng);
+  const Matrix b = RandomMatrix(400, 150, rng);
+  Matrix at(80, 400);
+  for (size_t i = 0; i < 400; ++i)
+    for (size_t j = 0; j < 80; ++j) at.At(j, i) = a.At(i, j);
+  Matrix out;
+  MatMulAT(a, b, &out);
+  ExpectNear(out, NaiveMul(at, b));
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m(2, 3, 1.0f);
+  AddRowBroadcast(&m, {1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 4.0f);
+}
+
+TEST(MatrixTest, ColumnSums) {
+  Matrix m(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    m.At(r, 0) = static_cast<float>(r);
+    m.At(r, 1) = 1.0f;
+  }
+  std::vector<float> sums;
+  ColumnSums(m, &sums);
+  EXPECT_FLOAT_EQ(sums[0], 3.0f);
+  EXPECT_FLOAT_EQ(sums[1], 3.0f);
+}
+
+TEST(MatrixTest, FillAndResize) {
+  Matrix m(2, 2);
+  m.Fill(7.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 7.0f);
+  m.Resize(4, 5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.size(), 20u);
+}
+
+}  // namespace
+}  // namespace arecel

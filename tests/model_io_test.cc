@@ -1,0 +1,124 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/archive.h"
+#include "workload/generator.h"
+
+namespace arecel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct SharedData {
+  Table table = GenerateSynthetic2D(10000, 0.7, 0.8, 80, 9);
+  Workload train = GenerateWorkload(table, 600, 10);
+  Workload probes = GenerateWorkload(table, 100, 11);
+};
+
+const SharedData& Shared() {
+  static const SharedData* data = new SharedData();
+  return *data;
+}
+
+TEST(ByteArchiveTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.U32(7);
+  w.I32(-3);
+  w.F64(2.5);
+  w.Str("hello");
+  w.Doubles({1.0, 2.0});
+  ByteReader r(w.buffer());
+  uint32_t u = 0;
+  int32_t i = 0;
+  double d = 0;
+  std::string s;
+  std::vector<double> v;
+  ASSERT_TRUE(r.U32(&u));
+  ASSERT_TRUE(r.I32(&i));
+  ASSERT_TRUE(r.F64(&d));
+  ASSERT_TRUE(r.Str(&s));
+  ASSERT_TRUE(r.Doubles(&v));
+  EXPECT_EQ(u, 7u);
+  EXPECT_EQ(i, -3);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteArchiveTest, TruncatedReadFails) {
+  ByteWriter w;
+  w.U64(1000);  // claims a 1000-byte string follows; none does.
+  ByteReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+}
+
+// Save -> load into a fresh instance -> identical estimates.
+class ModelRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelRoundTripTest, EstimatesSurviveRoundTrip) {
+  const std::string name = GetParam();
+  auto trained = MakeEstimator(name);
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  trained->Train(Shared().table, context);
+
+  const std::string path = TempPath("model_" + name + ".bin");
+  ASSERT_TRUE(SaveEstimator(*trained, path));
+
+  auto loaded = MakeEstimator(name);
+  ASSERT_TRUE(LoadEstimator(loaded.get(), path));
+
+  for (const Query& q : Shared().probes.queries) {
+    EXPECT_DOUBLE_EQ(loaded->EstimateSelectivity(q),
+                     trained->EstimateSelectivity(q));
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Persistable, ModelRoundTripTest,
+                         ::testing::Values("postgres", "mysql", "dbms-a",
+                                           "sampling", "lw-xgb"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(ModelIoTest, UnsupportedEstimatorReturnsFalse) {
+  auto naru = MakeEstimator("naru");  // no persistence implemented.
+  EXPECT_FALSE(SaveEstimator(*naru, TempPath("naru.bin")));
+}
+
+TEST(ModelIoTest, KindMismatchRejected) {
+  auto postgres = MakeEstimator("postgres");
+  postgres->Train(Shared().table, {});
+  const std::string path = TempPath("kind_mismatch.bin");
+  ASSERT_TRUE(SaveEstimator(*postgres, path));
+  auto mysql = MakeEstimator("mysql");
+  EXPECT_FALSE(LoadEstimator(mysql.get(), path));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, CorruptFileRejected) {
+  const std::string path = TempPath("corrupt_model.bin");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("definitely not a model", f);
+  std::fclose(f);
+  auto postgres = MakeEstimator("postgres");
+  EXPECT_FALSE(LoadEstimator(postgres.get(), path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,172 @@
+// Parameterized property tests: invariants every estimator must satisfy on
+// arbitrary queries (probability bounds, finiteness, empty-range handling,
+// update survival), swept across the full registry including the extended
+// estimators; plus generator-level property sweeps over the synthetic
+// micro-benchmark knobs.
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace arecel {
+namespace {
+
+// ---------- Estimator invariants over the whole registry ----------
+
+class EstimatorInvariantsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(GenerateSynthetic2D(6000, 0.8, 0.7, 60, 17));
+    train_ = new Workload(GenerateWorkload(*table_, 500, 18));
+    probes_ = new Workload(GenerateWorkload(*table_, 120, 19));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    delete train_;
+    delete probes_;
+  }
+  static Table* table_;
+  static Workload* train_;
+  static Workload* probes_;
+};
+
+Table* EstimatorInvariantsTest::table_ = nullptr;
+Workload* EstimatorInvariantsTest::train_ = nullptr;
+Workload* EstimatorInvariantsTest::probes_ = nullptr;
+
+TEST_P(EstimatorInvariantsTest, ProbabilityBoundsAndFiniteness) {
+  auto estimator = MakeEstimator(GetParam());
+  TrainContext context;
+  context.training_workload = train_;
+  estimator->Train(*table_, context);
+
+  for (const Query& q : probes_->queries) {
+    const double sel = estimator->EstimateSelectivity(q);
+    ASSERT_TRUE(std::isfinite(sel));
+    ASSERT_GE(sel, 0.0);
+    ASSERT_LE(sel, 1.0);
+  }
+
+  // Open ranges on both sides.
+  const double inf = std::numeric_limits<double>::infinity();
+  Query open;
+  open.predicates.push_back({0, -inf, 30.0});
+  open.predicates.push_back({1, 10.0, inf});
+  const double sel = estimator->EstimateSelectivity(open);
+  ASSERT_TRUE(std::isfinite(sel));
+  ASSERT_GE(sel, 0.0);
+  ASSERT_LE(sel, 1.0);
+}
+
+TEST_P(EstimatorInvariantsTest, SurvivesUpdateAfterAppend) {
+  auto estimator = MakeEstimator(GetParam());
+  TrainContext context;
+  context.training_workload = train_;
+  estimator->Train(*table_, context);
+
+  const Table updated = AppendCorrelatedUpdate(*table_, 0.25, 20);
+  Workload update_workload = GenerateWorkload(updated, 300, 21);
+  UpdateContext update_context;
+  update_context.old_row_count = table_->num_rows();
+  update_context.update_workload = &update_workload;
+  estimator->Update(updated, update_context);
+
+  Query q;
+  q.predicates.push_back({0, 5.0, 40.0});
+  const double sel = estimator->EstimateSelectivity(q);
+  ASSERT_TRUE(std::isfinite(sel));
+  ASSERT_GE(sel, 0.0);
+  ASSERT_LE(sel, 1.0);
+}
+
+TEST_P(EstimatorInvariantsTest, ReportsPositiveModelSize) {
+  auto estimator = MakeEstimator(GetParam());
+  TrainContext context;
+  context.training_workload = train_;
+  estimator->Train(*table_, context);
+  EXPECT_GT(estimator->SizeBytes(), 0u);
+}
+
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> names = AllEstimatorNames();
+  for (const auto& name : ExtendedEstimatorNames()) names.push_back(name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, EstimatorInvariantsTest,
+                         ::testing::ValuesIn(AllRegistryNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---------- Synthetic generator property sweeps ----------
+
+class SyntheticSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(SyntheticSweepTest, GeneratorPropertiesHold) {
+  const auto [skew, correlation, domain] = GetParam();
+  const Table t = GenerateSynthetic2D(8000, skew, correlation, domain, 23);
+  ASSERT_EQ(t.num_cols(), 2u);
+  // Domain bound holds.
+  EXPECT_LE(t.column(0).domain.size(), static_cast<size_t>(domain));
+  EXPECT_LE(t.column(1).domain.size(), static_cast<size_t>(domain));
+  // Correlation knob is monotone in the observed match fraction.
+  size_t matches = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r)
+    matches += t.column(0).values[r] == t.column(1).values[r] ? 1 : 0;
+  const double match_fraction =
+      static_cast<double>(matches) / static_cast<double>(t.num_rows());
+  // P(match) = c + (1-c)/domain.
+  const double expected =
+      correlation + (1.0 - correlation) / static_cast<double>(domain);
+  EXPECT_NEAR(match_fraction, expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SyntheticSweepTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.0),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(10, 1000)));
+
+// ---------- Workload generator option sweeps ----------
+
+class WorkloadOptionSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WorkloadOptionSweepTest, OptionsShapeTheWorkload) {
+  const auto [ood, uniform_width] = GetParam();
+  const Table t = GenerateSynthetic2D(5000, 0.5, 0.5, 100, 29);
+  WorkloadOptions options;
+  options.ood_probability = ood;
+  options.uniform_width_probability = uniform_width;
+  const Workload w = GenerateWorkload(t, 400, 31, options);
+  ASSERT_EQ(w.size(), 400u);
+  for (double s : w.selectivities) {
+    ASSERT_GE(s, 0.0);
+    ASSERT_LE(s, 1.0);
+  }
+  // All-OOD workloads produce more empty results than all-data-centered.
+  if (ood == 1.0) {
+    int zeros = 0;
+    for (double s : w.selectivities) zeros += s == 0.0 ? 1 : 0;
+    EXPECT_GT(zeros, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WorkloadOptionSweepTest,
+                         ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                                            ::testing::Values(0.0, 1.0)));
+
+}  // namespace
+}  // namespace arecel

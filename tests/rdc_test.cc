@@ -1,0 +1,95 @@
+#include "ml/rdc.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+TEST(RdcTest, IndependentColumnsScoreLow) {
+  Rng rng(1);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  EXPECT_LT(Rdc(x, y), 0.25);
+}
+
+TEST(RdcTest, IdenticalColumnsScoreHigh) {
+  Rng rng(2);
+  std::vector<double> x(2000);
+  for (double& v : x) v = rng.Uniform();
+  EXPECT_GT(Rdc(x, x), 0.9);
+}
+
+TEST(RdcTest, MonotoneNonlinearDependenceScoresHigh) {
+  Rng rng(3);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform();
+    y[i] = std::exp(3.0 * x[i]);  // nonlinear but deterministic.
+  }
+  EXPECT_GT(Rdc(x, y), 0.9);
+}
+
+TEST(RdcTest, NonMonotoneDependenceDetected) {
+  // Pearson correlation of x and (x-0.5)^2 is ~0; RDC must still fire.
+  Rng rng(4);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Uniform();
+    y[i] = (x[i] - 0.5) * (x[i] - 0.5);
+  }
+  EXPECT_GT(Rdc(x, y), 0.6);
+}
+
+TEST(RdcTest, ProbabilisticCopyScalesWithCorrelation) {
+  // The dataset generator's dependence pattern: y = x w.p. c else fresh.
+  auto rdc_for = [](double c) {
+    Rng rng(5);
+    std::vector<double> x(3000), y(3000);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::floor(rng.Uniform() * 100);
+      y[i] = rng.Bernoulli(c) ? x[i] : std::floor(rng.Uniform() * 100);
+    }
+    return Rdc(x, y);
+  };
+  const double low = rdc_for(0.1);
+  const double mid = rdc_for(0.5);
+  const double high = rdc_for(0.95);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+  EXPECT_GT(high, 0.5);
+}
+
+TEST(CcaTest, PerfectlyCorrelatedFeatures) {
+  Rng rng(6);
+  std::vector<std::vector<double>> x(500, std::vector<double>(2));
+  std::vector<std::vector<double>> y(500, std::vector<double>(2));
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double a = rng.Gaussian();
+    const double b = rng.Gaussian();
+    x[i] = {a, b};
+    y[i] = {2.0 * a + 1.0, b - a};  // linear image of x.
+  }
+  EXPECT_GT(LargestCanonicalCorrelation(x, y, 7), 0.95);
+}
+
+TEST(CcaTest, IndependentFeaturesNearZero) {
+  Rng rng(8);
+  std::vector<std::vector<double>> x(2000, std::vector<double>(2));
+  std::vector<std::vector<double>> y(2000, std::vector<double>(2));
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = {rng.Gaussian(), rng.Gaussian()};
+    y[i] = {rng.Gaussian(), rng.Gaussian()};
+  }
+  EXPECT_LT(LargestCanonicalCorrelation(x, y, 9), 0.2);
+}
+
+}  // namespace
+}  // namespace arecel

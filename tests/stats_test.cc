@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace arecel {
+namespace {
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // numpy.percentile([1,2,3,4], 50) == 2.5
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 9.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7}, 99), 7.0);
+}
+
+TEST(SummarizeTest, MatchesIndividualPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  const QuantileSummary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(v, 50));
+  EXPECT_DOUBLE_EQ(s.p95, Percentile(v, 95));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(v, 99));
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(MeanTest, Basic) { EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5); }
+
+TEST(GeometricMeanTest, Basic) {
+  EXPECT_NEAR(GeometricMean({1, 100}), 10.0, 1e-9);
+}
+
+TEST(VarianceTest, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({5, 5, 5}), 0.0);
+}
+
+TEST(StdDevTest, Basic) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(RanksTest, TiesShareAverageRank) {
+  const std::vector<double> r = Ranks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(TopFractionTest, ReturnsLargestSorted) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const std::vector<double> top = TopFraction(v, 0.05);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_DOUBLE_EQ(top.front(), 96.0);
+  EXPECT_DOUBLE_EQ(top.back(), 100.0);
+}
+
+TEST(TopFractionTest, AtLeastOne) {
+  EXPECT_EQ(TopFraction({1, 2, 3}, 0.01).size(), 1u);
+}
+
+TEST(BoxTest, Quartiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const BoxStats b = Box(v);
+  EXPECT_DOUBLE_EQ(b.min, 0.0);
+  EXPECT_DOUBLE_EQ(b.q1, 25.0);
+  EXPECT_DOUBLE_EQ(b.median, 50.0);
+  EXPECT_DOUBLE_EQ(b.q3, 75.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,109 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "util/stats.h"
+
+namespace arecel {
+namespace {
+
+Table MakeSmallTable() {
+  Table t("t");
+  t.AddColumn("a", {3, 1, 2, 3, 1}, false);
+  t.AddColumn("b", {0, 1, 0, 1, 0}, true);
+  t.Finalize();
+  return t;
+}
+
+TEST(TableTest, BasicShape) {
+  const Table t = MakeSmallTable();
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.name(), "t");
+}
+
+TEST(TableTest, DomainSortedDistinct) {
+  const Table t = MakeSmallTable();
+  const Column& a = t.column(0);
+  ASSERT_EQ(a.domain.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.domain[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.domain[1], 2.0);
+  EXPECT_DOUBLE_EQ(a.domain[2], 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(TableTest, CodesMatchDomainIndices) {
+  const Table t = MakeSmallTable();
+  const Column& a = t.column(0);
+  for (size_t r = 0; r < t.num_rows(); ++r)
+    EXPECT_DOUBLE_EQ(a.domain[static_cast<size_t>(a.codes[r])], a.values[r]);
+}
+
+TEST(TableTest, BoundCodes) {
+  const Table t = MakeSmallTable();
+  const Column& a = t.column(0);
+  EXPECT_EQ(a.LowerBoundCode(1.5), 1);
+  EXPECT_EQ(a.LowerBoundCode(2.0), 1);
+  EXPECT_EQ(a.UpperBoundCode(2.5), 1);
+  EXPECT_EQ(a.UpperBoundCode(0.5), -1);
+  EXPECT_EQ(a.LowerBoundCode(5.0), 3);  // == domain size.
+}
+
+TEST(TableTest, HeadCopiesPrefix) {
+  const Table t = MakeSmallTable();
+  const Table h = t.Head(3);
+  EXPECT_EQ(h.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(h.column(0).values[2], 2.0);
+}
+
+TEST(TableTest, SampleRowsWithoutReplacement) {
+  const Table t = MakeSmallTable();
+  const Table s = t.SampleRows(5, 1);
+  EXPECT_EQ(s.num_rows(), 5u);
+  // All original values present exactly once (full sample).
+  std::vector<double> vals = s.column(0).values;
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<double>{1, 1, 2, 3, 3}));
+}
+
+TEST(TableTest, AppendRowsAndRefinalize) {
+  Table t = MakeSmallTable();
+  const Table other = MakeSmallTable();
+  t.AppendRows(other);
+  t.Finalize();
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.column(0).codes.size(), 10u);
+}
+
+TEST(TableTest, SortedColumnsCopyMaximizesSpearman) {
+  DatasetSpec spec = CensusSpec();
+  spec.rows = 2000;
+  const Table t = GenerateDataset(spec, 3);
+  const Table sorted = t.SortedColumnsCopy();
+  // Sorted columns are comonotone; rank correlation is near-maximal (ties
+  // on skewed categorical columns keep it slightly below 1).
+  const double rho = SpearmanCorrelation(sorted.column(8).values,
+                                         sorted.column(9).values);
+  EXPECT_GT(rho, 0.9);
+  EXPECT_GT(SpearmanCorrelation(sorted.column(0).values,
+                                sorted.column(5).values),
+            0.7);
+}
+
+TEST(TableTest, Log10JointDomain) {
+  const Table t = MakeSmallTable();
+  EXPECT_NEAR(t.Log10JointDomain(), std::log10(3.0) + std::log10(2.0), 1e-12);
+}
+
+TEST(TableTest, DataSizeBytes) {
+  const Table t = MakeSmallTable();
+  EXPECT_EQ(t.DataSizeBytes(), 5u * 2u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,139 @@
+#include "ml/transformer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/autoregressive.h"
+#include "util/random.h"
+
+namespace arecel {
+namespace {
+
+TransformerBackboneOptions SmallOptions() {
+  TransformerBackboneOptions options;
+  options.d_model = 16;
+  options.ffn_hidden = 32;
+  options.num_blocks = 2;
+  options.seed = 1;
+  return options;
+}
+
+std::vector<double> SoftmaxRow(const Matrix& logits, size_t row) {
+  std::vector<double> p(logits.cols());
+  double max_v = logits.At(row, 0);
+  for (size_t t = 1; t < logits.cols(); ++t)
+    max_v = std::max<double>(max_v, logits.At(row, t));
+  double sum = 0.0;
+  for (size_t t = 0; t < logits.cols(); ++t) {
+    p[t] = std::exp(logits.At(row, t) - max_v);
+    sum += p[t];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+TEST(TransformerTest, Shapes) {
+  AutoregressiveTransformer model({4, 8, 3}, SmallOptions());
+  EXPECT_EQ(model.num_columns(), 3u);
+  EXPECT_EQ(model.vocab_size(1), 8);
+  EXPECT_GT(model.ParamCount(), 0u);
+}
+
+// The causal mask must make column i's logits independent of columns >= i.
+TEST(TransformerTest, AutoregressiveProperty) {
+  AutoregressiveTransformer model({4, 8, 3}, SmallOptions());
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int32_t> codes_a = {
+        static_cast<int32_t>(rng.UniformInt(uint64_t{4})),
+        static_cast<int32_t>(rng.UniformInt(uint64_t{8})),
+        static_cast<int32_t>(rng.UniformInt(uint64_t{3}))};
+    for (size_t col = 0; col < 3; ++col) {
+      std::vector<int32_t> codes_b = codes_a;
+      const int vocabs[3] = {4, 8, 3};
+      for (size_t j = col; j < 3; ++j)
+        codes_b[j] = static_cast<int32_t>(
+            rng.UniformInt(static_cast<uint64_t>(vocabs[j])));
+      std::vector<int32_t> both = codes_a;
+      both.insert(both.end(), codes_b.begin(), codes_b.end());
+      Matrix logits;
+      model.ColumnLogits(both, 2, col, &logits);
+      for (size_t t = 0; t < logits.cols(); ++t) {
+        ASSERT_NEAR(logits.At(0, t), logits.At(1, t), 1e-4f)
+            << "column " << col << " leaked later columns";
+      }
+    }
+  }
+}
+
+TEST(TransformerTest, TrainStepReducesLoss) {
+  AutoregressiveTransformer model({6, 6}, SmallOptions());
+  Rng rng(3);
+  const size_t batch = 64;
+  std::vector<int32_t> codes(batch * 2);
+  auto fill = [&] {
+    for (size_t b = 0; b < batch; ++b) {
+      const int32_t x = static_cast<int32_t>(rng.UniformInt(uint64_t{6}));
+      codes[b * 2] = x;
+      codes[b * 2 + 1] = x;  // functional dependency.
+    }
+  };
+  fill();
+  const float initial = model.TrainStep(codes, batch, 2e-3f);
+  float final_loss = initial;
+  for (int step = 0; step < 400; ++step) {
+    fill();
+    final_loss = model.TrainStep(codes, batch, 2e-3f);
+  }
+  EXPECT_LT(final_loss, initial * 0.8f);
+  // NLL floor is H(x0) = log 6 ~ 1.79 (x1 deterministic given x0).
+  EXPECT_LT(final_loss, 2.3f);
+}
+
+TEST(TransformerTest, LearnsConditionalDependency) {
+  AutoregressiveTransformer model({5, 5}, SmallOptions());
+  Rng rng(4);
+  const size_t batch = 64;
+  std::vector<int32_t> codes(batch * 2);
+  for (int step = 0; step < 600; ++step) {
+    for (size_t b = 0; b < batch; ++b) {
+      const int32_t x = static_cast<int32_t>(rng.UniformInt(uint64_t{5}));
+      codes[b * 2] = x;
+      codes[b * 2 + 1] = static_cast<int32_t>((x + 1) % 5);
+    }
+    model.TrainStep(codes, batch, 2e-3f);
+  }
+  // P(x1 | x0 = 3) must concentrate on 4.
+  std::vector<int32_t> probe = {3, 0};
+  Matrix logits;
+  model.ColumnLogits(probe, 1, 1, &logits);
+  const std::vector<double> p = SoftmaxRow(logits, 0);
+  size_t argmax = 0;
+  for (size_t t = 1; t < 5; ++t)
+    if (p[t] > p[argmax]) argmax = t;
+  EXPECT_EQ(argmax, 4u);
+  EXPECT_GT(p[4], 0.5);
+}
+
+TEST(TransformerTest, FirstColumnLearnsMarginal) {
+  AutoregressiveTransformer model({4}, SmallOptions());
+  Rng rng(5);
+  const size_t batch = 64;
+  std::vector<int32_t> codes(batch);
+  for (int step = 0; step < 300; ++step) {
+    for (size_t b = 0; b < batch; ++b)
+      codes[b] = rng.Bernoulli(0.7) ? 2 : static_cast<int32_t>(
+                                              rng.UniformInt(uint64_t{4}));
+    model.TrainStep(codes, batch, 3e-3f);
+  }
+  std::vector<int32_t> probe = {0};
+  Matrix logits;
+  model.ColumnLogits(probe, 1, 0, &logits);
+  const std::vector<double> p = SoftmaxRow(logits, 0);
+  // True marginal of value 2 is 0.7 + 0.3/4 = 0.775.
+  EXPECT_NEAR(p[2], 0.775, 0.12);
+}
+
+}  // namespace
+}  // namespace arecel

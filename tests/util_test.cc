@@ -1,0 +1,78 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace arecel {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(AsciiTableTest, ShortRowsRenderEmptyCells) {
+  AsciiTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(FormatCompactTest, PlainAndScientific) {
+  EXPECT_EQ(FormatCompact(1.5), "1.50");
+  EXPECT_EQ(FormatCompact(123.4), "123");
+  EXPECT_EQ(FormatCompact(200000.0), "2.0e+05");
+  EXPECT_EQ(FormatCompact(0.0), "0.00");
+  EXPECT_EQ(FormatCompact(0.0001), "1.0e-04");
+}
+
+TEST(FormatFixedTest, Digits) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunkedTest, ChunksPartitionRange) {
+  std::vector<int> hits(777, 0);
+  ParallelForChunked(0, hits.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelWorkerCountTest, AtLeastOne) {
+  EXPECT_GE(ParallelWorkerCount(), 1);
+  EXPECT_LE(ParallelWorkerCount(), 16);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer timer;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GT(timer.ElapsedMicros(), timer.ElapsedSeconds());
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace arecel
