@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backbones.dir/bench_ablation_backbones.cc.o"
+  "CMakeFiles/bench_ablation_backbones.dir/bench_ablation_backbones.cc.o.d"
+  "CMakeFiles/bench_ablation_backbones.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_backbones.dir/bench_common.cc.o.d"
+  "bench_ablation_backbones"
+  "bench_ablation_backbones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backbones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deepdb.dir/bench_ablation_deepdb.cc.o"
+  "CMakeFiles/bench_ablation_deepdb.dir/bench_ablation_deepdb.cc.o.d"
+  "CMakeFiles/bench_ablation_deepdb.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_deepdb.dir/bench_common.cc.o.d"
+  "bench_ablation_deepdb"
+  "bench_ablation_deepdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deepdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naru.dir/bench_ablation_naru.cc.o"
+  "CMakeFiles/bench_ablation_naru.dir/bench_ablation_naru.cc.o.d"
+  "CMakeFiles/bench_ablation_naru.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_naru.dir/bench_common.cc.o.d"
+  "bench_ablation_naru"
+  "bench_ablation_naru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure10_domain.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure10_domain.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure10_domain.dir/bench_figure10_domain.cc.o"
+  "CMakeFiles/bench_figure10_domain.dir/bench_figure10_domain.cc.o.d"
+  "bench_figure10_domain"
+  "bench_figure10_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure10_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

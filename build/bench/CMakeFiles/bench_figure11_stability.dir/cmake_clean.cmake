@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure11_stability.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure11_stability.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure11_stability.dir/bench_figure11_stability.cc.o"
+  "CMakeFiles/bench_figure11_stability.dir/bench_figure11_stability.cc.o.d"
+  "bench_figure11_stability"
+  "bench_figure11_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure11_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_selectivity.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure3_selectivity.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure3_selectivity.dir/bench_figure3_selectivity.cc.o"
+  "CMakeFiles/bench_figure3_selectivity.dir/bench_figure3_selectivity.cc.o.d"
+  "bench_figure3_selectivity"
+  "bench_figure3_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_cost.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure4_cost.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure4_cost.dir/bench_figure4_cost.cc.o"
+  "CMakeFiles/bench_figure4_cost.dir/bench_figure4_cost.cc.o.d"
+  "bench_figure4_cost"
+  "bench_figure4_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

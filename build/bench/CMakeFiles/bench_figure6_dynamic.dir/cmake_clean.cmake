@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_dynamic.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure6_dynamic.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure6_dynamic.dir/bench_figure6_dynamic.cc.o"
+  "CMakeFiles/bench_figure6_dynamic.dir/bench_figure6_dynamic.cc.o.d"
+  "bench_figure6_dynamic"
+  "bench_figure6_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

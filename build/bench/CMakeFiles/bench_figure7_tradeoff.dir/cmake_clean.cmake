@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_tradeoff.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure7_tradeoff.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure7_tradeoff.dir/bench_figure7_tradeoff.cc.o"
+  "CMakeFiles/bench_figure7_tradeoff.dir/bench_figure7_tradeoff.cc.o.d"
+  "bench_figure7_tradeoff"
+  "bench_figure7_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

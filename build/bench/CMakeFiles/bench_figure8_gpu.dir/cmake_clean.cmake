@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_gpu.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure8_gpu.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure8_gpu.dir/bench_figure8_gpu.cc.o"
+  "CMakeFiles/bench_figure8_gpu.dir/bench_figure8_gpu.cc.o.d"
+  "bench_figure8_gpu"
+  "bench_figure8_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

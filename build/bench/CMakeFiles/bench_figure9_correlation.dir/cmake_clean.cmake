@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_correlation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure9_correlation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure9_correlation.dir/bench_figure9_correlation.cc.o"
+  "CMakeFiles/bench_figure9_correlation.dir/bench_figure9_correlation.cc.o.d"
+  "bench_figure9_correlation"
+  "bench_figure9_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_skew.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure9_skew.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure9_skew.dir/bench_figure9_skew.cc.o"
+  "CMakeFiles/bench_figure9_skew.dir/bench_figure9_skew.cc.o.d"
+  "bench_figure9_skew"
+  "bench_figure9_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tuning.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table5_tuning.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table5_tuning.dir/bench_table5_tuning.cc.o"
+  "CMakeFiles/bench_table5_tuning.dir/bench_table5_tuning.cc.o.d"
+  "bench_table5_tuning"
+  "bench_table5_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

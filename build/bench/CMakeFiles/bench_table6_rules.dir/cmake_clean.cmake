@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_rules.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table6_rules.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table6_rules.dir/bench_table6_rules.cc.o"
+  "CMakeFiles/bench_table6_rules.dir/bench_table6_rules.cc.o.d"
+  "bench_table6_rules"
+  "bench_table6_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_cli.dir/estimator_cli.cpp.o"
+  "CMakeFiles/estimator_cli.dir/estimator_cli.cpp.o.d"
+  "estimator_cli"
+  "estimator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

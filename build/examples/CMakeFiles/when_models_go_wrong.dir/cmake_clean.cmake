@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/when_models_go_wrong.dir/when_models_go_wrong.cpp.o"
+  "CMakeFiles/when_models_go_wrong.dir/when_models_go_wrong.cpp.o.d"
+  "when_models_go_wrong"
+  "when_models_go_wrong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/when_models_go_wrong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

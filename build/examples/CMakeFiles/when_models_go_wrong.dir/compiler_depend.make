@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for when_models_go_wrong.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for when_models_go_wrong.
+# This may be replaced when dependencies are built.

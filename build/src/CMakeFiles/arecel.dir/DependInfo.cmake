@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/device.cc" "src/CMakeFiles/arecel.dir/core/device.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/device.cc.o.d"
+  "/root/repo/src/core/dynamic.cc" "src/CMakeFiles/arecel.dir/core/dynamic.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/dynamic.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/arecel.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/arecel.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/arecel.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/arecel.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/CMakeFiles/arecel.dir/core/rules.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/rules.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/arecel.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/arecel.dir/core/tuning.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/arecel.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/arecel.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/arecel.dir/data/io.cc.o" "gcc" "src/CMakeFiles/arecel.dir/data/io.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/arecel.dir/data/table.cc.o" "gcc" "src/CMakeFiles/arecel.dir/data/table.cc.o.d"
+  "/root/repo/src/estimators/extensions/guarded.cc" "src/CMakeFiles/arecel.dir/estimators/extensions/guarded.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/extensions/guarded.cc.o.d"
+  "/root/repo/src/estimators/learned/binning.cc" "src/CMakeFiles/arecel.dir/estimators/learned/binning.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/binning.cc.o.d"
+  "/root/repo/src/estimators/learned/deepdb.cc" "src/CMakeFiles/arecel.dir/estimators/learned/deepdb.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/deepdb.cc.o.d"
+  "/root/repo/src/estimators/learned/dqm.cc" "src/CMakeFiles/arecel.dir/estimators/learned/dqm.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/dqm.cc.o.d"
+  "/root/repo/src/estimators/learned/lw_features.cc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_features.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_features.cc.o.d"
+  "/root/repo/src/estimators/learned/lw_nn.cc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_nn.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_nn.cc.o.d"
+  "/root/repo/src/estimators/learned/lw_xgb.cc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_xgb.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/lw_xgb.cc.o.d"
+  "/root/repo/src/estimators/learned/mscn.cc" "src/CMakeFiles/arecel.dir/estimators/learned/mscn.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/mscn.cc.o.d"
+  "/root/repo/src/estimators/learned/naru.cc" "src/CMakeFiles/arecel.dir/estimators/learned/naru.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/learned/naru.cc.o.d"
+  "/root/repo/src/estimators/traditional/bayes.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/bayes.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/bayes.cc.o.d"
+  "/root/repo/src/estimators/traditional/dbms.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/dbms.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/dbms.cc.o.d"
+  "/root/repo/src/estimators/traditional/kde.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/kde.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/kde.cc.o.d"
+  "/root/repo/src/estimators/traditional/mhist.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/mhist.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/mhist.cc.o.d"
+  "/root/repo/src/estimators/traditional/quicksel.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/quicksel.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/quicksel.cc.o.d"
+  "/root/repo/src/estimators/traditional/sampling.cc" "src/CMakeFiles/arecel.dir/estimators/traditional/sampling.cc.o" "gcc" "src/CMakeFiles/arecel.dir/estimators/traditional/sampling.cc.o.d"
+  "/root/repo/src/ml/autoregressive.cc" "src/CMakeFiles/arecel.dir/ml/autoregressive.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/autoregressive.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/CMakeFiles/arecel.dir/ml/gbdt.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/histogram.cc" "src/CMakeFiles/arecel.dir/ml/histogram.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/histogram.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/arecel.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/loss.cc" "src/CMakeFiles/arecel.dir/ml/loss.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/loss.cc.o.d"
+  "/root/repo/src/ml/made.cc" "src/CMakeFiles/arecel.dir/ml/made.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/made.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/arecel.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/CMakeFiles/arecel.dir/ml/nn.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/nn.cc.o.d"
+  "/root/repo/src/ml/rdc.cc" "src/CMakeFiles/arecel.dir/ml/rdc.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/rdc.cc.o.d"
+  "/root/repo/src/ml/transformer.cc" "src/CMakeFiles/arecel.dir/ml/transformer.cc.o" "gcc" "src/CMakeFiles/arecel.dir/ml/transformer.cc.o.d"
+  "/root/repo/src/util/archive.cc" "src/CMakeFiles/arecel.dir/util/archive.cc.o" "gcc" "src/CMakeFiles/arecel.dir/util/archive.cc.o.d"
+  "/root/repo/src/util/ascii_table.cc" "src/CMakeFiles/arecel.dir/util/ascii_table.cc.o" "gcc" "src/CMakeFiles/arecel.dir/util/ascii_table.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/arecel.dir/util/random.cc.o" "gcc" "src/CMakeFiles/arecel.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/arecel.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/arecel.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/arecel.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/arecel.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/arecel.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/arecel.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/CMakeFiles/arecel.dir/workload/query.cc.o" "gcc" "src/CMakeFiles/arecel.dir/workload/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

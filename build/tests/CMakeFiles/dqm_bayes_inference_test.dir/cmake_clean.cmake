@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqm_bayes_inference_test.dir/dqm_bayes_inference_test.cc.o"
+  "CMakeFiles/dqm_bayes_inference_test.dir/dqm_bayes_inference_test.cc.o.d"
+  "dqm_bayes_inference_test"
+  "dqm_bayes_inference_test.pdb"
+  "dqm_bayes_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqm_bayes_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

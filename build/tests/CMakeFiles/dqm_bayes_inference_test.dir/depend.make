@@ -1,0 +1,2 @@
+# Empty dependencies file for dqm_bayes_inference_test.
+# This may be replaced when dependencies are built.

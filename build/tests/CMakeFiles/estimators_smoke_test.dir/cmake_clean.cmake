@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators_smoke_test.dir/estimators_smoke_test.cc.o"
+  "CMakeFiles/estimators_smoke_test.dir/estimators_smoke_test.cc.o.d"
+  "estimators_smoke_test"
+  "estimators_smoke_test.pdb"
+  "estimators_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_estimators_test.dir/learned_estimators_test.cc.o"
+  "CMakeFiles/learned_estimators_test.dir/learned_estimators_test.cc.o.d"
+  "learned_estimators_test"
+  "learned_estimators_test.pdb"
+  "learned_estimators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/made_test.dir/made_test.cc.o"
+  "CMakeFiles/made_test.dir/made_test.cc.o.d"
+  "made_test"
+  "made_test.pdb"
+  "made_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/made_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

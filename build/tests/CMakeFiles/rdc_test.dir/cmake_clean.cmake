@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdc_test.dir/rdc_test.cc.o"
+  "CMakeFiles/rdc_test.dir/rdc_test.cc.o.d"
+  "rdc_test"
+  "rdc_test.pdb"
+  "rdc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

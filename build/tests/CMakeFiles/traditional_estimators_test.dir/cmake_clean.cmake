@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traditional_estimators_test.dir/traditional_estimators_test.cc.o"
+  "CMakeFiles/traditional_estimators_test.dir/traditional_estimators_test.cc.o.d"
+  "traditional_estimators_test"
+  "traditional_estimators_test.pdb"
+  "traditional_estimators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traditional_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/dqm_bayes_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/estimators_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/gbdt_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/learned_estimators_test[1]_include.cmake")
+include("/root/repo/build/tests/loss_test[1]_include.cmake")
+include("/root/repo/build/tests/made_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/rdc_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/traditional_estimators_test[1]_include.cmake")
+include("/root/repo/build/tests/transformer_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
