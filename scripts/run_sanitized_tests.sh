@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the asan-ubsan preset and runs the test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# By default the `slow` label (full-registry training sweeps) is excluded —
+# sanitized NN training is painfully slow; set ARECEL_SAN_ALL=1 to include
+# everything. Extra args are forwarded to ctest, e.g.:
+#   scripts/run_sanitized_tests.sh -R conformance
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${ARECEL_BUILD_JOBS:-$(nproc)}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+label_filter=(-LE slow)
+if [ "${ARECEL_SAN_ALL:-0}" = "1" ]; then
+  label_filter=()
+fi
+ctest --test-dir build-asan --output-on-failure "${label_filter[@]}" "$@"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the golden q-error baselines in tests/golden/ after an
+# *intended* accuracy change. Builds the update_golden tool and runs it with
+# --update-golden against the source tree; review the JSON diff before
+# committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target update_golden -j "${ARECEL_BUILD_JOBS:-$(nproc)}"
+./build/tools/update_golden --update-golden "$@"

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/check.h"
-
 namespace arecel {
 
 void CardinalityEstimator::Update(const Table& table,
@@ -23,9 +21,17 @@ double CardinalityEstimator::EstimateCardinality(const Query& query,
 }
 
 double QError(double estimated_cardinality, double actual_cardinality) {
+  // A NaN estimate would otherwise clamp to 1.0 (std::max with an unordered
+  // NaN returns its first argument) and score as near-perfect; an infinite
+  // one used to abort the whole process. Both now yield the defined
+  // worst-case sentinel so evaluation keeps going and aggregates expose the
+  // broken estimator.
+  if (!std::isfinite(estimated_cardinality) ||
+      !std::isfinite(actual_cardinality)) {
+    return kInvalidQError;
+  }
   const double est = std::max(1.0, estimated_cardinality);
   const double act = std::max(1.0, actual_cardinality);
-  ARECEL_CHECK_MSG(std::isfinite(est), "estimate must be finite");
   return std::max(est, act) / std::min(est, act);
 }
 

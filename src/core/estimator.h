@@ -1,6 +1,7 @@
 #ifndef ARECEL_CORE_ESTIMATOR_H_
 #define ARECEL_CORE_ESTIMATOR_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,8 +88,16 @@ class CardinalityEstimator {
   double EstimateCardinality(const Query& query, size_t rows) const;
 };
 
+// Sentinel q-error for undefined inputs (NaN or infinite cardinalities):
+// the worst representable error, so aggregates surface the breakage instead
+// of masking it.
+inline constexpr double kInvalidQError =
+    std::numeric_limits<double>::infinity();
+
 // q-error of an estimate: max(est, act) / min(est, act) with both sides
 // clamped to at least one tuple, as in the paper's released benchmark code.
+// Negative inputs clamp to one tuple like zero does; a NaN or infinite input
+// on either side returns kInvalidQError.
 double QError(double estimated_cardinality, double actual_cardinality);
 
 // q-errors of an estimator across a labelled workload, on a table with

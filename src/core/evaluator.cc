@@ -20,12 +20,21 @@ EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
   report.model_size_bytes = estimator.SizeBytes();
 
   // Queries issued one by one, as the paper measures inference latency.
+  // A degenerate (empty) test set yields an all-zero summary rather than a
+  // division by zero.
   Timer inference_timer;
   report.raw_qerrors = EvaluateQErrors(estimator, test, table.num_rows());
   report.avg_inference_ms =
-      inference_timer.ElapsedMillis() / static_cast<double>(test.size());
+      test.size() == 0
+          ? 0.0
+          : inference_timer.ElapsedMillis() / static_cast<double>(test.size());
   report.qerror = Summarize(report.raw_qerrors);
   return report;
+}
+
+QuantileSummary EvaluateQErrorSummary(const CardinalityEstimator& estimator,
+                                      const Workload& test, size_t rows) {
+  return Summarize(EvaluateQErrors(estimator, test, rows));
 }
 
 }  // namespace arecel

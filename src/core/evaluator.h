@@ -23,9 +23,17 @@ struct EstimatorReport {
 
 // Trains `estimator` (with `train` as the labelled workload for query-driven
 // methods) and evaluates q-errors over `test`. Wall-clock timings included.
+// An empty `test` produces an all-zero summary and zero inference time.
 EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
                                   const Table& table, const Workload& train,
                                   const Workload& test, uint64_t seed = 42);
+
+// Accuracy of an already-trained estimator on `test`, as the Table 4
+// quantile summary. This is the hook the conformance/golden-baseline
+// harness (src/testing/) shares with EvaluateOnDataset, so both report the
+// same statistic.
+QuantileSummary EvaluateQErrorSummary(const CardinalityEstimator& estimator,
+                                      const Workload& test, size_t rows);
 
 }  // namespace arecel
 

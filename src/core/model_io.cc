@@ -9,6 +9,11 @@ constexpr uint32_t kModelMagic = 0x41434d31;  // "ACM1".
 constexpr uint32_t kVersion = 1;
 }  // namespace
 
+bool SupportsPersistence(const CardinalityEstimator& estimator) {
+  ByteWriter probe;
+  return estimator.SerializeModel(&probe);
+}
+
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path) {
   ByteWriter payload;

@@ -20,6 +20,12 @@ namespace arecel {
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path);
 
+// True when `estimator` implements model persistence (probes SerializeModel
+// into an in-memory buffer; no file is written). Call on a trained
+// instance. The conformance suite uses this to decide whether the
+// round-trip invariant applies or is reported as skipped.
+bool SupportsPersistence(const CardinalityEstimator& estimator);
+
 // `estimator` must be a default-constructed instance of the same kind
 // (same Name()) that was saved; returns false on mismatch or corruption.
 bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path);

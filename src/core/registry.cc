@@ -41,6 +41,12 @@ std::vector<std::string> AllEstimatorNames() {
   return all;
 }
 
+std::vector<std::string> AllRegistryNames() {
+  std::vector<std::string> all = AllEstimatorNames();
+  for (const auto& name : ExtendedEstimatorNames()) all.push_back(name);
+  return all;
+}
+
 std::unique_ptr<CardinalityEstimator> MakeEstimator(const std::string& name) {
   if (name == "postgres") return MakePostgresEstimator();
   if (name == "mysql") return MakeMysqlEstimator();

@@ -18,6 +18,12 @@ const std::vector<std::string>& LearnedEstimatorNames();
 // All thirteen, traditional first.
 std::vector<std::string> AllEstimatorNames();
 
+// Every name this registry can construct: the paper's thirteen followed by
+// the extended estimators. The conformance suite (src/testing/) sweeps this
+// list, so an estimator added here is automatically held to the behavioral
+// contract.
+std::vector<std::string> AllRegistryNames();
+
 // Extra estimators beyond the paper's thirteen: "dqm-d" (the taxonomy's
 // seventh learned method, excluded from the paper's evaluation as "similar
 // to Naru"). Our simplified VEGAS sampler matches Naru on low-dimensional

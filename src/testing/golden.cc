@@ -1,0 +1,168 @@
+#include "testing/golden.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/registry.h"
+
+namespace arecel {
+
+namespace {
+
+// Minimal JSON field scanner for the flat objects WriteGoldenBaseline
+// emits. Finds `"key": <value>` and parses the value as a double or a
+// quoted string. Good enough for files this module writes itself; not a
+// general JSON parser.
+bool FindValue(const std::string& text, const std::string& key,
+               std::string* raw) {
+  const std::string needle = "\"" + key + "\"";
+  size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return false;
+  ++at;
+  while (at < text.size() && std::isspace(static_cast<unsigned char>(text[at])))
+    ++at;
+  size_t end = at;
+  if (at < text.size() && text[at] == '"') {
+    end = text.find('"', at + 1);
+    if (end == std::string::npos) return false;
+    *raw = text.substr(at + 1, end - at - 1);
+    return true;
+  }
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         text[end] != '\n')
+    ++end;
+  *raw = text.substr(at, end - at);
+  return !raw->empty();
+}
+
+bool ParseNumber(const std::string& text, const std::string& key,
+                 double* out) {
+  std::string raw;
+  if (!FindValue(text, key, &raw)) return false;
+  char* end = nullptr;
+  *out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str();
+}
+
+void CheckQuantile(const char* label, double actual, double recorded,
+                   double band, GoldenCheckResult* result) {
+  // Baselines are quantiles of q-errors, so recorded >= 1 by construction;
+  // guard anyway so a hand-edited file cannot divide by zero.
+  const double lo = recorded / band;
+  const double hi = recorded * band;
+  if (actual >= lo && actual <= hi) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s%s q-error %.6g outside band [%.6g, %.6g] around recorded "
+                "%.6g",
+                result->detail.empty() ? "" : "; ", label, actual, lo, hi,
+                recorded);
+  result->passed = false;
+  result->detail += buf;
+}
+
+}  // namespace
+
+GoldenConfig DefaultGoldenConfig() { return GoldenConfig{}; }
+
+std::string GoldenFileName(const std::string& estimator) {
+  std::string name = estimator;
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name + ".json";
+}
+
+bool WriteGoldenBaseline(const GoldenBaseline& baseline,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return false;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"estimator\": \"%s\",\n"
+                "  \"dataset\": \"%s\",\n"
+                "  \"seed\": %llu,\n"
+                "  \"num_queries\": %llu,\n"
+                "  \"qerror_p50\": %.17g,\n"
+                "  \"qerror_p95\": %.17g,\n"
+                "  \"qerror_p99\": %.17g,\n"
+                "  \"qerror_max\": %.17g\n"
+                "}\n",
+                baseline.estimator.c_str(), baseline.dataset.c_str(),
+                static_cast<unsigned long long>(baseline.seed),
+                static_cast<unsigned long long>(baseline.num_queries),
+                baseline.qerror.p50, baseline.qerror.p95, baseline.qerror.p99,
+                baseline.qerror.max);
+  out << buf;
+  return out.good();
+}
+
+bool ReadGoldenBaseline(const std::string& path, GoldenBaseline* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string text = contents.str();
+
+  if (!FindValue(text, "estimator", &out->estimator)) return false;
+  if (!FindValue(text, "dataset", &out->dataset)) return false;
+  double seed = 0, num_queries = 0;
+  if (!ParseNumber(text, "seed", &seed)) return false;
+  if (!ParseNumber(text, "num_queries", &num_queries)) return false;
+  out->seed = static_cast<uint64_t>(seed);
+  out->num_queries = static_cast<uint64_t>(num_queries);
+  return ParseNumber(text, "qerror_p50", &out->qerror.p50) &&
+         ParseNumber(text, "qerror_p95", &out->qerror.p95) &&
+         ParseNumber(text, "qerror_p99", &out->qerror.p99) &&
+         ParseNumber(text, "qerror_max", &out->qerror.max);
+}
+
+GoldenCheckResult CompareToGolden(const QuantileSummary& actual,
+                                  const GoldenBaseline& baseline,
+                                  double band) {
+  GoldenCheckResult result;
+  if (band < 1.0 || !std::isfinite(band)) {
+    result.passed = false;
+    result.detail = "tolerance band must be a finite value >= 1";
+    return result;
+  }
+  CheckQuantile("p50", actual.p50, baseline.qerror.p50, band, &result);
+  CheckQuantile("p95", actual.p95, baseline.qerror.p95, band, &result);
+  CheckQuantile("p99", actual.p99, baseline.qerror.p99, band, &result);
+  CheckQuantile("max", actual.max, baseline.qerror.max, band, &result);
+  return result;
+}
+
+Workload BuildGoldenEvalWorkload(const ConformanceFixture& fixture,
+                                 const GoldenConfig& config) {
+  return GenerateWorkload(fixture.table, config.eval_queries,
+                          config.eval_seed);
+}
+
+GoldenBaseline ComputeGoldenBaseline(const std::string& estimator_name,
+                                     const ConformanceFixture& fixture,
+                                     const Workload& eval,
+                                     const GoldenConfig& config) {
+  auto estimator = MakeEstimator(estimator_name);
+  TrainContext context;
+  context.training_workload = &fixture.train;
+  context.seed = config.fixture.seed;
+  estimator->Train(fixture.table, context);
+
+  GoldenBaseline baseline;
+  baseline.estimator = estimator_name;
+  baseline.dataset = fixture.table.name();
+  baseline.seed = config.fixture.seed;
+  baseline.num_queries = eval.size();
+  baseline.qerror =
+      EvaluateQErrorSummary(*estimator, eval, fixture.table.num_rows());
+  return baseline;
+}
+
+}  // namespace arecel

@@ -1,0 +1,76 @@
+#ifndef ARECEL_TESTING_GOLDEN_H_
+#define ARECEL_TESTING_GOLDEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluator.h"
+#include "testing/conformance.h"
+#include "util/stats.h"
+
+namespace arecel {
+
+// Golden q-error baselines: per-estimator accuracy quantiles (p50/p95/p99/
+// max) on a pinned workload, recorded to tests/golden/<estimator>.json and
+// checked on every test run. A change that moves any quantile outside the
+// tolerance band — regression *or* unexplained improvement — fails, and is
+// resolved by either fixing the change or deliberately regenerating the
+// baselines with scripts/update_golden.sh (tools/update_golden
+// --update-golden path).
+
+struct GoldenBaseline {
+  std::string estimator;
+  std::string dataset;
+  uint64_t seed = 0;         // fixture seed the numbers were recorded under.
+  uint64_t num_queries = 0;  // size of the pinned evaluation workload.
+  QuantileSummary qerror;
+};
+
+// The pinned golden evaluation setup, shared by the checking test and the
+// regeneration tool so both always measure the same thing. Reuses the
+// conformance fixture inputs plus a held-out evaluation workload.
+struct GoldenConfig {
+  ConformanceOptions fixture;
+  size_t eval_queries = 200;
+  uint64_t eval_seed = 7001;
+  // Two-sided multiplicative band: recorded q must satisfy
+  // q / band <= actual <= q * band per quantile.
+  double band = 1.25;
+};
+GoldenConfig DefaultGoldenConfig();
+
+// "<name>.json" with '-' mapped to '_' (filesystem-friendly).
+std::string GoldenFileName(const std::string& estimator);
+
+// Serialization. WriteGoldenBaseline emits a stable, human-diffable JSON
+// object; ReadGoldenBaseline parses exactly that shape (a flat object of
+// string/number fields) and fails on missing fields or a missing file.
+bool WriteGoldenBaseline(const GoldenBaseline& baseline,
+                         const std::string& path);
+bool ReadGoldenBaseline(const std::string& path, GoldenBaseline* out);
+
+struct GoldenCheckResult {
+  bool passed = true;
+  std::string detail;  // which quantile escaped the band and by how much.
+};
+
+// Compares a freshly measured summary against a recorded baseline.
+GoldenCheckResult CompareToGolden(const QuantileSummary& actual,
+                                  const GoldenBaseline& baseline,
+                                  double band);
+
+// Trains `estimator_name` on the config's fixture and measures the golden
+// summary on the held-out evaluation workload. Deterministic given config.
+GoldenBaseline ComputeGoldenBaseline(const std::string& estimator_name,
+                                     const ConformanceFixture& fixture,
+                                     const Workload& eval,
+                                     const GoldenConfig& config);
+
+// The held-out evaluation workload for a config (pinned seed, disjoint from
+// the training workload).
+Workload BuildGoldenEvalWorkload(const ConformanceFixture& fixture,
+                                 const GoldenConfig& config);
+
+}  // namespace arecel
+
+#endif  // ARECEL_TESTING_GOLDEN_H_

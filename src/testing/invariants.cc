@@ -1,0 +1,269 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/model_io.h"
+#include "core/registry.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+namespace {
+
+void RecordViolation(InvariantResult* result, double excess,
+                     const std::string& detail) {
+  ++result->violations;
+  if (excess > result->worst) result->worst = excess;
+  if (result->detail.empty()) result->detail = detail;
+}
+
+// Columns whose domain is wide enough to carve a strict sub-range from.
+std::vector<int> RangeableColumns(const Table& table) {
+  std::vector<int> cols;
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (!table.column(c).categorical && table.column(c).domain.size() >= 8)
+      cols.push_back(static_cast<int>(c));
+  }
+  return cols;
+}
+
+Query RandomRangeQuery(const Table& table, int col, Rng& rng) {
+  const Column& column = table.column(static_cast<size_t>(col));
+  const size_t domain = column.domain.size();
+  const size_t a = rng.UniformInt(static_cast<uint64_t>(domain - 4));
+  const size_t b =
+      a + 4 + rng.UniformInt(static_cast<uint64_t>(domain - a - 4));
+  Query query;
+  query.predicates.push_back(
+      {col, column.domain[a], column.domain[std::min(b, domain - 1)]});
+  return query;
+}
+
+std::unique_ptr<CardinalityEstimator> TrainFresh(const std::string& name,
+                                                 const Table& table,
+                                                 const Workload& train,
+                                                 uint64_t seed) {
+  auto estimator = MakeEstimator(name);
+  TrainContext context;
+  context.training_workload = &train;
+  context.seed = seed;
+  estimator->Train(table, context);
+  return estimator;
+}
+
+std::string QuerySummary(const Query& query) {
+  std::string out = "{";
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const Predicate& p = query.predicates[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%sc%d in [%g, %g]", i > 0 ? ", " : "",
+                  p.column, p.lo, p.hi);
+    out += buf;
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+InvariantResult CheckSelectivityBounds(const CardinalityEstimator& estimator,
+                                       const std::vector<Query>& probes,
+                                       size_t rows) {
+  InvariantResult result;
+  result.invariant = "bounds";
+  result.trials = probes.size();
+  for (const Query& query : probes) {
+    const double sel = estimator.EstimateSelectivity(query);
+    const double card = estimator.EstimateCardinality(query, rows);
+    if (!std::isfinite(sel) || sel < 0.0 || sel > 1.0 || card < 0.0 ||
+        card > static_cast<double>(rows)) {
+      const double excess =
+          std::isfinite(sel) ? std::max(sel - 1.0, -sel) : 1.0;
+      RecordViolation(&result, excess,
+                      "selectivity " + std::to_string(sel) + " for " +
+                          QuerySummary(query));
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckTighteningMonotonicity(
+    const CardinalityEstimator& estimator, const Table& table, size_t trials,
+    uint64_t seed, const InvariantTolerance& tolerance) {
+  InvariantResult result;
+  result.invariant = "monotonicity";
+  result.trials = trials;
+  const std::vector<int> cols = RangeableColumns(table);
+  if (cols.empty()) {
+    result.skipped = true;
+    result.detail = "no range-able column in table";
+    return result;
+  }
+  Rng rng(seed);
+  const double shrinks[] = {0.05, 0.25, 0.5};
+  for (size_t t = 0; t < trials; ++t) {
+    const int col = cols[rng.UniformInt(static_cast<uint64_t>(cols.size()))];
+    const Query loose = RandomRangeQuery(table, col, rng);
+
+    Query strict = loose;
+    if (t % 2 == 0 || table.num_cols() < 2) {
+      // Shrink the interval symmetrically toward its center.
+      const double lo = loose.predicates[0].lo;
+      const double hi = loose.predicates[0].hi;
+      const double shrink = shrinks[(t / 2) % 3];
+      strict.predicates[0].lo = lo + shrink * (hi - lo);
+      strict.predicates[0].hi = hi - shrink * (hi - lo);
+    } else {
+      // Append a conjunct on another column spanning half its domain.
+      const int extra = static_cast<int>(
+          (static_cast<size_t>(col) + 1 +
+           rng.UniformInt(static_cast<uint64_t>(table.num_cols() - 1))) %
+          table.num_cols());
+      const Column& column = table.column(static_cast<size_t>(extra));
+      const size_t half =
+          std::min(std::max<size_t>(column.domain.size() / 2, 1),
+                   column.domain.size() - 1);
+      strict.predicates.push_back(
+          {extra, column.domain.front(), column.domain[half]});
+    }
+
+    const double loose_est = estimator.EstimateSelectivity(loose);
+    const double strict_est = estimator.EstimateSelectivity(strict);
+    const double excess = strict_est -
+                          loose_est * (1.0 + tolerance.relative) -
+                          tolerance.absolute;
+    if (excess > 0) {
+      RecordViolation(&result, excess,
+                      "tightened " + QuerySummary(loose) + " -> " +
+                          QuerySummary(strict) + " raised estimate " +
+                          std::to_string(loose_est) + " -> " +
+                          std::to_string(strict_est));
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckFullDomainNoOp(const CardinalityEstimator& estimator,
+                                    const Table& table, size_t trials,
+                                    uint64_t seed,
+                                    const InvariantTolerance& tolerance) {
+  InvariantResult result;
+  result.invariant = "full-domain-noop";
+  result.trials = trials;
+  const std::vector<int> cols = RangeableColumns(table);
+  if (cols.empty()) {
+    result.skipped = true;
+    result.detail = "no range-able column in table";
+    return result;
+  }
+  if (table.num_cols() < 2) {
+    result.skipped = true;
+    result.detail = "needs a second column to append a conjunct on";
+    return result;
+  }
+  Rng rng(seed);
+  for (size_t t = 0; t < trials; ++t) {
+    const int col = cols[rng.UniformInt(static_cast<uint64_t>(cols.size()))];
+    const Query base = RandomRangeQuery(table, col, rng);
+    // Full-domain conjunct on a column the query does not reference yet
+    // (queries carry at most one predicate per column everywhere else in
+    // the system, and estimator featurizations assume that).
+    const int extra = static_cast<int>(
+        (static_cast<size_t>(col) + 1 +
+         rng.UniformInt(static_cast<uint64_t>(table.num_cols() - 1))) %
+        table.num_cols());
+    const Column& column = table.column(static_cast<size_t>(extra));
+    Query widened = base;
+    widened.predicates.push_back({extra, column.min(), column.max()});
+
+    const double base_est = estimator.EstimateSelectivity(base);
+    const double widened_est = estimator.EstimateSelectivity(widened);
+    const double diff = std::fabs(widened_est - base_est);
+    const double allowed =
+        tolerance.absolute + tolerance.relative * std::max(base_est, 1e-12);
+    if (diff > allowed) {
+      RecordViolation(&result, diff - allowed,
+                      "full-domain conjunct on c" + std::to_string(extra) +
+                          " moved estimate " + std::to_string(base_est) +
+                          " -> " + std::to_string(widened_est) + " for " +
+                          QuerySummary(base));
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckDeterminism(const std::string& name, const Table& table,
+                                 const Workload& train,
+                                 const std::vector<Query>& probes,
+                                 uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "determinism";
+  result.trials = probes.size();
+  auto first = TrainFresh(name, table, train, seed);
+  auto second = TrainFresh(name, table, train, seed);
+  // One aligned pass per instance: stochastic inference that seeds from a
+  // per-instance counter stays comparable this way.
+  std::vector<double> first_estimates(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i)
+    first_estimates[i] = first->EstimateSelectivity(probes[i]);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const double replay = second->EstimateSelectivity(probes[i]);
+    if (replay != first_estimates[i]) {
+      RecordViolation(&result, std::fabs(replay - first_estimates[i]),
+                      "probe " + std::to_string(i) + ": " +
+                          std::to_string(first_estimates[i]) + " vs " +
+                          std::to_string(replay) + " for " +
+                          QuerySummary(probes[i]));
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckSaveLoadRoundTrip(const std::string& name,
+                                       const Table& table,
+                                       const Workload& train,
+                                       const std::vector<Query>& probes,
+                                       uint64_t seed,
+                                       const std::string& temp_dir) {
+  InvariantResult result;
+  result.invariant = "save-load-round-trip";
+  result.trials = probes.size();
+  auto trained = TrainFresh(name, table, train, seed);
+  if (!SupportsPersistence(*trained)) {
+    result.skipped = true;
+    result.detail = "estimator does not implement model persistence";
+    return result;
+  }
+
+  const std::string path = temp_dir + "/conformance_" + name + ".bin";
+  if (!SaveEstimator(*trained, path)) {
+    RecordViolation(&result, 1.0, "SaveEstimator failed for " + name);
+    return result;
+  }
+  auto loaded = MakeEstimator(name);
+  if (!LoadEstimator(loaded.get(), path)) {
+    RecordViolation(&result, 1.0, "LoadEstimator failed for " + name);
+    std::remove(path.c_str());
+    return result;
+  }
+  std::remove(path.c_str());
+
+  std::vector<double> trained_estimates(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i)
+    trained_estimates[i] = trained->EstimateSelectivity(probes[i]);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const double replay = loaded->EstimateSelectivity(probes[i]);
+    if (replay != trained_estimates[i]) {
+      RecordViolation(&result, std::fabs(replay - trained_estimates[i]),
+                      "probe " + std::to_string(i) + ": " +
+                          std::to_string(trained_estimates[i]) + " vs " +
+                          std::to_string(replay) + " after round-trip");
+    }
+  }
+  return result;
+}
+
+}  // namespace arecel

@@ -1,0 +1,152 @@
+#include "testing/property.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace arecel {
+
+namespace {
+
+// Shrink candidates, cheapest-win first: a smaller table shrinks every
+// later check, then whole queries, then individual predicates.
+
+bool TryRows(const RandomCase& current, RandomCase* candidate) {
+  const size_t rows = current.table.num_rows();
+  if (rows <= 1) return false;
+  *candidate = current;
+  candidate->table = current.table.Head(std::max<size_t>(1, rows / 2));
+  return true;
+}
+
+bool TryDropQueries(const RandomCase& current, size_t begin, size_t count,
+                    RandomCase* candidate) {
+  if (begin >= current.queries.size() || count == 0) return false;
+  *candidate = current;
+  candidate->queries.erase(
+      candidate->queries.begin() + static_cast<long>(begin),
+      candidate->queries.begin() +
+          static_cast<long>(std::min(begin + count, current.queries.size())));
+  return true;
+}
+
+bool TryDropPredicate(const RandomCase& current, size_t query, size_t pred,
+                      RandomCase* candidate) {
+  if (query >= current.queries.size()) return false;
+  if (pred >= current.queries[query].predicates.size()) return false;
+  if (current.queries[query].predicates.size() <= 1) return false;
+  *candidate = current;
+  candidate->queries[query].predicates.erase(
+      candidate->queries[query].predicates.begin() + static_cast<long>(pred));
+  return true;
+}
+
+}  // namespace
+
+RandomCase ShrinkCase(
+    const RandomCase& failing,
+    const std::function<bool(const RandomCase&)>& still_fails,
+    int max_attempts, ShrinkStats* stats) {
+  RandomCase best = failing;
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+
+  auto consider = [&](RandomCase&& candidate) {
+    if (s.attempts >= max_attempts) return false;
+    ++s.attempts;
+    if (!still_fails(candidate)) return false;
+    best = std::move(candidate);
+    ++s.accepted;
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed && s.attempts < max_attempts) {
+    progressed = false;
+
+    // 1. Halve the table while the failure persists.
+    RandomCase candidate;
+    while (TryRows(best, &candidate) && consider(std::move(candidate)))
+      progressed = true;
+
+    // 2. Drop half the queries (front half, then back half), then single
+    // queries once the set is small.
+    for (bool dropped = true; dropped;) {
+      dropped = false;
+      const size_t n = best.queries.size();
+      if (n > 2) {
+        if (TryDropQueries(best, 0, n / 2, &candidate) &&
+            consider(std::move(candidate))) {
+          dropped = progressed = true;
+          continue;
+        }
+        if (TryDropQueries(best, n / 2, n - n / 2, &candidate) &&
+            consider(std::move(candidate))) {
+          dropped = progressed = true;
+          continue;
+        }
+      }
+      for (size_t i = 0; i < best.queries.size(); ++i) {
+        if (best.queries.size() <= 1) break;
+        if (TryDropQueries(best, i, 1, &candidate) &&
+            consider(std::move(candidate))) {
+          dropped = progressed = true;
+          break;
+        }
+      }
+    }
+
+    // 3. Drop predicates one at a time.
+    for (bool dropped = true; dropped;) {
+      dropped = false;
+      for (size_t q = 0; q < best.queries.size() && !dropped; ++q) {
+        for (size_t p = 0; p < best.queries[q].predicates.size(); ++p) {
+          if (TryDropPredicate(best, q, p, &candidate) &&
+              consider(std::move(candidate))) {
+            dropped = progressed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::string PropertyOutcome::Message() const {
+  if (passed) return "property held on " + std::to_string(cases_run) +
+                     " cases";
+  std::string out = "property failed (seed " +
+                    std::to_string(failing_seed) + "): " + failure;
+  out += "\n  minimized: " + shrunk.Describe();
+  out += "\n  minimized failure: " + shrunk_failure;
+  return out;
+}
+
+PropertyOutcome CheckProperty(const Property& property,
+                              const PropertyOptions& options) {
+  PropertyOutcome outcome;
+  for (int i = 0; i < options.num_cases; ++i) {
+    const uint64_t seed = options.base_seed + static_cast<uint64_t>(i);
+    RandomCase random_case = GenerateRandomCase(seed, options.case_options);
+    std::string failure = property(random_case);
+    ++outcome.cases_run;
+    if (failure.empty()) continue;
+
+    outcome.passed = false;
+    outcome.failing_seed = seed;
+    outcome.failure = std::move(failure);
+    if (options.shrink) {
+      outcome.shrunk = ShrinkCase(
+          random_case,
+          [&](const RandomCase& c) { return !property(c).empty(); },
+          options.max_shrink_attempts, &outcome.shrink_stats);
+    } else {
+      outcome.shrunk = std::move(random_case);
+    }
+    outcome.shrunk_failure = property(outcome.shrunk);
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace arecel

@@ -1,0 +1,62 @@
+#ifndef ARECEL_TESTING_PROPERTY_H_
+#define ARECEL_TESTING_PROPERTY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testing/random_case.h"
+
+namespace arecel {
+
+// Minimal property-based testing driver: run a property over a stream of
+// seeded random cases; on the first failure, greedily shrink the case
+// (fewer rows, fewer queries, fewer predicates) while it keeps failing, and
+// report the minimized reproducer. Everything is deterministic given
+// (base_seed, options), so a failure line like "seed=17 rows=64 ..." can be
+// replayed exactly with GenerateRandomCase(17).
+
+// A property returns the empty string when satisfied, otherwise a
+// description of the violation.
+using Property = std::function<std::string(const RandomCase&)>;
+
+struct PropertyOptions {
+  int num_cases = 20;
+  uint64_t base_seed = 0xA11CE;
+  RandomCaseOptions case_options;
+  bool shrink = true;
+  // Cap on candidate cases evaluated during shrinking.
+  int max_shrink_attempts = 256;
+};
+
+struct ShrinkStats {
+  int attempts = 0;  // candidate cases evaluated.
+  int accepted = 0;  // candidates that still failed and replaced the case.
+};
+
+struct PropertyOutcome {
+  bool passed = true;
+  int cases_run = 0;
+  uint64_t failing_seed = 0;
+  std::string failure;         // message for the original failing case.
+  RandomCase shrunk;           // minimized reproducer (valid iff !passed).
+  std::string shrunk_failure;  // message for the minimized case.
+  ShrinkStats shrink_stats;
+
+  // Ready-to-print report of the minimized failure.
+  std::string Message() const;
+};
+
+PropertyOutcome CheckProperty(const Property& property,
+                              const PropertyOptions& options = {});
+
+// Greedy shrinking of a failing case: repeatedly halve the table, drop
+// queries and drop predicates as long as `still_fails` holds. Exposed for
+// direct use and for testing the shrinker itself.
+RandomCase ShrinkCase(const RandomCase& failing,
+                      const std::function<bool(const RandomCase&)>& still_fails,
+                      int max_attempts = 256, ShrinkStats* stats = nullptr);
+
+}  // namespace arecel
+
+#endif  // ARECEL_TESTING_PROPERTY_H_

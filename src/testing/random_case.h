@@ -1,0 +1,49 @@
+#ifndef ARECEL_TESTING_RANDOM_CASE_H_
+#define ARECEL_TESTING_RANDOM_CASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "workload/query.h"
+
+namespace arecel {
+
+// Seeded generation of random (table, query set) cases for property-based
+// testing. Tables vary in row count, arity, domain sizes, skew, correlation
+// and categorical mix; queries come from the paper's unified workload
+// generator, so the property suites exercise the same query shapes the
+// benchmark does. Deterministic given (seed, options).
+
+struct RandomCaseOptions {
+  size_t min_rows = 64;
+  size_t max_rows = 4096;
+  int min_cols = 1;
+  int max_cols = 5;
+  int min_domain = 2;
+  int max_domain = 64;
+  size_t num_queries = 24;
+  double categorical_probability = 0.3;
+  double max_skew = 1.5;
+};
+
+struct RandomCase {
+  uint64_t seed = 0;
+  Table table;
+  std::vector<Query> queries;
+
+  // Compact one-line description for failure messages, e.g.
+  // "seed=7 rows=512 cols=3 queries=4 preds=[2,1,3]".
+  std::string Describe() const;
+
+  // Total number of predicates across all queries.
+  size_t TotalPredicates() const;
+};
+
+RandomCase GenerateRandomCase(uint64_t seed,
+                              const RandomCaseOptions& options = {});
+
+}  // namespace arecel
+
+#endif  // ARECEL_TESTING_RANDOM_CASE_H_

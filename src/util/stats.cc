@@ -21,7 +21,7 @@ double Percentile(const std::vector<double>& values, double p) {
 }
 
 QuantileSummary Summarize(const std::vector<double>& values) {
-  ARECEL_CHECK(!values.empty());
+  if (values.empty()) return QuantileSummary{};
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
   auto at = [&](double p) {

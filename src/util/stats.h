@@ -15,7 +15,8 @@ namespace arecel {
 double Percentile(const std::vector<double>& values, double p);
 
 // Convenience: {50th, 95th, 99th, max} of `values` — the four columns the
-// paper's Table 4 reports per dataset.
+// paper's Table 4 reports per dataset. An empty input yields the all-zero
+// summary (degenerate workloads must not abort the evaluation harness).
 struct QuantileSummary {
   double p50 = 0;
   double p95 = 0;

@@ -1,0 +1,70 @@
+// The estimator conformance gate: every name the registry can construct is
+// held to the metamorphic behavioral contract (bounds, tightening
+// monotonicity, full-domain no-op, fixed-seed determinism, save/load
+// round-trip) on the pinned conformance fixture. A perf PR that corrupts
+// an estimate fails here before any accuracy number moves.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "testing/conformance.h"
+
+namespace arecel {
+namespace {
+
+class ConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    options_ = new ConformanceOptions();
+    options_->temp_dir = ::testing::TempDir();
+    fixture_ = new ConformanceFixture(BuildConformanceFixture(*options_));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    delete options_;
+    fixture_ = nullptr;
+    options_ = nullptr;
+  }
+  static ConformanceFixture* fixture_;
+  static ConformanceOptions* options_;
+};
+
+ConformanceFixture* ConformanceTest::fixture_ = nullptr;
+ConformanceOptions* ConformanceTest::options_ = nullptr;
+
+TEST_P(ConformanceTest, SatisfiesBehavioralContract) {
+  const ConformanceReport report =
+      RunConformance(GetParam(), *fixture_, *options_);
+  EXPECT_TRUE(report.passed()) << report.Summary();
+  // Every invariant ran (or was explicitly skipped), none silently missing.
+  ASSERT_EQ(report.results.size(), 5u);
+  for (const InvariantResult& r : report.results) {
+    EXPECT_TRUE(r.passed()) << report.estimator << ": " << r.invariant
+                            << " violated " << r.violations << "/" << r.trials
+                            << " trials; " << r.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ConformanceTest,
+                         ::testing::ValuesIn(AllRegistryNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(ConformanceFixtureTest, IsDeterministic) {
+  ConformanceOptions options;
+  const ConformanceFixture a = BuildConformanceFixture(options);
+  const ConformanceFixture b = BuildConformanceFixture(options);
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  ASSERT_EQ(a.probes.size(), b.probes.size());
+  for (size_t c = 0; c < a.table.num_cols(); ++c)
+    EXPECT_EQ(a.table.column(c).values, b.table.column(c).values);
+  EXPECT_EQ(a.train.selectivities, b.train.selectivities);
+}
+
+}  // namespace
+}  // namespace arecel

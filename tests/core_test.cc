@@ -1,6 +1,8 @@
 // Tests for the core harness: q-error, evaluation, dynamic-environment
 // simulation, hyper-parameter tuning, device model and registry.
 
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -32,6 +34,29 @@ TEST(QErrorTest, ClampsBelowOneTuple) {
   EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
 }
 
+TEST(QErrorTest, NegativeEstimatesClampLikeZero) {
+  // A (buggy) negative estimate is treated as "less than one tuple", the
+  // same defined behavior zero gets — not an abort, not a negative q-error.
+  EXPECT_DOUBLE_EQ(QError(-5.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(10.0, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(-1.0, -2.0), 1.0);
+}
+
+TEST(QErrorTest, NonFiniteInputsReturnSentinel) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN must not clamp to 1.0 and masquerade as a perfect estimate.
+  EXPECT_EQ(QError(nan, 10.0), kInvalidQError);
+  EXPECT_EQ(QError(10.0, nan), kInvalidQError);
+  EXPECT_EQ(QError(inf, 10.0), kInvalidQError);
+  EXPECT_EQ(QError(-inf, 10.0), kInvalidQError);
+  EXPECT_EQ(QError(10.0, inf), kInvalidQError);
+  EXPECT_TRUE(std::isinf(kInvalidQError));
+  // The sentinel orders after every valid q-error, so quantile summaries
+  // containing it surface at the max.
+  EXPECT_GT(kInvalidQError, QError(1.0, 1e18));
+}
+
 TEST(RegistryTest, AllNamesConstruct) {
   const std::vector<std::string> names = AllEstimatorNames();
   EXPECT_EQ(names.size(), 13u);
@@ -45,6 +70,17 @@ TEST(RegistryTest, AllNamesConstruct) {
 TEST(RegistryTest, GroupSizesMatchPaper) {
   EXPECT_EQ(TraditionalEstimatorNames().size(), 8u);
   EXPECT_EQ(LearnedEstimatorNames().size(), 5u);
+}
+
+TEST(RegistryTest, AllRegistryNamesCoversPaperAndExtended) {
+  const std::vector<std::string> names = AllRegistryNames();
+  EXPECT_EQ(names.size(),
+            AllEstimatorNames().size() + ExtendedEstimatorNames().size());
+  for (const std::string& name : names) {
+    auto estimator = MakeEstimator(name);
+    ASSERT_NE(estimator, nullptr);
+    EXPECT_EQ(estimator->Name(), name);
+  }
 }
 
 TEST(RegistryTest, QueryDrivenFlags) {
@@ -67,6 +103,58 @@ TEST(DeviceTest, GpuHelpsNnMethodsOnly) {
   EXPECT_LT(SimulatedSpeedup("mscn", Device::kGpu, true), 1.0);  // slower!
   EXPECT_DOUBLE_EQ(SimulatedSpeedup("lw-xgb", Device::kGpu, true), 1.0);
   EXPECT_DOUBLE_EQ(SimulatedSpeedup("postgres", Device::kGpu, false), 1.0);
+}
+
+TEST(EvaluatorDegenerateTest, EmptyTestSetYieldsZeroSummary) {
+  const Table table = GenerateSynthetic2D(2000, 0.5, 0.5, 50, 1);
+  const Workload train = GenerateWorkload(table, 100, 2);
+  Workload empty;
+  auto estimator = MakePostgresEstimator();
+  const EstimatorReport report =
+      EvaluateOnDataset(*estimator, table, train, empty);
+  EXPECT_TRUE(report.raw_qerrors.empty());
+  EXPECT_DOUBLE_EQ(report.qerror.p50, 0.0);
+  EXPECT_DOUBLE_EQ(report.qerror.p95, 0.0);
+  EXPECT_DOUBLE_EQ(report.qerror.p99, 0.0);
+  EXPECT_DOUBLE_EQ(report.qerror.max, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_inference_ms, 0.0);
+}
+
+TEST(EvaluatorDegenerateTest, SingleQueryCollapsesQuantiles) {
+  const Table table = GenerateSynthetic2D(2000, 0.5, 0.5, 50, 1);
+  const Workload train = GenerateWorkload(table, 100, 2);
+  const Workload single = GenerateWorkload(table, 1, 3);
+  auto estimator = MakePostgresEstimator();
+  const EstimatorReport report =
+      EvaluateOnDataset(*estimator, table, train, single);
+  ASSERT_EQ(report.raw_qerrors.size(), 1u);
+  // Every quantile of a one-element sample is that element.
+  EXPECT_DOUBLE_EQ(report.qerror.p50, report.raw_qerrors[0]);
+  EXPECT_DOUBLE_EQ(report.qerror.p95, report.raw_qerrors[0]);
+  EXPECT_DOUBLE_EQ(report.qerror.p99, report.raw_qerrors[0]);
+  EXPECT_DOUBLE_EQ(report.qerror.max, report.raw_qerrors[0]);
+}
+
+TEST(EvaluatorDegenerateTest, IdenticalQErrorsCollapseQuantiles) {
+  const std::vector<double> identical(37, 4.25);
+  const QuantileSummary summary = Summarize(identical);
+  EXPECT_DOUBLE_EQ(summary.p50, 4.25);
+  EXPECT_DOUBLE_EQ(summary.p95, 4.25);
+  EXPECT_DOUBLE_EQ(summary.p99, 4.25);
+  EXPECT_DOUBLE_EQ(summary.max, 4.25);
+}
+
+TEST(EvaluatorDegenerateTest, SummaryHookMatchesEvaluateOnDataset) {
+  const Table table = GenerateSynthetic2D(2000, 0.5, 0.5, 50, 1);
+  const Workload train = GenerateWorkload(table, 100, 2);
+  const Workload test = GenerateWorkload(table, 40, 3);
+  auto estimator = MakePostgresEstimator();
+  const EstimatorReport report =
+      EvaluateOnDataset(*estimator, table, train, test);
+  const QuantileSummary hook =
+      EvaluateQErrorSummary(*estimator, test, table.num_rows());
+  EXPECT_DOUBLE_EQ(hook.p50, report.qerror.p50);
+  EXPECT_DOUBLE_EQ(hook.max, report.qerror.max);
 }
 
 TEST(EvaluatorTest, ReportFieldsPopulated) {

@@ -1,0 +1,151 @@
+// Golden q-error baseline gate: re-measures every registry estimator's
+// accuracy quantiles on the pinned golden workload and compares them to the
+// recorded baselines in tests/golden/*.json. Regenerate deliberately with
+// scripts/update_golden.sh after an intended accuracy change.
+//
+// ARECEL_GOLDEN_DIR is compiled in by tests/CMakeLists.txt and points at
+// the source-tree tests/golden directory.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "testing/golden.h"
+
+#ifndef ARECEL_GOLDEN_DIR
+#define ARECEL_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace arecel {
+namespace {
+
+class GoldenBaselineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new GoldenConfig(DefaultGoldenConfig());
+    fixture_ = new ConformanceFixture(BuildConformanceFixture(config_->fixture));
+    eval_ = new Workload(BuildGoldenEvalWorkload(*fixture_, *config_));
+  }
+  static void TearDownTestSuite() {
+    delete eval_;
+    delete fixture_;
+    delete config_;
+    eval_ = nullptr;
+    fixture_ = nullptr;
+    config_ = nullptr;
+  }
+  static GoldenConfig* config_;
+  static ConformanceFixture* fixture_;
+  static Workload* eval_;
+};
+
+GoldenConfig* GoldenBaselineTest::config_ = nullptr;
+ConformanceFixture* GoldenBaselineTest::fixture_ = nullptr;
+Workload* GoldenBaselineTest::eval_ = nullptr;
+
+TEST_P(GoldenBaselineTest, MatchesRecordedBaseline) {
+  const std::string name = GetParam();
+  const std::string path =
+      std::string(ARECEL_GOLDEN_DIR) + "/" + GoldenFileName(name);
+
+  GoldenBaseline recorded;
+  ASSERT_TRUE(ReadGoldenBaseline(path, &recorded))
+      << "missing or unparsable golden baseline " << path
+      << " — run scripts/update_golden.sh to (re)generate";
+  EXPECT_EQ(recorded.estimator, name);
+  EXPECT_EQ(recorded.seed, config_->fixture.seed);
+  ASSERT_EQ(recorded.num_queries, eval_->size())
+      << "pinned golden workload changed; regenerate baselines";
+
+  const GoldenBaseline measured =
+      ComputeGoldenBaseline(name, *fixture_, *eval_, *config_);
+  const GoldenCheckResult check =
+      CompareToGolden(measured.qerror, recorded, config_->band);
+  EXPECT_TRUE(check.passed)
+      << name << " drifted from golden baseline: " << check.detail
+      << "\n(if intended, regenerate with scripts/update_golden.sh)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, GoldenBaselineTest,
+                         ::testing::ValuesIn(AllRegistryNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(GoldenHarnessTest, BaselineJsonRoundTrips) {
+  GoldenBaseline b;
+  b.estimator = "kde-fb";
+  b.dataset = "conformance";
+  b.seed = 101;
+  b.num_queries = 200;
+  b.qerror = {1.5, 12.25, 80.0, 1234.5};
+  const std::string path = ::testing::TempDir() + "/golden_roundtrip.json";
+  ASSERT_TRUE(WriteGoldenBaseline(b, path));
+  GoldenBaseline back;
+  ASSERT_TRUE(ReadGoldenBaseline(path, &back));
+  EXPECT_EQ(back.estimator, b.estimator);
+  EXPECT_EQ(back.dataset, b.dataset);
+  EXPECT_EQ(back.seed, b.seed);
+  EXPECT_EQ(back.num_queries, b.num_queries);
+  EXPECT_DOUBLE_EQ(back.qerror.p50, b.qerror.p50);
+  EXPECT_DOUBLE_EQ(back.qerror.p95, b.qerror.p95);
+  EXPECT_DOUBLE_EQ(back.qerror.p99, b.qerror.p99);
+  EXPECT_DOUBLE_EQ(back.qerror.max, b.qerror.max);
+  std::remove(path.c_str());
+}
+
+TEST(GoldenHarnessTest, MissingFileIsRejected) {
+  GoldenBaseline b;
+  EXPECT_FALSE(
+      ReadGoldenBaseline("/nonexistent/golden/nowhere.json", &b));
+}
+
+TEST(GoldenHarnessTest, PerturbedBaselineFails) {
+  // The acceptance demonstration: nudge a recorded quantile outside the
+  // band and the check must fire in both directions.
+  QuantileSummary actual{2.0, 10.0, 50.0, 400.0};
+  GoldenBaseline recorded;
+  recorded.qerror = actual;
+  const double band = 1.25;
+  EXPECT_TRUE(CompareToGolden(actual, recorded, band).passed);
+
+  GoldenBaseline regressed = recorded;
+  regressed.qerror.p95 = actual.p95 / (band * 1.5);  // actual now too high.
+  const GoldenCheckResult worse = CompareToGolden(actual, regressed, band);
+  EXPECT_FALSE(worse.passed);
+  EXPECT_NE(worse.detail.find("p95"), std::string::npos);
+
+  GoldenBaseline improved = recorded;
+  improved.qerror.max = actual.max * band * 2.0;  // actual suspiciously low.
+  const GoldenCheckResult better = CompareToGolden(actual, improved, band);
+  EXPECT_FALSE(better.passed);
+  EXPECT_NE(better.detail.find("max"), std::string::npos);
+}
+
+TEST(GoldenHarnessTest, EdgeOfBandPasses) {
+  QuantileSummary actual{2.0, 10.0, 50.0, 400.0};
+  GoldenBaseline recorded;
+  recorded.qerror = {2.0 * 1.2, 10.0 / 1.2, 50.0, 400.0};
+  EXPECT_TRUE(CompareToGolden(actual, recorded, 1.25).passed);
+  EXPECT_FALSE(CompareToGolden(actual, recorded, 1.1).passed);
+}
+
+TEST(GoldenHarnessTest, InvalidBandRejected) {
+  QuantileSummary actual{1, 1, 1, 1};
+  GoldenBaseline recorded;
+  recorded.qerror = actual;
+  EXPECT_FALSE(CompareToGolden(actual, recorded, 0.5).passed);
+}
+
+TEST(GoldenHarnessTest, FileNameMapsDashes) {
+  EXPECT_EQ(GoldenFileName("lw-xgb"), "lw_xgb.json");
+  EXPECT_EQ(GoldenFileName("postgres"), "postgres.json");
+}
+
+}  // namespace
+}  // namespace arecel

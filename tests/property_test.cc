@@ -94,12 +94,6 @@ TEST_P(EstimatorInvariantsTest, ReportsPositiveModelSize) {
   EXPECT_GT(estimator->SizeBytes(), 0u);
 }
 
-std::vector<std::string> AllRegistryNames() {
-  std::vector<std::string> names = AllEstimatorNames();
-  for (const auto& name : ExtendedEstimatorNames()) names.push_back(name);
-  return names;
-}
-
 INSTANTIATE_TEST_SUITE_P(Registry, EstimatorInvariantsTest,
                          ::testing::ValuesIn(AllRegistryNames()),
                          [](const auto& info) {

@@ -1,0 +1,175 @@
+// Tests of the property-based testing harness itself (src/testing/):
+// generator determinism and option compliance, the shrinker's guarantees
+// (result still fails, is no larger than the input, minimal for simple
+// properties), and an end-to-end property sweep of estimator bounds over
+// random tables and workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "testing/invariants.h"
+#include "testing/property.h"
+#include "testing/random_case.h"
+
+namespace arecel {
+namespace {
+
+TEST(RandomCaseTest, DeterministicGivenSeed) {
+  const RandomCase a = GenerateRandomCase(99);
+  const RandomCase b = GenerateRandomCase(99);
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  ASSERT_EQ(a.table.num_cols(), b.table.num_cols());
+  for (size_t c = 0; c < a.table.num_cols(); ++c)
+    EXPECT_EQ(a.table.column(c).values, b.table.column(c).values);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t q = 0; q < a.queries.size(); ++q) {
+    ASSERT_EQ(a.queries[q].predicates.size(), b.queries[q].predicates.size());
+    for (size_t p = 0; p < a.queries[q].predicates.size(); ++p) {
+      EXPECT_EQ(a.queries[q].predicates[p].lo, b.queries[q].predicates[p].lo);
+      EXPECT_EQ(a.queries[q].predicates[p].hi, b.queries[q].predicates[p].hi);
+    }
+  }
+}
+
+TEST(RandomCaseTest, DistinctSeedsDiffer) {
+  const RandomCase a = GenerateRandomCase(1);
+  const RandomCase b = GenerateRandomCase(2);
+  const bool same_shape = a.table.num_rows() == b.table.num_rows() &&
+                          a.table.num_cols() == b.table.num_cols();
+  if (same_shape) {
+    bool all_equal = true;
+    for (size_t c = 0; c < a.table.num_cols() && all_equal; ++c)
+      all_equal = a.table.column(c).values == b.table.column(c).values;
+    EXPECT_FALSE(all_equal);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(RandomCaseTest, RespectsOptionRanges) {
+  RandomCaseOptions options;
+  options.min_rows = 100;
+  options.max_rows = 200;
+  options.min_cols = 2;
+  options.max_cols = 3;
+  options.min_domain = 4;
+  options.max_domain = 16;
+  options.num_queries = 7;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const RandomCase c = GenerateRandomCase(seed, options);
+    EXPECT_GE(c.table.num_rows(), 100u);
+    EXPECT_LE(c.table.num_rows(), 200u);
+    EXPECT_GE(c.table.num_cols(), 2u);
+    EXPECT_LE(c.table.num_cols(), 3u);
+    EXPECT_EQ(c.queries.size(), 7u);
+    for (size_t col = 0; col < c.table.num_cols(); ++col)
+      EXPECT_LE(c.table.column(col).domain.size(), 16u);
+  }
+}
+
+TEST(CheckPropertyTest, PassingPropertyRunsAllCases) {
+  PropertyOptions options;
+  options.num_cases = 10;
+  const PropertyOutcome outcome =
+      CheckProperty([](const RandomCase&) { return std::string(); }, options);
+  EXPECT_TRUE(outcome.passed);
+  EXPECT_EQ(outcome.cases_run, 10);
+}
+
+TEST(CheckPropertyTest, FailingPropertyShrinksRows) {
+  // "Tables must have < 128 rows" — fails for most cases; the minimized
+  // reproducer must be just past the threshold after repeated halving.
+  PropertyOptions options;
+  options.num_cases = 10;
+  options.case_options.min_rows = 1000;
+  options.case_options.max_rows = 4000;
+  const PropertyOutcome outcome = CheckProperty(
+      [](const RandomCase& c) {
+        return c.table.num_rows() >= 128
+                   ? "table has " + std::to_string(c.table.num_rows()) +
+                         " rows"
+                   : std::string();
+      },
+      options);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_FALSE(outcome.failure.empty());
+  EXPECT_FALSE(outcome.shrunk_failure.empty());
+  // Still failing but within one halving of minimal.
+  EXPECT_GE(outcome.shrunk.table.num_rows(), 128u);
+  EXPECT_LT(outcome.shrunk.table.num_rows(), 256u);
+  // Rows shrinking also pruned the query list to a single query.
+  EXPECT_EQ(outcome.shrunk.queries.size(), 1u);
+  EXPECT_GT(outcome.shrink_stats.accepted, 0);
+}
+
+TEST(CheckPropertyTest, ShrinkerMinimizesPredicates) {
+  // Property violated whenever any query carries >= 2 predicates: the
+  // minimized case is one query with exactly 2 predicates.
+  PropertyOptions options;
+  options.num_cases = 20;
+  options.case_options.min_cols = 3;
+  options.case_options.max_cols = 5;
+  const PropertyOutcome outcome = CheckProperty(
+      [](const RandomCase& c) {
+        for (const Query& q : c.queries)
+          if (q.predicates.size() >= 2) return std::string("wide query");
+        return std::string();
+      },
+      options);
+  ASSERT_FALSE(outcome.passed);
+  ASSERT_EQ(outcome.shrunk.queries.size(), 1u);
+  EXPECT_EQ(outcome.shrunk.queries[0].predicates.size(), 2u);
+  EXPECT_EQ(outcome.shrunk.table.num_rows(), 1u);
+}
+
+TEST(ShrinkCaseTest, ResultAlwaysFails) {
+  const RandomCase original = GenerateRandomCase(5);
+  auto fails = [](const RandomCase& c) { return c.TotalPredicates() >= 3; };
+  if (!fails(original)) GTEST_SKIP() << "seed produced a tiny case";
+  ShrinkStats stats;
+  const RandomCase shrunk = ShrinkCase(original, fails, 256, &stats);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_LE(shrunk.table.num_rows(), original.table.num_rows());
+  EXPECT_LE(shrunk.queries.size(), original.queries.size());
+  EXPECT_EQ(shrunk.TotalPredicates(), 3u);
+  EXPECT_LE(stats.accepted, stats.attempts);
+}
+
+TEST(RandomCaseTest, DescribeMentionsShape) {
+  const RandomCase c = GenerateRandomCase(3);
+  const std::string description = c.Describe();
+  EXPECT_NE(description.find("seed=3"), std::string::npos);
+  EXPECT_NE(description.find("rows="), std::string::npos);
+  EXPECT_NE(description.find("queries="), std::string::npos);
+}
+
+// End-to-end: estimator bounds hold on arbitrary random tables/workloads,
+// not just the pinned conformance fixture. Restricted to fast-training
+// estimators so the sweep stays tier-1 friendly.
+TEST(EstimatorPropertyTest, BoundsHoldOnRandomCases) {
+  PropertyOptions options;
+  options.num_cases = 8;
+  options.case_options.max_rows = 1024;
+  options.case_options.num_queries = 12;
+  for (const char* name : {"postgres", "sampling", "mhist", "bayes"}) {
+    const PropertyOutcome outcome = CheckProperty(
+        [name](const RandomCase& c) {
+          auto estimator = MakeEstimator(name);
+          Workload train;
+          train.queries = c.queries;
+          train.selectivities = LabelQueries(c.table, c.queries);
+          TrainContext context;
+          context.training_workload = &train;
+          estimator->Train(c.table, context);
+          const InvariantResult bounds = CheckSelectivityBounds(
+              *estimator, c.queries, c.table.num_rows());
+          return bounds.passed() ? std::string()
+                                 : bounds.invariant + ": " + bounds.detail;
+        },
+        options);
+    EXPECT_TRUE(outcome.passed) << name << ": " << outcome.Message();
+  }
+}
+
+}  // namespace
+}  // namespace arecel

@@ -1,0 +1,90 @@
+// Regenerates the golden q-error baselines in tests/golden/ for every
+// estimator the registry can construct.
+//
+// Usage:
+//   update_golden --update-golden [output_dir]
+//
+// Without --update-golden it runs in dry-run mode: measures and prints the
+// summaries (and whether each recorded baseline would still pass) but
+// writes nothing. The default output_dir is the source tree's tests/golden,
+// compiled in by tools/CMakeLists.txt. scripts/update_golden.sh wraps the
+// build-then-run dance.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/registry.h"
+#include "testing/golden.h"
+#include "util/ascii_table.h"
+
+#ifndef ARECEL_GOLDEN_DIR
+#define ARECEL_GOLDEN_DIR "tests/golden"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace arecel;
+
+  bool update = false;
+  std::string out_dir = ARECEL_GOLDEN_DIR;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--update-golden] [output_dir]\n", argv[0]);
+      return 0;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", argv[i]);
+      return 2;
+    } else {
+      out_dir = argv[i];
+    }
+  }
+
+  const GoldenConfig config = DefaultGoldenConfig();
+  std::printf("golden fixture: rows=%zu cols=%d train=%zu eval=%zu seed=%llu "
+              "band=%.2f\n",
+              config.fixture.rows, config.fixture.num_cols,
+              config.fixture.train_queries, config.eval_queries,
+              static_cast<unsigned long long>(config.fixture.seed),
+              config.band);
+  const ConformanceFixture fixture = BuildConformanceFixture(config.fixture);
+  const Workload eval = BuildGoldenEvalWorkload(fixture, config);
+
+  AsciiTable table({"estimator", "p50", "p95", "p99", "max",
+                    update ? "written" : "recorded-check"});
+
+  int failures = 0;
+  for (const std::string& name : AllRegistryNames()) {
+    const GoldenBaseline measured =
+        ComputeGoldenBaseline(name, fixture, eval, config);
+    const std::string path = out_dir + "/" + GoldenFileName(name);
+    std::string status;
+    if (update) {
+      status = WriteGoldenBaseline(measured, path) ? path : "WRITE FAILED";
+      if (status == "WRITE FAILED") ++failures;
+    } else {
+      GoldenBaseline recorded;
+      if (!ReadGoldenBaseline(path, &recorded)) {
+        status = "missing";
+        ++failures;
+      } else {
+        const GoldenCheckResult check =
+            CompareToGolden(measured.qerror, recorded, config.band);
+        status = check.passed ? "ok" : "DRIFTED: " + check.detail;
+        if (!check.passed) ++failures;
+      }
+    }
+    table.AddRow({name, FormatCompact(measured.qerror.p50),
+                  FormatCompact(measured.qerror.p95),
+                  FormatCompact(measured.qerror.p99),
+                  FormatCompact(measured.qerror.max), status});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (!update && failures > 0) {
+    std::printf("%d baseline(s) missing or drifted; rerun with "
+                "--update-golden to re-record\n",
+                failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
