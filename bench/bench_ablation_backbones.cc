@@ -9,6 +9,8 @@
 //    progressive sampling (same fitted model, different inference).
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/estimator.h"
@@ -16,6 +18,7 @@
 #include "estimators/learned/dqm.h"
 #include "estimators/learned/naru.h"
 #include "estimators/traditional/bayes.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -33,47 +36,58 @@ int main() {
   const Workload test =
       GenerateWorkload(table, bench::BenchQueryCount(), 2002);
 
+  bench::CellGuard guard;
   AsciiTable out({"estimator", "train s", "ms/query", "50th", "95th", "99th",
                   "max"});
-  auto add = [&](const std::string& label, CardinalityEstimator& estimator) {
-    Timer train_timer;
-    estimator.Train(table, {});
-    const double train_seconds = train_timer.ElapsedSeconds();
-    Timer inference_timer;
-    const QuantileSummary s =
-        Summarize(EvaluateQErrors(estimator, test, table.num_rows()));
-    const double ms =
-        inference_timer.ElapsedMillis() / static_cast<double>(test.size());
-    out.AddRow({label, FormatFixed(train_seconds, 1), FormatFixed(ms, 2),
-                FormatCompact(s.p50), FormatCompact(s.p95),
-                FormatCompact(s.p99), FormatCompact(s.max)});
-  };
+  auto add =
+      [&](const std::string& label,
+          const std::function<std::unique_ptr<CardinalityEstimator>()>&
+              make) {
+        struct Cell {
+          double train_s = 0.0;
+          double ms = 0.0;
+          QuantileSummary s;
+        };
+        auto cell = std::make_shared<Cell>();
+        const bool ok = guard.Run(label, [cell, make, &table, &test] {
+          auto estimator =
+              robust::WrapWithFaults(make(), robust::FaultPlanFromEnv());
+          Timer train_timer;
+          estimator->Train(table, {});
+          cell->train_s = train_timer.ElapsedSeconds();
+          Timer inference_timer;
+          cell->s =
+              Summarize(EvaluateQErrors(*estimator, test, table.num_rows()));
+          cell->ms = inference_timer.ElapsedMillis() /
+                     static_cast<double>(test.size());
+        });
+        if (ok) {
+          out.AddRow({label, FormatFixed(cell->train_s, 1),
+                      FormatFixed(cell->ms, 2), FormatCompact(cell->s.p50),
+                      FormatCompact(cell->s.p95), FormatCompact(cell->s.p99),
+                      FormatCompact(cell->s.max)});
+        } else {
+          out.AddRow({label, "-", "-", "-", "-", "-", "FAILED"});
+        }
+      };
 
-  {
-    NaruEstimator naru;  // ResMADE backbone, progressive sampling.
-    add("naru/resmade", naru);
-  }
-  {
+  // ResMADE backbone, progressive sampling.
+  add("naru/resmade", [] { return std::make_unique<NaruEstimator>(); });
+  add("naru/transformer", [] {
     NaruEstimator::Options options;
     options.backbone = NaruEstimator::Backbone::kTransformer;
     options.epochs = 8;  // transformer steps cost far more per epoch.
-    NaruEstimator naru(options);
-    add("naru/transformer", naru);
-  }
-  {
-    DqmDEstimator dqm;  // same ResMADE family, VEGAS inference.
-    add("dqm-d/vegas", dqm);
-  }
-  {
-    BayesEstimator bayes;  // exact message passing.
-    add("bayes/exact", bayes);
-  }
-  {
+    return std::make_unique<NaruEstimator>(options);
+  });
+  // Same ResMADE family, VEGAS inference.
+  add("dqm-d/vegas", [] { return std::make_unique<DqmDEstimator>(); });
+  // Exact message passing.
+  add("bayes/exact", [] { return std::make_unique<BayesEstimator>(); });
+  add("bayes/sampled", [] {
     BayesEstimator::Options options;
     options.inference = BayesEstimator::Inference::kProgressiveSampling;
-    BayesEstimator bayes(options);
-    add("bayes/sampled", bayes);
-  }
+    return std::make_unique<BayesEstimator>(options);
+  });
   std::printf("%s", out.ToString().c_str());
 
   bench::PrintPaperExpectation(
@@ -82,5 +96,5 @@ int main() {
       "is competitive but costlier to train at equal budget. Sampled Bayes "
       "trades the exact variant's determinism for sampling noise in the "
       "tail, mirroring the reference implementation.");
-  return 0;
+  return guard.Finish();
 }

@@ -3,11 +3,13 @@
 // recursion stop?), the two hyper-parameters the paper grid-searches (§3).
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/estimator.h"
 #include "data/datasets.h"
 #include "estimators/learned/deepdb.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -25,6 +27,7 @@ int main() {
   const Workload test =
       GenerateWorkload(table, bench::BenchQueryCount(), 2002);
 
+  bench::CellGuard guard;
   AsciiTable out({"rdc thr", "min slice", "sum", "prod", "leaf",
                   "train s", "50th", "99th", "max"});
   for (double threshold : {0.1, 0.3, 0.7}) {
@@ -32,18 +35,40 @@ int main() {
       DeepDbEstimator::Options options;
       options.rdc_threshold = threshold;
       options.min_instance_fraction = slice;
-      DeepDbEstimator deepdb(options);
-      Timer timer;
-      deepdb.Train(table, {});
-      const double train_seconds = timer.ElapsedSeconds();
-      const DeepDbEstimator::NodeCounts counts = deepdb.CountNodes();
-      const QuantileSummary s =
-          Summarize(EvaluateQErrors(deepdb, test, table.num_rows()));
-      out.AddRow({FormatFixed(threshold, 1), FormatFixed(slice, 3),
-                  std::to_string(counts.sum), std::to_string(counts.product),
-                  std::to_string(counts.leaf), FormatFixed(train_seconds, 1),
-                  FormatCompact(s.p50), FormatCompact(s.p99),
-                  FormatCompact(s.max)});
+      struct Cell {
+        DeepDbEstimator::NodeCounts counts;
+        double train_s = 0.0;
+        QuantileSummary s;
+      };
+      auto cell = std::make_shared<Cell>();
+      char label[64];
+      std::snprintf(label, sizeof(label), "deepdb x rdc=%.1f slice=%.3f",
+                    threshold, slice);
+      const bool ok = guard.Run(label, [cell, options, &table, &test] {
+        // Keep a typed handle for CountNodes(); the fault wrapper owns the
+        // estimator and forwards Train/Estimate through it.
+        auto deepdb = std::make_unique<DeepDbEstimator>(options);
+        DeepDbEstimator* raw = deepdb.get();
+        auto estimator = robust::WrapWithFaults(std::move(deepdb),
+                                                robust::FaultPlanFromEnv());
+        Timer timer;
+        estimator->Train(table, {});
+        cell->train_s = timer.ElapsedSeconds();
+        cell->counts = raw->CountNodes();
+        cell->s =
+            Summarize(EvaluateQErrors(*estimator, test, table.num_rows()));
+      });
+      if (ok) {
+        out.AddRow({FormatFixed(threshold, 1), FormatFixed(slice, 3),
+                    std::to_string(cell->counts.sum),
+                    std::to_string(cell->counts.product),
+                    std::to_string(cell->counts.leaf),
+                    FormatFixed(cell->train_s, 1), FormatCompact(cell->s.p50),
+                    FormatCompact(cell->s.p99), FormatCompact(cell->s.max)});
+      } else {
+        out.AddRow({FormatFixed(threshold, 1), FormatFixed(slice, 3), "-",
+                    "-", "-", "-", "-", "-", "FAILED"});
+      }
     }
   }
   std::printf("%s", out.ToString().c_str());
@@ -54,5 +79,5 @@ int main() {
       "prunes the recursion toward per-column independence (smaller, "
       "faster, less accurate) — the accuracy/size trade the paper's grid "
       "search navigates under the 1.5% budget.");
-  return 0;
+  return guard.Finish();
 }

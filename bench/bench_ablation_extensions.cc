@@ -23,6 +23,19 @@ int main() {
   bench::PrintHeader("Extensions: rule guarding and hierarchical hybrid",
                      "research opportunities (Section 7)");
 
+  bench::CellGuard cells;
+  // Runs a cell under the combined deadline; prints a FAILED row into
+  // `out` (padded to its column count) instead of aborting the study.
+  const auto guarded_cell = [&](AsciiTable& out, const std::string& label,
+                                size_t columns,
+                                const std::function<void()>& body) {
+    if (cells.Run(label, body)) return;
+    std::vector<std::string> row{label};
+    while (row.size() + 1 < columns) row.push_back("-");
+    row.push_back("FAILED");
+    out.AddRow(row);
+  };
+
   DatasetSpec spec = CensusSpec();
   spec.rows = static_cast<size_t>(
       static_cast<double>(spec.rows) * bench::BenchScale());
@@ -39,22 +52,26 @@ int main() {
     AsciiTable out({"estimator", "rules passed", "95th", "max"});
     for (const char* base_name : {"lw-xgb", "naru"}) {
       for (bool guard : {false, true}) {
-        std::unique_ptr<CardinalityEstimator> estimator;
-        if (guard) {
-          estimator =
-              std::make_unique<GuardedEstimator>(MakeEstimator(base_name));
-        } else {
-          estimator = MakeEstimator(base_name);
-        }
-        estimator->Train(table, context);
-        const auto rules = CheckLogicalRules(*estimator, table);
-        size_t passed = 0;
-        for (const RuleResult& rule : rules) passed += rule.satisfied();
-        const QuantileSummary s =
-            Summarize(EvaluateQErrors(*estimator, test, table.num_rows()));
-        out.AddRow({estimator->Name(),
-                    std::to_string(passed) + "/5",
-                    FormatCompact(s.p95), FormatCompact(s.max)});
+        const std::string label =
+            guard ? std::string("guarded(") + base_name + ")" : base_name;
+        guarded_cell(out, label, 4, [&] {
+          std::unique_ptr<CardinalityEstimator> estimator;
+          if (guard) {
+            estimator = std::make_unique<GuardedEstimator>(
+                bench::MakeBenchEstimator(base_name));
+          } else {
+            estimator = bench::MakeBenchEstimator(base_name);
+          }
+          estimator->Train(table, context);
+          const auto rules = CheckLogicalRules(*estimator, table);
+          size_t passed = 0;
+          for (const RuleResult& rule : rules) passed += rule.satisfied();
+          const QuantileSummary s =
+              Summarize(EvaluateQErrors(*estimator, test, table.num_rows()));
+          out.AddRow({estimator->Name(),
+                      std::to_string(passed) + "/5",
+                      FormatCompact(s.p95), FormatCompact(s.max)});
+        });
       }
     }
     std::printf("\nrule guarding (fidelity-A/B + stability by wrapper):\n%s",
@@ -77,12 +94,19 @@ int main() {
                   FormatFixed(ms, 3), FormatCompact(s.p95),
                   FormatCompact(s.max)});
     };
-    auto light = MakeEstimator("postgres");
-    measure(*light);
-    auto heavy = MakeEstimator("naru");
-    measure(*heavy);
-    HybridEstimator hybrid(MakeEstimator("postgres"), MakeEstimator("naru"));
-    measure(hybrid);
+    guarded_cell(out, "postgres", 5, [&] {
+      auto light = bench::MakeBenchEstimator("postgres");
+      measure(*light);
+    });
+    guarded_cell(out, "naru", 5, [&] {
+      auto heavy = bench::MakeBenchEstimator("naru");
+      measure(*heavy);
+    });
+    guarded_cell(out, "hybrid(postgres,naru)", 5, [&] {
+      HybridEstimator hybrid(bench::MakeBenchEstimator("postgres"),
+                             bench::MakeBenchEstimator("naru"));
+      measure(hybrid);
+    });
     std::printf("\nhierarchical hybrid (<=1 predicate -> postgres, else "
                 "naru):\n%s",
                 out.ToString().c_str());
@@ -93,5 +117,5 @@ int main() {
       "queries. The hybrid keeps most of the heavy model's tail accuracy "
       "while answering the (frequent) single-predicate queries at "
       "statistics speed.");
-  return 0;
+  return cells.Finish();
 }

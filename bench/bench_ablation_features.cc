@@ -4,6 +4,8 @@
 //  * LW-XGB/NN's CE features (AVI/MinSel/EBO) vs range features alone.
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/estimator.h"
@@ -11,6 +13,7 @@
 #include "estimators/learned/lw_nn.h"
 #include "estimators/learned/lw_xgb.h"
 #include "estimators/learned/mscn.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 #include "workload/generator.h"
@@ -31,44 +34,54 @@ int main() {
   TrainContext context;
   context.training_workload = &train;
 
+  bench::CellGuard guard;
   AsciiTable out({"variant", "50th", "95th", "99th", "max"});
-  auto add = [&](const std::string& label, CardinalityEstimator& estimator) {
-    estimator.Train(table, context);
-    const QuantileSummary s =
-        Summarize(EvaluateQErrors(estimator, test, table.num_rows()));
-    out.AddRow({label, FormatCompact(s.p50), FormatCompact(s.p95),
-                FormatCompact(s.p99), FormatCompact(s.max)});
-  };
+  auto add =
+      [&](const std::string& label,
+          const std::function<std::unique_ptr<CardinalityEstimator>()>&
+              make) {
+        auto summary = std::make_shared<QuantileSummary>();
+        const bool ok =
+            guard.Run(label, [summary, make, &table, &test, &context] {
+              auto estimator =
+                  robust::WrapWithFaults(make(), robust::FaultPlanFromEnv());
+              estimator->Train(table, context);
+              *summary = Summarize(
+                  EvaluateQErrors(*estimator, test, table.num_rows()));
+            });
+        if (ok) {
+          out.AddRow({label, FormatCompact(summary->p50),
+                      FormatCompact(summary->p95), FormatCompact(summary->p99),
+                      FormatCompact(summary->max)});
+        } else {
+          out.AddRow({label, "-", "-", "-", "FAILED"});
+        }
+      };
 
-  {
-    MscnEstimator with_bitmap;
-    add("mscn + sample bitmap", with_bitmap);
+  add("mscn + sample bitmap", [] { return std::make_unique<MscnEstimator>(); });
+  add("mscn - sample bitmap", [] {
     MscnEstimator::Options options;
     options.use_sample_bitmap = false;
-    MscnEstimator without_bitmap(options);
-    add("mscn - sample bitmap", without_bitmap);
-  }
-  {
-    LwXgbEstimator with_ce;
-    add("lw-xgb + CE features", with_ce);
+    return std::make_unique<MscnEstimator>(options);
+  });
+  add("lw-xgb + CE features",
+      [] { return std::make_unique<LwXgbEstimator>(); });
+  add("lw-xgb - CE features", [] {
     LwXgbEstimator::Options options;
     options.include_ce_features = false;
-    LwXgbEstimator without_ce(options);
-    add("lw-xgb - CE features", without_ce);
-  }
-  {
-    LwNnEstimator with_ce;
-    add("lw-nn + CE features", with_ce);
+    return std::make_unique<LwXgbEstimator>(options);
+  });
+  add("lw-nn + CE features", [] { return std::make_unique<LwNnEstimator>(); });
+  add("lw-nn - CE features", [] {
     LwNnEstimator::Options options;
     options.include_ce_features = false;
-    LwNnEstimator without_ce(options);
-    add("lw-nn - CE features", without_ce);
-  }
+    return std::make_unique<LwNnEstimator>(options);
+  });
   std::printf("%s", out.ToString().c_str());
 
   bench::PrintPaperExpectation(
       "Removing MSCN's bitmap and the LW methods' CE features should hurt "
       "mid-to-tail quantiles noticeably: both enrichments inject cheap "
       "data statistics the bare query featurization lacks.");
-  return 0;
+  return guard.Finish();
 }

@@ -3,11 +3,13 @@
 // discussion and Figure 10's domain-size squeeze.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/estimator.h"
 #include "data/datasets.h"
 #include "estimators/learned/naru.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -25,27 +27,43 @@ int main() {
   const Workload test =
       GenerateWorkload(table, bench::BenchQueryCount(), 2002);
 
+  bench::CellGuard guard;
+
   // --- Progressive-sampling path count: variance vs latency. ---
   {
     NaruEstimator::Options options;
     options.epochs = 12;
-    NaruEstimator naru(options);
-    naru.Train(table, {});
     AsciiTable out({"paths", "50th", "99th", "max", "ms/query"});
     for (int paths : {8, 32, 128, 512}) {
-      // Re-point the sampler without retraining.
+      // Re-point the sampler without changing the model: same seed and
+      // data fit the same network, only sample_count differs.
       NaruEstimator::Options probe_options = options;
       probe_options.sample_count = paths;
-      NaruEstimator probe(probe_options);
-      probe.Train(table, {});  // same seed/data -> same fitted model.
-      Timer timer;
-      const QuantileSummary s =
-          Summarize(EvaluateQErrors(probe, test, table.num_rows()));
-      const double ms =
-          timer.ElapsedMillis() / static_cast<double>(test.size());
-      out.AddRow({std::to_string(paths), FormatCompact(s.p50),
-                  FormatCompact(s.p99), FormatCompact(s.max),
-                  FormatFixed(ms, 2)});
+      struct Cell {
+        QuantileSummary s;
+        double ms = 0.0;
+      };
+      auto cell = std::make_shared<Cell>();
+      const bool ok = guard.Run(
+          "naru x paths=" + std::to_string(paths),
+          [cell, probe_options, &table, &test] {
+            auto probe = robust::WrapWithFaults(
+                std::make_unique<NaruEstimator>(probe_options),
+                robust::FaultPlanFromEnv());
+            probe->Train(table, {});
+            Timer timer;
+            cell->s =
+                Summarize(EvaluateQErrors(*probe, test, table.num_rows()));
+            cell->ms =
+                timer.ElapsedMillis() / static_cast<double>(test.size());
+          });
+      if (ok) {
+        out.AddRow({std::to_string(paths), FormatCompact(cell->s.p50),
+                    FormatCompact(cell->s.p99), FormatCompact(cell->s.max),
+                    FormatFixed(cell->ms, 2)});
+      } else {
+        out.AddRow({std::to_string(paths), "-", "-", "-", "FAILED"});
+      }
     }
     std::printf("\nprogressive-sampling paths (same trained model):\n%s",
                 out.ToString().c_str());
@@ -64,15 +82,29 @@ int main() {
       NaruEstimator::Options options;
       options.epochs = 10;
       options.max_vocab = vocab;
-      NaruEstimator naru(options);
-      naru.Train(wide, {});
-      const QuantileSummary s =
-          Summarize(EvaluateQErrors(naru, wide_test, wide.num_rows()));
-      out.AddRow({std::to_string(vocab),
-                  FormatFixed(static_cast<double>(naru.SizeBytes()) / 1024.0,
-                              0),
-                  FormatCompact(s.p50), FormatCompact(s.p99),
-                  FormatCompact(s.max)});
+      struct Cell {
+        QuantileSummary s;
+        double kb = 0.0;
+      };
+      auto cell = std::make_shared<Cell>();
+      const bool ok = guard.Run(
+          "naru x vocab=" + std::to_string(vocab),
+          [cell, options, &wide, &wide_test] {
+            auto naru = robust::WrapWithFaults(
+                std::make_unique<NaruEstimator>(options),
+                robust::FaultPlanFromEnv());
+            naru->Train(wide, {});
+            cell->kb = static_cast<double>(naru->SizeBytes()) / 1024.0;
+            cell->s = Summarize(
+                EvaluateQErrors(*naru, wide_test, wide.num_rows()));
+          });
+      if (ok) {
+        out.AddRow({std::to_string(vocab), FormatFixed(cell->kb, 0),
+                    FormatCompact(cell->s.p50), FormatCompact(cell->s.p99),
+                    FormatCompact(cell->s.max)});
+      } else {
+        out.AddRow({std::to_string(vocab), "-", "-", "-", "FAILED"});
+      }
     }
     std::printf("\nvocabulary cap on a d=10000 column (s=1, c=1):\n%s",
                 out.ToString().c_str());
@@ -83,5 +115,5 @@ int main() {
       "(Naru's inference bottleneck is the sequential per-column "
       "dependency). A tighter vocabulary cap shrinks the model but costs "
       "resolution on large domains — the Figure 10 squeeze.");
-  return 0;
+  return guard.Finish();
 }

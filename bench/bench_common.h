@@ -2,12 +2,18 @@
 #define ARECEL_BENCH_BENCH_COMMON_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/evaluator.h"
 #include "data/table.h"
+#include "robustness/fault_injector.h"
+#include "robustness/journal.h"
+#include "robustness/runner.h"
 #include "workload/generator.h"
 
 namespace arecel::bench {
@@ -18,6 +24,12 @@ namespace arecel::bench {
 // epochs) so the full suite finishes on a CPU-only machine; set
 // ARECEL_BENCH_SCALE (default 1.0) to scale dataset row counts, and
 // ARECEL_BENCH_QUERIES (default below) to change workload sizes.
+//
+// Robustness knobs (see DESIGN.md §7): ARECEL_FAULT_INJECT schedules
+// faults into the estimators a driver constructs; ARECEL_TRAIN_DEADLINE /
+// ARECEL_ESTIMATE_DEADLINE / ARECEL_TRAIN_ATTEMPTS / ARECEL_FALLBACK tune
+// the guarded execution; ARECEL_JOURNAL=0 disables resumable-sweep
+// journaling, ARECEL_JOURNAL_DIR moves the journal files (default ".").
 
 // Row-count multiplier from ARECEL_BENCH_SCALE.
 double BenchScale();
@@ -33,13 +45,101 @@ size_t BenchTrainQueryCount();
 // The four benchmark datasets at BenchScale().
 std::vector<Table> LoadBenchmarkDatasets();
 
-// Prints a standard experiment header with dataset sizes and knobs.
+// Prints a standard experiment header with dataset sizes and knobs,
+// including the robustness configuration (deadlines, fallback, fault plan,
+// journal state) so every driver's output records how it was guarded.
 void PrintHeader(const std::string& experiment,
                  const std::string& paper_reference);
 
 // Prints the paper's qualitative expectation so EXPERIMENTS.md can record
 // shape-vs-paper.
 void PrintPaperExpectation(const std::string& text);
+
+// Registry MakeEstimator wrapped with the ARECEL_FAULT_INJECT plan. Every
+// driver constructs estimators through this so an injected hang / NaN /
+// throw exercises the same code path in all 20 binaries.
+std::unique_ptr<CardinalityEstimator> MakeBenchEstimator(
+    const std::string& name);
+
+// Fault-tolerant sweep driver: guarded execution + failure accounting +
+// resumable journaling for one bench binary. Cells run under the watchdog;
+// completed clean cells are journaled (keyed by a config fingerprint) so a
+// killed or partially failed run resumes where it died, executing only the
+// missing/failed cells. Failures are collected and reported at Finish() —
+// the binary completes every remaining cell and only then exits non-zero.
+class SweepContext {
+ public:
+  explicit SweepContext(const std::string& bench_name);
+
+  // Full robust path for an (estimator, dataset) accuracy cell: journal
+  // lookup, guarded train with retry + fallback, guarded estimate sweep.
+  // A journal hit returns the cached report without running the cell.
+  EstimatorReport EvaluateCell(const std::string& estimator_name,
+                               const Table& table, const Workload& train,
+                               const Workload& test, uint64_t seed = 42);
+
+  // Generic guarded + journaled cell for drivers whose cells are not plain
+  // EvaluateOnDataset sweeps. `body` runs under a single cell deadline
+  // (train + estimate budgets combined) and returns the named metrics that
+  // are journaled and handed back on resume.
+  struct CellStatus {
+    bool ok = false;
+    bool from_journal = false;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::string failure;  // taxonomy string when !ok.
+  };
+  CellStatus RunCell(
+      const std::string& estimator_name, const std::string& cell_key,
+      const std::function<std::vector<std::pair<std::string, double>>()>&
+          body);
+
+  // Formats a table row's status cell: "" for clean cells, otherwise the
+  // failure chain, e.g. "FAILED kTrainTimeout; served by guarded(postgres)".
+  static std::string StatusLabel(const EstimatorReport& report);
+
+  bool any_failed() const { return !failed_cells_.empty(); }
+
+  // Prints the failure summary (and the resume hint when cells failed),
+  // deletes the journal when the whole sweep is clean, and returns the
+  // process exit code (0 clean / 1 any cell failed).
+  int Finish();
+
+  const robust::RobustOptions& options() const { return options_; }
+
+ private:
+  void NoteOutcome(const std::string& estimator, const std::string& cell,
+                   bool ok, const std::string& failure);
+
+  std::string bench_name_;
+  robust::RobustOptions options_;
+  std::vector<robust::FaultSpec> fault_plan_;
+  robust::SweepJournal journal_;
+  std::vector<std::string> failed_cells_;  // "estimator x cell: failure".
+};
+
+// Guarded-cell tracker for drivers whose cells cannot be journaled —
+// custom-option ablations and dynamic profiles that feed shared downstream
+// math. Each cell runs under the combined train+estimate deadline; a
+// failed cell prints a [robustness] FAILED line and the driver keeps
+// going, exiting non-zero only after the sweep completes. Bodies that must
+// survive a timeout abandonment should capture shared ownership by value
+// (the guard keeps the closure alive until the worker returns).
+class CellGuard {
+ public:
+  CellGuard();
+
+  // Runs `body` under the cell deadline; returns true when it succeeded.
+  bool Run(const std::string& label, const std::function<void()>& body);
+
+  bool any_failed() const { return !failed_.empty(); }
+
+  // Prints the failure summary; returns the process exit code (0/1).
+  int Finish() const;
+
+ private:
+  double deadline_ = 0.0;
+  std::vector<std::string> failed_;  // "label: failure".
+};
 
 }  // namespace arecel::bench
 

@@ -16,6 +16,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Figure 10: top-1% q-error vs domain size",
                      "Figure 10 (Section 6.2)");
+  bench::SweepContext sweep("bench_figure10_domain");
 
   const size_t rows = static_cast<size_t>(
       100000 * std::max(0.2, bench::BenchScale()));
@@ -25,23 +26,41 @@ int main() {
   for (const std::string& name : LearnedEstimatorNames()) {
     AsciiTable out({"domain d", "q1", "median", "q3", "max"});
     for (int d : {10, 100, 1000, 10000}) {
-      const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0,
-                                              /*correlation=*/1.0, d, 42);
-      const Workload train =
-          GenerateWorkload(table, 1500, 7, workload_options);
-      const Workload test =
-          GenerateWorkload(table, bench::BenchQueryCount(), 8,
-                           workload_options);
-      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-      TrainContext context;
-      context.training_workload = &train;
-      estimator->Train(table, context);
-      const std::vector<double> top = TopFraction(
-          EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
-      const BoxStats box = Box(top);
-      out.AddRow({std::to_string(d), FormatCompact(box.q1),
-                  FormatCompact(box.median), FormatCompact(box.q3),
-                  FormatCompact(box.max)});
+      const std::string cell_key = "domain=" + std::to_string(d);
+      const auto status = sweep.RunCell(name, cell_key, [&] {
+        const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0,
+                                                /*correlation=*/1.0, d, 42);
+        const Workload train =
+            GenerateWorkload(table, 1500, 7, workload_options);
+        const Workload test =
+            GenerateWorkload(table, bench::BenchQueryCount(), 8,
+                             workload_options);
+        std::unique_ptr<CardinalityEstimator> estimator =
+            bench::MakeBenchEstimator(name);
+        TrainContext context;
+        context.training_workload = &train;
+        estimator->Train(table, context);
+        const std::vector<double> top = TopFraction(
+            EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
+        const BoxStats box = Box(top);
+        return std::vector<std::pair<std::string, double>>{
+            {"q1", box.q1}, {"median", box.median}, {"q3", box.q3},
+            {"max", box.max}};
+      });
+      if (!status.ok) {
+        out.AddRow({std::to_string(d), "-", "-", "-",
+                    "FAILED " + status.failure});
+        continue;
+      }
+      const auto metric = [&](const char* key) {
+        for (const auto& [k, v] : status.metrics)
+          if (k == key) return v;
+        return 0.0;
+      };
+      out.AddRow({std::to_string(d), FormatCompact(metric("q1")),
+                  FormatCompact(metric("median")),
+                  FormatCompact(metric("q3")),
+                  FormatCompact(metric("max"))});
     }
     std::printf("\n--- %s ---\n%s", name.c_str(), out.ToString().c_str());
   }
@@ -52,5 +71,5 @@ int main() {
       "size budget — here via vocabulary binning, in the paper via the "
       "embedding matrix squeeze); LW-XGB is strongest at d = 10 and ~100x "
       "worse at large domains; MSCN and DeepDB degrade ~10x.");
-  return 0;
+  return sweep.Finish();
 }

@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "data/datasets.h"
 #include "estimators/learned/naru.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 #include "workload/generator.h"
@@ -25,12 +27,6 @@ int main() {
                                           /*correlation=*/1.0,
                                           /*domain_size=*/1000, /*seed=*/5);
 
-  NaruEstimator::Options options;
-  options.epochs = 10;
-  NaruEstimator naru(options);
-  TrainContext context;
-  naru.Train(table, context);
-
   // The paper's probe: a wide range on the first column combined with a
   // narrow range on the (functionally dependent) second column.
   Query query;
@@ -39,42 +35,57 @@ int main() {
   const double actual = static_cast<double>(ExecuteCount(table, query));
 
   const int repeats = 2000;
-  std::vector<double> estimates;
-  estimates.reserve(repeats);
-  for (int i = 0; i < repeats; ++i)
-    estimates.push_back(naru.EstimateCardinality(query, table.num_rows()));
+  bench::CellGuard guard;
+  auto estimates = std::make_shared<std::vector<double>>();
+  const bool ok = guard.Run(
+      "naru x repeated-estimates", [estimates, query, repeats, &table] {
+        NaruEstimator::Options options;
+        options.epochs = 10;
+        auto naru = robust::WrapWithFaults(
+            std::make_unique<NaruEstimator>(options),
+            robust::FaultPlanFromEnv());
+        TrainContext context;
+        naru->Train(table, context);
+        estimates->reserve(repeats);
+        for (int i = 0; i < repeats; ++i)
+          estimates->push_back(
+              naru->EstimateCardinality(query, table.num_rows()));
+      });
 
-  std::printf("query: %s\nactual cardinality: %.0f\n",
-              query.ToString(table).c_str(), actual);
-  const BoxStats box = Box(estimates);
-  std::printf("estimates over %d runs: min=%.0f q1=%.0f median=%.0f "
-              "q3=%.0f max=%.0f (stddev=%.0f)\n",
-              repeats, box.min, box.q1, box.median, box.q3, box.max,
-              StdDev(estimates));
+  if (ok) {
+    std::printf("query: %s\nactual cardinality: %.0f\n",
+                query.ToString(table).c_str(), actual);
+    const BoxStats box = Box(*estimates);
+    std::printf("estimates over %d runs: min=%.0f q1=%.0f median=%.0f "
+                "q3=%.0f max=%.0f (stddev=%.0f)\n",
+                repeats, box.min, box.q1, box.median, box.q3, box.max,
+                StdDev(*estimates));
 
-  // Histogram of the estimate distribution.
-  AsciiTable out({"estimate bucket", "count", "bar"});
-  const double hi = *std::max_element(estimates.begin(), estimates.end());
-  const int bins = 12;
-  std::vector<int> counts(bins, 0);
-  for (double e : estimates) {
-    int b = static_cast<int>(e / (hi + 1e-9) * bins);
-    ++counts[std::clamp(b, 0, bins - 1)];
+    // Histogram of the estimate distribution.
+    AsciiTable out({"estimate bucket", "count", "bar"});
+    const double hi =
+        *std::max_element(estimates->begin(), estimates->end());
+    const int bins = 12;
+    std::vector<int> counts(bins, 0);
+    for (double e : *estimates) {
+      int b = static_cast<int>(e / (hi + 1e-9) * bins);
+      ++counts[std::clamp(b, 0, bins - 1)];
+    }
+    for (int b = 0; b < bins; ++b) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "[%6.0f, %6.0f)", hi * b / bins,
+                    hi * (b + 1) / bins);
+      out.AddRow({label, std::to_string(counts[b]),
+                  std::string(static_cast<size_t>(counts[b] * 60 / repeats),
+                              '#')});
+    }
+    std::printf("%s", out.ToString().c_str());
   }
-  for (int b = 0; b < bins; ++b) {
-    char label[64];
-    std::snprintf(label, sizeof(label), "[%6.0f, %6.0f)", hi * b / bins,
-                  hi * (b + 1) / bins);
-    out.AddRow({label, std::to_string(counts[b]),
-                std::string(static_cast<size_t>(counts[b] * 60 / repeats),
-                            '#')});
-  }
-  std::printf("%s", out.ToString().c_str());
 
   bench::PrintPaperExpectation(
       "The paper observes estimates for a query with true cardinality 1036 "
       "spread over [0, 5992] across 2000 runs. The reproduction should show "
       "a similarly wide, multi-modal spread (max estimate several times the "
       "actual), demonstrating the stability-rule violation.");
-  return 0;
+  return guard.Finish();
 }

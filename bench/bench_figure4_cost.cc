@@ -14,6 +14,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Figure 4: training and inference time",
                      "Figure 4 (Section 4.3)");
+  bench::SweepContext sweep("bench_figure4_cost");
 
   // Learned methods plus the DBMS baselines the figure compares against.
   const std::vector<std::string> names = {"postgres", "mysql",  "dbms-a",
@@ -30,9 +31,13 @@ int main() {
     AsciiTable out({"estimator", "train cpu (s)", "train gpu* (s)",
                     "infer cpu (ms)", "infer gpu* (ms)", "model (KB)"});
     for (const std::string& name : names) {
-      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
       const EstimatorReport report =
-          EvaluateOnDataset(*estimator, table, train, test);
+          sweep.EvaluateCell(name, table, train, test);
+      if (report.served_by.empty()) {
+        out.AddRow({name, "-", "-", "-", "-",
+                    bench::SweepContext::StatusLabel(report)});
+        continue;
+      }
       const double train_gpu =
           report.train_seconds /
           SimulatedSpeedup(name, Device::kGpu, /*training=*/true);
@@ -42,7 +47,9 @@ int main() {
       const bool has_gpu =
           SimulatedSpeedup(name, Device::kGpu, true) != 1.0 ||
           SimulatedSpeedup(name, Device::kGpu, false) != 1.0;
-      out.AddRow({name, FormatFixed(report.train_seconds, 2),
+      const std::string status = bench::SweepContext::StatusLabel(report);
+      out.AddRow({status.empty() ? name : name + " [" + status + "]",
+                  FormatFixed(report.train_seconds, 2),
                   has_gpu ? FormatFixed(train_gpu, 2) : "-",
                   FormatFixed(report.avg_inference_ms, 3),
                   has_gpu ? FormatFixed(infer_gpu, 3) : "-",
@@ -63,5 +70,5 @@ int main() {
       "scale) and, with DeepDB, the slowest at inference (5-25 ms/query); "
       "the query-driven regression methods answer in well under a "
       "millisecond. GPU helps Naru and LW-NN but not MSCN.");
-  return 0;
+  return sweep.Finish();
 }

@@ -23,6 +23,8 @@ int main() {
   bench::PrintHeader("Figure 6: dynamic environments, 99th q-error vs T",
                      "Figure 6 (Section 5.2)");
 
+  bench::CellGuard guard;
+
   const std::vector<std::string> names = {"postgres", "mysql",  "dbms-a",
                                           "mscn",     "lw-xgb", "lw-nn",
                                           "naru",     "deepdb"};
@@ -38,18 +40,28 @@ int main() {
     // learned update so the "cannot catch up" regime is visible: at T=high
     // the slow methods miss the window, at T=low everyone finishes — the
     // paper's high/medium/low update frequencies.
+    // Cells feed the shared interval computation below, so they are not
+    // journaled — but each runs guarded, and a hung or throwing estimator
+    // drops out of this dataset's table instead of killing the figure.
     std::vector<DynamicProfile> profiles;
     double max_learned_tu = 0.0;
     for (const std::string& name : names) {
-      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-      TrainContext train_context;
-      train_context.training_workload = &initial_train;
-      estimator->Train(base, train_context);
-      DynamicOptions options;
-      options.update_query_count = bench::BenchTrainQueryCount() / 2;
-      profiles.push_back(ProfileDynamicUpdate(*estimator, updated,
-                                              base.num_rows(), test,
-                                              options));
+      auto cell = std::make_shared<DynamicProfile>();
+      const bool ok = guard.Run(
+          name + " x " + base.name(),
+          [&, cell] {
+            std::unique_ptr<CardinalityEstimator> estimator =
+                bench::MakeBenchEstimator(name);
+            TrainContext train_context;
+            train_context.training_workload = &initial_train;
+            estimator->Train(base, train_context);
+            DynamicOptions options;
+            options.update_query_count = bench::BenchTrainQueryCount() / 2;
+            *cell = ProfileDynamicUpdate(*estimator, updated,
+                                         base.num_rows(), test, options);
+          });
+      if (!ok) continue;
+      profiles.push_back(*cell);
       if (name != "postgres" && name != "mysql" && name != "dbms-a")
         max_learned_tu = std::max(max_learned_tu,
                                   profiles.back().update_seconds);
@@ -90,5 +102,5 @@ int main() {
       "catches up only at low frequency; DeepDB updates fastest among "
       "data-driven methods but its incrementally updated model misses the "
       "correlation change.");
-  return 0;
+  return guard.Finish();
 }

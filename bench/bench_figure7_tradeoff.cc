@@ -6,12 +6,14 @@
 // "Stale".
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/dynamic.h"
 #include "core/registry.h"
 #include "data/datasets.h"
 #include "estimators/learned/naru.h"
+#include "robustness/fault_injector.h"
 #include "util/ascii_table.h"
 #include "util/stats.h"
 
@@ -19,6 +21,8 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Figure 7: Naru update-epochs vs accuracy trade-off",
                      "Figure 7 (Section 5.3)");
+
+  bench::CellGuard guard;
 
   std::vector<DatasetSpec> specs = {CensusSpec(), ForestSpec()};
   for (DatasetSpec& spec : specs) {
@@ -39,23 +43,35 @@ int main() {
     AsciiTable out({"epochs", "t_u (s)", "stale p99", "updated p99",
                     "dynamic p99"});
     for (int epochs : {1, 2, 4, 8}) {
-      // A fresh initial model per setting (updates mutate in place); fewer
-      // initial epochs than the Table 4 profile keep the sweep affordable.
-      NaruEstimator::Options initial_options;
-      initial_options.epochs = 10;
-      NaruEstimator naru(initial_options);
-      TrainContext train_context;
-      naru.Train(base, train_context);
+      auto profile = std::make_shared<DynamicProfile>();
+      const bool ok = guard.Run(
+          "naru x " + spec.name + " x epochs=" + std::to_string(epochs),
+          [profile, epochs, &base, &updated, &test] {
+            // A fresh initial model per setting (updates mutate in place);
+            // fewer initial epochs than the Table 4 profile keep the sweep
+            // affordable.
+            NaruEstimator::Options initial_options;
+            initial_options.epochs = 10;
+            auto naru = robust::WrapWithFaults(
+                std::make_unique<NaruEstimator>(initial_options),
+                robust::FaultPlanFromEnv());
+            TrainContext train_context;
+            naru->Train(base, train_context);
 
-      DynamicOptions options;
-      options.update_epochs = epochs;
-      const DynamicProfile profile = ProfileDynamicUpdate(
-          naru, updated, base.num_rows(), test, options);
-      out.AddRow({std::to_string(epochs),
-                  FormatFixed(profile.update_seconds, 2),
-                  FormatCompact(Percentile(profile.stale_errors, 99)),
-                  FormatCompact(Percentile(profile.updated_errors, 99)),
-                  FormatCompact(DynamicP99(profile, interval))});
+            DynamicOptions options;
+            options.update_epochs = epochs;
+            *profile = ProfileDynamicUpdate(*naru, updated, base.num_rows(),
+                                            test, options);
+          });
+      if (ok) {
+        out.AddRow({std::to_string(epochs),
+                    FormatFixed(profile->update_seconds, 2),
+                    FormatCompact(Percentile(profile->stale_errors, 99)),
+                    FormatCompact(Percentile(profile->updated_errors, 99)),
+                    FormatCompact(DynamicP99(*profile, interval))});
+      } else {
+        out.AddRow({std::to_string(epochs), "-", "-", "-", "FAILED"});
+      }
     }
     std::printf("%s", out.ToString().c_str());
   }
@@ -64,5 +80,5 @@ int main() {
       "\"Updated\" improves monotonically with more epochs while \"Dynamic\" "
       "is U-shaped on Forest: it first drops (better updated model) then "
       "rises (the longer update leaves more queries on the stale model).");
-  return 0;
+  return guard.Finish();
 }

@@ -17,6 +17,8 @@ int main() {
   bench::PrintHeader("Figure 8: GPU effect in dynamic environments",
                      "Figure 8 (Section 5.4)");
 
+  bench::CellGuard guard;
+
   std::vector<DatasetSpec> specs = {ForestSpec(), DmvSpec()};
   for (DatasetSpec& spec : specs) {
     spec.rows = static_cast<size_t>(
@@ -36,18 +38,28 @@ int main() {
     for (const std::string& name : {std::string("naru"),
                                     std::string("lw-nn")}) {
       for (Device device : {Device::kCpu, Device::kGpu}) {
-        std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-        TrainContext train_context;
-        train_context.training_workload = &initial_train;
-        estimator->Train(base, train_context);
-        DynamicOptions options;
-        options.device = device;
-        options.update_query_count = bench::BenchTrainQueryCount() / 2;
-        const DynamicProfile profile = ProfileDynamicUpdate(
-            *estimator, updated, base.num_rows(), test, options);
+        auto profile = std::make_shared<DynamicProfile>();
+        const bool ok = guard.Run(
+            name + " x " + DeviceLabel(device) + " x " + spec.name,
+            [&, profile] {
+              std::unique_ptr<CardinalityEstimator> estimator =
+                  bench::MakeBenchEstimator(name);
+              TrainContext train_context;
+              train_context.training_workload = &initial_train;
+              estimator->Train(base, train_context);
+              DynamicOptions options;
+              options.device = device;
+              options.update_query_count = bench::BenchTrainQueryCount() / 2;
+              *profile = ProfileDynamicUpdate(*estimator, updated,
+                                              base.num_rows(), test, options);
+            });
+        if (!ok) {
+          out.AddRow({name, DeviceLabel(device), "-", "FAILED"});
+          continue;
+        }
         out.AddRow({name, DeviceLabel(device),
-                    FormatFixed(profile.update_seconds, 2),
-                    FormatCompact(DynamicP99(profile, interval))});
+                    FormatFixed(profile->update_seconds, 2),
+                    FormatCompact(DynamicP99(*profile, interval))});
       }
     }
     std::printf("%s", out.ToString().c_str());
@@ -61,5 +73,5 @@ int main() {
       "training lets a well-trained model answer more of the stream). Naru "
       "improves ~2x on DMV but not on Forest, where one update epoch is too "
       "few for a good updated model no matter how fast it runs.");
-  return 0;
+  return guard.Finish();
 }

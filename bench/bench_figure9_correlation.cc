@@ -17,6 +17,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Figure 9a: top-1% q-error vs correlation",
                      "Figure 9a (Section 6.2)");
+  bench::SweepContext sweep("bench_figure9_correlation");
 
   const size_t rows = static_cast<size_t>(
       100000 * std::max(0.2, bench::BenchScale()));
@@ -27,23 +28,41 @@ int main() {
   for (const std::string& name : LearnedEstimatorNames()) {
     AsciiTable out({"correlation c", "q1", "median", "q3", "max"});
     for (double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0, c,
-                                              /*domain_size=*/1000, 42);
-      const Workload train =
-          GenerateWorkload(table, 1500, 7, workload_options);
-      const Workload test =
-          GenerateWorkload(table, bench::BenchQueryCount(), 8,
-                           workload_options);
-      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-      TrainContext context;
-      context.training_workload = &train;
-      estimator->Train(table, context);
-      const std::vector<double> top = TopFraction(
-          EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
-      const BoxStats box = Box(top);
-      out.AddRow({FormatFixed(c, 2), FormatCompact(box.q1),
-                  FormatCompact(box.median), FormatCompact(box.q3),
-                  FormatCompact(box.max)});
+      const std::string cell_key = "corr=" + FormatFixed(c, 2);
+      const auto status = sweep.RunCell(name, cell_key, [&] {
+        const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0, c,
+                                                /*domain_size=*/1000, 42);
+        const Workload train =
+            GenerateWorkload(table, 1500, 7, workload_options);
+        const Workload test =
+            GenerateWorkload(table, bench::BenchQueryCount(), 8,
+                             workload_options);
+        std::unique_ptr<CardinalityEstimator> estimator =
+            bench::MakeBenchEstimator(name);
+        TrainContext context;
+        context.training_workload = &train;
+        estimator->Train(table, context);
+        const std::vector<double> top = TopFraction(
+            EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
+        const BoxStats box = Box(top);
+        return std::vector<std::pair<std::string, double>>{
+            {"q1", box.q1}, {"median", box.median}, {"q3", box.q3},
+            {"max", box.max}};
+      });
+      if (!status.ok) {
+        out.AddRow({FormatFixed(c, 2), "-", "-", "-",
+                    "FAILED " + status.failure});
+        continue;
+      }
+      const auto metric = [&](const char* key) {
+        for (const auto& [k, v] : status.metrics)
+          if (k == key) return v;
+        return 0.0;
+      };
+      out.AddRow({FormatFixed(c, 2), FormatCompact(metric("q1")),
+                  FormatCompact(metric("median")),
+                  FormatCompact(metric("q3")),
+                  FormatCompact(metric("max"))});
     }
     std::printf("\n--- %s ---\n%s", name.c_str(), out.ToString().c_str());
   }
@@ -51,5 +70,5 @@ int main() {
   bench::PrintPaperExpectation(
       "Every learned method's top-1% q-error grows with correlation, and "
       "jumps 10-100x at c = 1.0 (functional dependency).");
-  return 0;
+  return sweep.Finish();
 }

@@ -16,6 +16,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Figure 9b: top-1% q-error vs skew",
                      "Figure 9b (Section 6.2)");
+  bench::SweepContext sweep("bench_figure9_skew");
 
   const size_t rows = static_cast<size_t>(
       100000 * std::max(0.2, bench::BenchScale()));
@@ -25,23 +26,41 @@ int main() {
   for (const std::string& name : LearnedEstimatorNames()) {
     AsciiTable out({"skew s", "q1", "median", "q3", "max"});
     for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
-      const Table table = GenerateSynthetic2D(rows, s, /*correlation=*/1.0,
-                                              /*domain_size=*/1000, 42);
-      const Workload train =
-          GenerateWorkload(table, 1500, 7, workload_options);
-      const Workload test =
-          GenerateWorkload(table, bench::BenchQueryCount(), 8,
-                           workload_options);
-      std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-      TrainContext context;
-      context.training_workload = &train;
-      estimator->Train(table, context);
-      const std::vector<double> top = TopFraction(
-          EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
-      const BoxStats box = Box(top);
-      out.AddRow({FormatFixed(s, 2), FormatCompact(box.q1),
-                  FormatCompact(box.median), FormatCompact(box.q3),
-                  FormatCompact(box.max)});
+      const std::string cell_key = "skew=" + FormatFixed(s, 2);
+      const auto status = sweep.RunCell(name, cell_key, [&] {
+        const Table table = GenerateSynthetic2D(rows, s, /*correlation=*/1.0,
+                                                /*domain_size=*/1000, 42);
+        const Workload train =
+            GenerateWorkload(table, 1500, 7, workload_options);
+        const Workload test =
+            GenerateWorkload(table, bench::BenchQueryCount(), 8,
+                             workload_options);
+        std::unique_ptr<CardinalityEstimator> estimator =
+            bench::MakeBenchEstimator(name);
+        TrainContext context;
+        context.training_workload = &train;
+        estimator->Train(table, context);
+        const std::vector<double> top = TopFraction(
+            EvaluateQErrors(*estimator, test, table.num_rows()), 0.01);
+        const BoxStats box = Box(top);
+        return std::vector<std::pair<std::string, double>>{
+            {"q1", box.q1}, {"median", box.median}, {"q3", box.q3},
+            {"max", box.max}};
+      });
+      if (!status.ok) {
+        out.AddRow({FormatFixed(s, 2), "-", "-", "-",
+                    "FAILED " + status.failure});
+        continue;
+      }
+      const auto metric = [&](const char* key) {
+        for (const auto& [k, v] : status.metrics)
+          if (k == key) return v;
+        return 0.0;
+      };
+      out.AddRow({FormatFixed(s, 2), FormatCompact(metric("q1")),
+                  FormatCompact(metric("median")),
+                  FormatCompact(metric("q3")),
+                  FormatCompact(metric("max"))});
     }
     std::printf("\n--- %s ---\n%s", name.c_str(), out.ToString().c_str());
   }
@@ -50,5 +69,5 @@ int main() {
       "Methods react differently: Naru's max error grows with skew (s > 1), "
       "while MSCN, LW-XGB/NN and DeepDB — which embed a sample or 1-D "
       "histogram — tend to improve or stay flat at high skew.");
-  return 0;
+  return sweep.Finish();
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/estimator.h"
 #include "core/registry.h"
 #include "data/datasets.h"
@@ -31,7 +32,7 @@ struct Fixture {
     TrainContext context;
     context.training_workload = &train;
     for (const std::string& name : AllEstimatorNames()) {
-      auto estimator = MakeEstimator(name);
+      auto estimator = bench::MakeBenchEstimator(name);
       estimator->Train(table, context);
       estimators.push_back(std::move(estimator));
     }

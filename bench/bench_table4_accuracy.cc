@@ -1,6 +1,12 @@
 // Reproduces Table 4: estimation q-errors (50th/95th/99th/max) of eight
 // traditional and five learned estimators on the four benchmark datasets,
 // plus the "L v.s. T" learned-vs-traditional verdict row per dataset.
+//
+// Runs under the fault-tolerant sweep harness: each (estimator, dataset)
+// cell is guarded (deadline, retry, fallback), completed cells are
+// journaled so an interrupted or partially failed run resumes executing
+// only the missing cells, and the binary exits non-zero only after all
+// remaining cells completed.
 
 #include <cstdio>
 #include <map>
@@ -15,6 +21,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Table 4: estimation errors on four datasets",
                      "Table 4 (Section 4.2)");
+  bench::SweepContext sweep("bench_table4_accuracy");
 
   const std::vector<Table> datasets = bench::LoadBenchmarkDatasets();
   const std::vector<std::string> traditional = TraditionalEstimatorNames();
@@ -28,30 +35,38 @@ int main() {
     const Workload test =
         GenerateWorkload(table, bench::BenchQueryCount(), 2002);
 
-    AsciiTable out({"estimator", "50th", "95th", "99th", "max"});
-    std::map<std::string, QuantileSummary> summaries;
+    AsciiTable out({"estimator", "50th", "95th", "99th", "max", "status"});
+    std::map<std::string, EstimatorReport> reports;
     auto run_group = [&](const std::vector<std::string>& names) {
       for (const std::string& name : names) {
-        std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
         const EstimatorReport report =
-            EvaluateOnDataset(*estimator, table, train, test);
-        summaries[name] = report.qerror;
-        out.AddRow({name, FormatCompact(report.qerror.p50),
-                    FormatCompact(report.qerror.p95),
-                    FormatCompact(report.qerror.p99),
-                    FormatCompact(report.qerror.max)});
+            sweep.EvaluateCell(name, table, train, test);
+        reports[name] = report;
+        if (report.served_by.empty()) {
+          out.AddRow({name, "-", "-", "-", "-",
+                      bench::SweepContext::StatusLabel(report)});
+        } else {
+          out.AddRow({name, FormatCompact(report.qerror.p50),
+                      FormatCompact(report.qerror.p95),
+                      FormatCompact(report.qerror.p99),
+                      FormatCompact(report.qerror.max),
+                      bench::SweepContext::StatusLabel(report)});
+        }
       }
     };
-    out.AddRow({"[traditional]", "", "", "", ""});
+    out.AddRow({"[traditional]", "", "", "", "", ""});
     run_group(traditional);
-    out.AddRow({"[learned]", "", "", "", ""});
+    out.AddRow({"[learned]", "", "", "", "", ""});
     run_group(learned);
 
     // Verdict row: does the best learned beat the best traditional?
+    // Failed cells are excluded — a hung model must not decide the verdict.
     auto best_of = [&](const std::vector<std::string>& names, auto member) {
       double best = 1e300;
-      for (const auto& name : names)
-        best = std::min(best, summaries[name].*member);
+      for (const auto& name : names) {
+        if (!reports[name].ok()) continue;
+        best = std::min(best, reports[name].qerror.*member);
+      }
       return best;
     };
     std::vector<std::string> verdict{"L v.s. T"};
@@ -61,6 +76,7 @@ int main() {
       const double t = best_of(traditional, member);
       verdict.push_back(l <= t ? "win" : "lose");
     }
+    verdict.push_back("");
     out.AddRow(verdict);
     std::printf("%s", out.ToString().c_str());
   }
@@ -70,5 +86,5 @@ int main() {
       "(max q-error stays smallest); LW-XGB has the best mid-quantiles "
       "among query-driven methods; DBMS estimators show the largest max "
       "errors.");
-  return 0;
+  return sweep.Finish();
 }

@@ -17,6 +17,7 @@ int main() {
   using namespace arecel;
   bench::PrintHeader("Table 6: satisfaction/violation of logical rules",
                      "Table 6 (Section 6.3)");
+  bench::SweepContext sweep("bench_table6_rules");
 
   // A multi-column table gives the rule prober far more distinct probes
   // (range shrinks and whole-domain combinations) than the 2-column
@@ -36,22 +37,48 @@ int main() {
   AsciiTable out({"estimator", "monotonic", "consistent", "stable",
                   "fidelity-A", "fidelity-B", "paper(M C S FA FB)"});
   for (const std::string& name : LearnedEstimatorNames()) {
-    std::unique_ptr<CardinalityEstimator> estimator = MakeEstimator(name);
-    TrainContext context;
-    context.training_workload = &train;
-    estimator->Train(table, context);
-    RuleCheckOptions rule_options;
-    rule_options.trials = 300;  // monotonicity violations can be rare.
-    const std::vector<RuleResult> rules =
-        CheckLogicalRules(*estimator, table, rule_options);
+    const auto status = sweep.RunCell(name, "rules", [&] {
+      std::unique_ptr<CardinalityEstimator> estimator =
+          bench::MakeBenchEstimator(name);
+      TrainContext context;
+      context.training_workload = &train;
+      estimator->Train(table, context);
+      RuleCheckOptions rule_options;
+      rule_options.trials = 300;  // monotonicity violations can be rare.
+      const std::vector<RuleResult> rules =
+          CheckLogicalRules(*estimator, table, rule_options);
+      std::vector<std::pair<std::string, double>> metrics;
+      for (size_t r = 0; r < rules.size(); ++r) {
+        metrics.push_back({"v" + std::to_string(r),
+                           static_cast<double>(rules[r].violations)});
+        metrics.push_back({"t" + std::to_string(r),
+                           static_cast<double>(rules[r].trials)});
+      }
+      return metrics;
+    });
     std::vector<std::string> row{name};
-    for (const RuleResult& rule : rules) {
+    if (!status.ok) {
+      for (int r = 0; r < 5; ++r) row.push_back("-");
+      row.push_back("FAILED " + status.failure);
+      out.AddRow(row);
+      continue;
+    }
+    const auto metric = [&](const std::string& key) {
+      for (const auto& [k, v] : status.metrics)
+        if (k == key) return v;
+      return 0.0;
+    };
+    for (int r = 0; r < 5; ++r) {
+      const size_t violations =
+          static_cast<size_t>(metric("v" + std::to_string(r)));
+      const size_t trials =
+          static_cast<size_t>(metric("t" + std::to_string(r)));
       char cell[64];
-      if (rule.satisfied()) {
+      if (violations == 0) {
         std::snprintf(cell, sizeof(cell), "ok");
       } else {
-        std::snprintf(cell, sizeof(cell), "VIOLATED (%zu/%zu)",
-                      rule.violations, rule.trials);
+        std::snprintf(cell, sizeof(cell), "VIOLATED (%zu/%zu)", violations,
+                      trials);
       }
       row.push_back(cell);
     }
@@ -66,5 +93,5 @@ int main() {
       "stability; Naru's stochastic progressive sampling violates "
       "monotonicity, consistency and stability but satisfies both fidelity "
       "rules.");
-  return 0;
+  return sweep.Finish();
 }

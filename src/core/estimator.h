@@ -8,6 +8,7 @@
 
 #include "data/table.h"
 #include "util/archive.h"
+#include "util/cancellation.h"
 #include "workload/generator.h"
 #include "workload/query.h"
 
@@ -27,6 +28,12 @@ struct TrainContext {
 
   // Seed forwarded to any stochastic training component.
   uint64_t seed = 42;
+
+  // Cooperative cancellation, set by the robustness watchdog when the
+  // training deadline passes (src/robustness/guard.h). Iterative trainers
+  // should poll it between epochs and exit early; the partially trained
+  // model is discarded by the harness either way. May be null.
+  const CancellationToken* cancellation = nullptr;
 };
 
 // Context for a §5 dynamic-environment model update after data was appended

@@ -1,8 +1,34 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/timer.h"
 
 namespace arecel {
+
+QErrorScan ScanQErrors(const CardinalityEstimator& estimator,
+                       const Workload& workload, size_t rows) {
+  QErrorScan scan;
+  scan.qerrors.resize(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    // Inspect the raw selectivity before any clamping: a NaN would survive
+    // std::clamp (unordered comparisons keep the value) and an out-of-range
+    // estimate would be silently laundered into a plausible cardinality.
+    // Both are structural failures of the estimator, not workload facts, so
+    // they score the sentinel and are counted for the report.
+    const double sel = estimator.EstimateSelectivity(workload.queries[i]);
+    if (!std::isfinite(sel) || sel < 0.0) {
+      ++scan.invalid_estimates;
+      scan.qerrors[i] = kInvalidQError;
+      continue;
+    }
+    const double card = std::clamp(sel * static_cast<double>(rows), 0.0,
+                                   static_cast<double>(rows));
+    scan.qerrors[i] = QError(card, workload.Cardinality(i, rows));
+  }
+  return scan;
+}
 
 EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
                                   const Table& table, const Workload& train,
@@ -10,6 +36,7 @@ EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
   EstimatorReport report;
   report.estimator = estimator.Name();
   report.dataset = table.name();
+  report.served_by = report.estimator;
 
   TrainContext context;
   context.training_workload = &train;
@@ -23,18 +50,26 @@ EstimatorReport EvaluateOnDataset(CardinalityEstimator& estimator,
   // A degenerate (empty) test set yields an all-zero summary rather than a
   // division by zero.
   Timer inference_timer;
-  report.raw_qerrors = EvaluateQErrors(estimator, test, table.num_rows());
+  QErrorScan scan = ScanQErrors(estimator, test, table.num_rows());
   report.avg_inference_ms =
       test.size() == 0
           ? 0.0
           : inference_timer.ElapsedMillis() / static_cast<double>(test.size());
+  report.raw_qerrors = std::move(scan.qerrors);
+  report.invalid_estimates = scan.invalid_estimates;
+  if (scan.invalid_estimates > 0) {
+    report.failures.push_back(
+        {FailureKind::kNonFiniteEstimate, "estimate", 0,
+         std::to_string(scan.invalid_estimates) + "/" +
+             std::to_string(test.size()) + " invalid estimates"});
+  }
   report.qerror = Summarize(report.raw_qerrors);
   return report;
 }
 
 QuantileSummary EvaluateQErrorSummary(const CardinalityEstimator& estimator,
                                       const Workload& test, size_t rows) {
-  return Summarize(EvaluateQErrors(estimator, test, rows));
+  return Summarize(ScanQErrors(estimator, test, rows).qerrors);
 }
 
 }  // namespace arecel

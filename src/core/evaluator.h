@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "robustness/failure.h"
 #include "util/stats.h"
 
 namespace arecel {
@@ -19,7 +20,33 @@ struct EstimatorReport {
   double train_seconds = 0.0;
   double avg_inference_ms = 0.0;
   size_t model_size_bytes = 0;
+
+  // Failure accounting (robustness/failure.h). `served_by` names the model
+  // that actually produced the numbers: the estimator itself on the happy
+  // path, the configured fallback after training failed, or empty when the
+  // cell produced no numbers at all. `invalid_estimates` counts probe
+  // queries whose raw selectivity was non-finite or negative — each is
+  // clamped to the kInvalidQError path instead of flowing into the
+  // quantiles as a spurious number.
+  std::string served_by;
+  size_t invalid_estimates = 0;
+  std::vector<FailureRecord> failures;
+
+  // The cell yielded numbers (possibly via fallback) with no failure: the
+  // journalable state. A NaN-spewing estimator completes but is NOT ok.
+  bool ok() const { return failures.empty() && !served_by.empty(); }
 };
+
+// Per-query q-errors plus the boundary failure counts: the shared scan
+// beneath EvaluateOnDataset and EvaluateQErrorSummary. Non-finite or
+// negative raw selectivities score kInvalidQError and are tallied instead
+// of leaking into downstream statistics.
+struct QErrorScan {
+  std::vector<double> qerrors;
+  size_t invalid_estimates = 0;
+};
+QErrorScan ScanQErrors(const CardinalityEstimator& estimator,
+                       const Workload& workload, size_t rows);
 
 // Trains `estimator` (with `train` as the labelled workload for query-driven
 // methods) and evaluates q-errors over `test`. Wall-clock timings included.

@@ -14,8 +14,9 @@ namespace arecel {
 //
 // Supported estimators implement SerializeModel/DeserializeModel:
 // postgres / mysql / dbms-a (per-column statistics), sampling (the
-// materialized sample), lw-xgb (featurizer statistics + boosted trees).
-// SaveEstimator returns false for estimators without support.
+// materialized sample), mhist (the bucket directory), lw-xgb (featurizer
+// statistics + boosted trees). SaveEstimator returns false for estimators
+// without support.
 
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path);

@@ -4,13 +4,15 @@
 #include <cmath>
 
 #include "ml/loss.h"
+#include "robustness/failure.h"
 #include "util/check.h"
 #include "util/random.h"
 
 namespace arecel {
 
 void LwNnEstimator::FitWorkload(const Table& table, const Workload& workload,
-                                int epochs, uint64_t seed, bool reuse_model) {
+                                int epochs, uint64_t seed, bool reuse_model,
+                                const CancellationToken* cancel) {
   if (!reuse_model || model_ == nullptr) {
     featurizer_.Build(table, options_.include_ce_features);
     std::vector<size_t> sizes;
@@ -39,6 +41,7 @@ void LwNnEstimator::FitWorkload(const Table& table, const Workload& workload,
   Matrix output, grad(batch, 1);
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (cancel && cancel->cancelled()) throw CancelledError("lw-nn train");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     size_t batches = 0;
@@ -72,7 +75,7 @@ void LwNnEstimator::Train(const Table& table, const TrainContext& context) {
                        context.training_workload->size() > 0,
                    "LW-NN is query-driven and needs a labelled workload");
   FitWorkload(table, *context.training_workload, options_.epochs,
-              context.seed, /*reuse_model=*/false);
+              context.seed, /*reuse_model=*/false, context.cancellation);
 }
 
 void LwNnEstimator::Update(const Table& table, const UpdateContext& context) {

@@ -41,7 +41,8 @@ class LwNnEstimator : public CardinalityEstimator {
 
  private:
   void FitWorkload(const Table& table, const Workload& workload, int epochs,
-                   uint64_t seed, bool reuse_model);
+                   uint64_t seed, bool reuse_model,
+                   const CancellationToken* cancel = nullptr);
 
   Options options_;
   LwFeaturizer featurizer_;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "robustness/failure.h"
 #include "util/check.h"
 #include "util/random.h"
 
 namespace arecel {
 
-void NaruEstimator::RunEpochs(const Table& table, int epochs, uint64_t seed) {
+void NaruEstimator::RunEpochs(const Table& table, int epochs, uint64_t seed,
+                              const CancellationToken* cancel) {
   const size_t n = table.num_cols();
   std::vector<int32_t> all_codes;
   EncodeRowsWithBinnings(table, binnings_, &all_codes);
@@ -23,6 +25,7 @@ void NaruEstimator::RunEpochs(const Table& table, int epochs, uint64_t seed) {
   std::vector<int32_t> batch_codes(batch * n);
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (cancel && cancel->cancelled()) throw CancelledError("naru train");
     rng.Shuffle(order);
     double epoch_nll = 0.0;
     size_t steps = 0;
@@ -59,7 +62,7 @@ void NaruEstimator::Train(const Table& table, const TrainContext& context) {
     model_options.seed = context.seed;
     model_ = MakeResMadeModel(std::move(vocabs), model_options);
   }
-  RunEpochs(table, options_.epochs, context.seed + 1);
+  RunEpochs(table, options_.epochs, context.seed + 1, context.cancellation);
 }
 
 void NaruEstimator::Update(const Table& table, const UpdateContext& context) {

@@ -65,7 +65,8 @@ class NaruEstimator : public CardinalityEstimator {
   const AutoregressiveModel* model() const { return model_.get(); }
 
  private:
-  void RunEpochs(const Table& table, int epochs, uint64_t seed);
+  void RunEpochs(const Table& table, int epochs, uint64_t seed,
+                 const CancellationToken* cancel = nullptr);
 
   Options options_;
   std::vector<ColumnBinning> binnings_;

@@ -169,4 +169,36 @@ size_t MhistEstimator::SizeBytes() const {
   return buckets_.size() * (2 * num_cols_ + num_cols_ + 1) * 8;
 }
 
+bool MhistEstimator::SerializeModel(ByteWriter* writer) const {
+  writer->U64(num_cols_);
+  writer->U64(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    writer->Doubles(bucket.lo);
+    writer->Doubles(bucket.hi);
+    writer->Ints(bucket.distinct);
+    writer->F64(bucket.row_fraction);
+  }
+  return true;
+}
+
+bool MhistEstimator::DeserializeModel(ByteReader* reader) {
+  uint64_t cols = 0, count = 0;
+  if (!reader->U64(&cols) || !reader->U64(&count) || cols == 0 ||
+      cols > 4096 || count > (1u << 22)) {
+    return false;
+  }
+  std::vector<Bucket> buckets(count);
+  for (Bucket& bucket : buckets) {
+    if (!reader->Doubles(&bucket.lo) || !reader->Doubles(&bucket.hi) ||
+        !reader->Ints(&bucket.distinct) || !reader->F64(&bucket.row_fraction))
+      return false;
+    if (bucket.lo.size() != cols || bucket.hi.size() != cols ||
+        bucket.distinct.size() != cols || bucket.row_fraction < 0.0)
+      return false;
+  }
+  num_cols_ = cols;
+  buckets_ = std::move(buckets);
+  return true;
+}
+
 }  // namespace arecel

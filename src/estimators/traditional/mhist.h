@@ -30,6 +30,8 @@ class MhistEstimator : public CardinalityEstimator {
   void Train(const Table& table, const TrainContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
 
   size_t num_buckets() const { return buckets_.size(); }
 

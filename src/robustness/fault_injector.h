@@ -1,0 +1,100 @@
+#ifndef ARECEL_ROBUSTNESS_FAULT_INJECTOR_H_
+#define ARECEL_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace arecel::robust {
+
+// Where a fault fires.
+enum class FaultStage { kTrain, kEstimate, kSerialize };
+
+// What the fault does when it fires.
+enum class FaultAction {
+  kThrow,     // raise std::runtime_error.
+  kCancel,    // raise CancelledError (mid-train cancellation).
+  kHang,      // spin-sleep until cancelled (or a safety cap expires).
+  kDelay,     // sleep delay_seconds, then proceed normally.
+  kNan,       // estimate returns NaN.
+  kInf,       // estimate returns +infinity.
+  kNegative,  // estimate returns -0.5.
+  kRefuse,    // SerializeModel reports failure.
+};
+
+// One scheduled fault. Matching is by stage + call index: the fault fires
+// on calls with index >= after_calls, at most `times` times (-1 = forever).
+// Deterministic by construction — the schedule is the seed.
+struct FaultSpec {
+  std::string estimator;  // registry name this fault applies to ("" = all).
+  FaultStage stage = FaultStage::kTrain;
+  FaultAction action = FaultAction::kThrow;
+  int after_calls = 0;
+  int times = -1;
+  double delay_seconds = 0.05;  // kDelay duration.
+  double hang_cap_seconds = 60.0;  // kHang safety cap when never cancelled.
+};
+
+// Parses a fault plan like
+//   "naru:train:hang;mscn:estimate:nan;lw-nn:train:throw:times=2"
+// (`;` or `,` separates specs; optional trailing `key=value` fields:
+// after=N, times=N, delay=SECONDS, cap=SECONDS). Returns false and sets
+// `error` on a malformed spec. An empty string parses to an empty plan.
+bool ParseFaultPlan(const std::string& text, std::vector<FaultSpec>* plan,
+                    std::string* error);
+
+// The plan from the ARECEL_FAULT_INJECT environment variable (empty when
+// unset). Aborts with a parse error message on a malformed value — a typo'd
+// injection silently running clean would defeat the test.
+std::vector<FaultSpec> FaultPlanFromEnv();
+
+// Seeded fault-injecting wrapper: the test substrate proving the watchdog,
+// retry, and fallback machinery actually work. Transparent when no spec
+// matches — Name() forwards to the base so reports and journals keep the
+// real estimator name, and injected hangs poll the TrainContext's
+// cancellation token so an abandoning watchdog releases them quickly.
+class FaultInjector : public CardinalityEstimator {
+ public:
+  FaultInjector(std::unique_ptr<CardinalityEstimator> base,
+                std::vector<FaultSpec> plan);
+
+  std::string Name() const override { return base_->Name(); }
+  bool IsQueryDriven() const override { return base_->IsQueryDriven(); }
+  size_t SizeBytes() const override { return base_->SizeBytes(); }
+
+  void Train(const Table& table, const TrainContext& context) override;
+  void Update(const Table& table, const UpdateContext& context) override;
+  double EstimateSelectivity(const Query& query) const override;
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
+  int train_calls() const { return train_calls_.load(); }
+  int estimate_calls() const { return estimate_calls_.load(); }
+
+ private:
+  // First armed spec matching (stage, call index), bumping its fire count.
+  const FaultSpec* Fire(FaultStage stage, int call_index) const;
+  void ApplyTrainFault(const FaultSpec& fault,
+                       const CancellationToken* cancel) const;
+
+  std::unique_ptr<CardinalityEstimator> base_;
+  std::vector<FaultSpec> plan_;
+  mutable std::vector<std::atomic<int>> fired_;
+  mutable std::atomic<int> train_calls_{0};
+  mutable std::atomic<int> estimate_calls_{0};
+  mutable std::atomic<int> serialize_calls_{0};
+};
+
+// Wraps `base` with any matching faults from `plan` (specs whose estimator
+// field is empty or equals base->Name()). Returns `base` unchanged when
+// nothing matches, so the zero-fault path costs nothing.
+std::unique_ptr<CardinalityEstimator> WrapWithFaults(
+    std::unique_ptr<CardinalityEstimator> base,
+    const std::vector<FaultSpec>& plan);
+
+}  // namespace arecel::robust
+
+#endif  // ARECEL_ROBUSTNESS_FAULT_INJECTOR_H_

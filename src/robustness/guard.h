@@ -1,0 +1,54 @@
+#ifndef ARECEL_ROBUSTNESS_GUARD_H_
+#define ARECEL_ROBUSTNESS_GUARD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "robustness/failure.h"
+#include "util/cancellation.h"
+
+namespace arecel::robust {
+
+// Outcome of one guarded stage (a Train() call, a whole estimate sweep, or
+// a generic bench cell body).
+struct GuardResult {
+  FailureKind kind = FailureKind::kNone;  // kNone on success.
+  std::string detail;
+  double elapsed_seconds = 0.0;
+
+  bool ok() const { return kind == FailureKind::kNone; }
+};
+
+// What to report when the stage times out / throws, respectively — lets one
+// runner serve train, estimate, and generic cells.
+struct GuardKinds {
+  FailureKind on_timeout = FailureKind::kCellTimeout;
+  FailureKind on_throw = FailureKind::kCellThrew;
+  FailureKind on_cancel = FailureKind::kTrainCancelled;
+};
+
+// Runs `work` on a watchdog worker thread and waits at most
+// `deadline_seconds` (<= 0 disables the deadline and runs inline, so the
+// zero-risk configuration costs no thread). Exceptions never escape: a
+// CancelledError maps to kinds.on_cancel, anything else to kinds.on_throw.
+//
+// On deadline expiry the guard signals `cancel` (when provided) so
+// cooperative work can exit, waits a short grace period for it, and then
+// ABANDONS the worker: the detached thread keeps running against the state
+// captured in `work` and `keep_alive` until it eventually returns, at which
+// point that state is released. Callers must therefore (a) move shared
+// ownership of everything `work` touches into `keep_alive`, and (b) never
+// reuse an object whose stage timed out — the robust runner discards the
+// estimator and builds a fresh one instead. This is the standard
+// leak-on-hang contract of watchdog harnesses: a hung cell costs one thread
+// and its model, not the whole figure binary.
+GuardResult RunGuarded(std::function<void()> work, double deadline_seconds,
+                       const GuardKinds& kinds,
+                       CancellationToken* cancel = nullptr,
+                       std::shared_ptr<void> keep_alive = nullptr,
+                       double cancel_grace_seconds = 0.25);
+
+}  // namespace arecel::robust
+
+#endif  // ARECEL_ROBUSTNESS_GUARD_H_

@@ -1,0 +1,68 @@
+#ifndef ARECEL_ROBUSTNESS_JOURNAL_H_
+#define ARECEL_ROBUSTNESS_JOURNAL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arecel::robust {
+
+// One completed sweep cell: the (estimator, cell) key plus the named
+// metrics the bench needs to reprint its row without re-running the cell.
+// Only *clean* cells are journaled — failed cells re-execute on the next
+// run, which is exactly the resume semantics the acceptance scenario needs.
+struct JournalRecord {
+  std::string estimator;
+  std::string cell;  // dataset name or sweep-parameter key.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double Metric(const std::string& name, double fallback = 0.0) const;
+};
+
+// Hex FNV-1a fingerprint of the configuration parts that make journal
+// records comparable across runs (bench name, scale, query counts, format
+// version). Fault-injection settings are deliberately NOT part of it: a
+// faulty run's journal must be resumable by a clean rerun.
+std::string FingerprintConfig(const std::vector<std::string>& parts);
+
+// Append-only JSONL journal of completed sweep cells.
+//
+// File format: a header line {"fingerprint":"..."} followed by one record
+// per line: {"estimator":"naru","cell":"census","metrics":{"p50":1.5,...}}.
+// Records are flushed per append, so a killed run loses at most the cell in
+// flight. On open, a file whose fingerprint does not match is discarded
+// (the configuration changed; its cells are not comparable).
+class SweepJournal {
+ public:
+  // An empty path disables journaling (enabled() == false; Find always
+  // misses, Append succeeds as a no-op).
+  SweepJournal(std::string path, std::string fingerprint);
+
+  bool enabled() const { return !path_.empty(); }
+  size_t resumed_cells() const { return records_.size(); }
+
+  const JournalRecord* Find(const std::string& estimator,
+                            const std::string& cell) const;
+
+  // Journals one completed cell (persists + indexes it). Returns false when
+  // the write failed — callers account that as kPersistenceFailure but keep
+  // sweeping; a broken disk should not kill the figure either.
+  bool Append(const JournalRecord& record);
+
+  // Deletes the journal file: the sweep finished with zero failures, so
+  // there is nothing to resume and the next run starts fresh.
+  void RemoveFile();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string fingerprint_;
+  std::map<std::string, JournalRecord> records_;  // key: estimator\ncell.
+  bool header_written_ = false;
+};
+
+}  // namespace arecel::robust
+
+#endif  // ARECEL_ROBUSTNESS_JOURNAL_H_

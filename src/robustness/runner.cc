@@ -1,0 +1,179 @@
+#include "robustness/runner.h"
+
+#include <cstdlib>
+
+#include "core/registry.h"
+#include "estimators/extensions/guarded.h"
+#include "robustness/guard.h"
+#include "util/timer.h"
+
+namespace arecel::robust {
+
+namespace {
+
+double EnvSeconds(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+// Bundle moved into the guard's keep_alive: everything a stage closure
+// touches, so an abandoned worker thread never dangles.
+struct TrainCell {
+  std::shared_ptr<CardinalityEstimator> estimator;
+  CancellationToken cancel;
+};
+
+struct EstimateCell {
+  std::shared_ptr<CardinalityEstimator> estimator;
+  QErrorScan scan;
+  double inference_ms = 0.0;
+};
+
+// Trains a fresh instance under the watchdog. Returns the trained estimator
+// (null on failure, with the failure recorded in *report).
+std::shared_ptr<CardinalityEstimator> TrainGuarded(
+    const EstimatorFactory& factory, const Table& table,
+    const Workload& train, uint64_t seed, int attempt,
+    const RobustOptions& options, EstimatorReport* report) {
+  auto cell = std::make_shared<TrainCell>();
+  cell->estimator = factory();
+
+  Timer timer;
+  const GuardResult outcome = RunGuarded(
+      [cell, &table, &train, seed] {
+        TrainContext context;
+        context.training_workload = &train;
+        context.seed = seed;
+        context.cancellation = &cell->cancel;
+        cell->estimator->Train(table, context);
+      },
+      options.train_deadline_seconds,
+      {FailureKind::kTrainTimeout, FailureKind::kTrainThrew,
+       FailureKind::kTrainCancelled},
+      &cell->cancel, cell);
+  if (outcome.ok()) {
+    report->train_seconds += timer.ElapsedSeconds();
+    return cell->estimator;
+  }
+  report->train_seconds += outcome.elapsed_seconds;
+  report->failures.push_back({outcome.kind, "train", attempt,
+                              outcome.detail +
+                                  ", seed=" + std::to_string(seed)});
+  return nullptr;
+}
+
+// Runs the whole estimate sweep on a watchdog worker. Returns true and
+// fills scan/timing on success; records the failure otherwise. The
+// estimator must not be reused after a timeout (the worker may still be
+// touching it), which the caller honours by dropping its reference.
+bool EstimateGuarded(std::shared_ptr<CardinalityEstimator> estimator,
+                     const Workload& test, size_t rows,
+                     const RobustOptions& options, EstimatorReport* report) {
+  auto cell = std::make_shared<EstimateCell>();
+  cell->estimator = std::move(estimator);
+
+  const GuardResult outcome = RunGuarded(
+      [cell, &test, rows] {
+        Timer inference_timer;
+        cell->scan = ScanQErrors(*cell->estimator, test, rows);
+        cell->inference_ms = inference_timer.ElapsedMillis();
+      },
+      options.estimate_deadline_seconds,
+      {FailureKind::kEstimateTimeout, FailureKind::kEstimateThrew,
+       FailureKind::kEstimateThrew},
+      nullptr, cell);
+  if (!outcome.ok()) {
+    report->failures.push_back({outcome.kind, "estimate", 0, outcome.detail});
+    return false;
+  }
+  report->raw_qerrors = std::move(cell->scan.qerrors);
+  report->invalid_estimates = cell->scan.invalid_estimates;
+  report->avg_inference_ms =
+      test.size() == 0
+          ? 0.0
+          : cell->inference_ms / static_cast<double>(test.size());
+  if (report->invalid_estimates > 0) {
+    report->failures.push_back(
+        {FailureKind::kNonFiniteEstimate, "estimate", 0,
+         std::to_string(report->invalid_estimates) + "/" +
+             std::to_string(test.size()) + " invalid estimates"});
+  }
+  return true;
+}
+
+}  // namespace
+
+RobustOptions RobustOptionsFromEnv() {
+  RobustOptions options;
+  options.train_deadline_seconds =
+      EnvSeconds("ARECEL_TRAIN_DEADLINE", options.train_deadline_seconds);
+  options.estimate_deadline_seconds = EnvSeconds(
+      "ARECEL_ESTIMATE_DEADLINE", options.estimate_deadline_seconds);
+  options.max_train_attempts = static_cast<int>(
+      EnvSeconds("ARECEL_TRAIN_ATTEMPTS",
+                 static_cast<double>(options.max_train_attempts)));
+  if (const char* fallback = std::getenv("ARECEL_FALLBACK")) {
+    options.fallback = fallback;
+    if (options.fallback == "none") options.fallback.clear();
+  }
+  return options;
+}
+
+EstimatorReport EvaluateOnDatasetRobust(
+    const std::string& estimator_name, const EstimatorFactory& factory,
+    const Table& table, const Workload& train, const Workload& test,
+    const RobustOptions& options, uint64_t seed) {
+  EstimatorReport report;
+  report.estimator = estimator_name;
+  report.dataset = table.name();
+
+  // Pillar 2: bounded seed-bump retries over fresh instances.
+  std::shared_ptr<CardinalityEstimator> trained;
+  const int attempts = std::max(1, options.max_train_attempts);
+  for (int attempt = 0; attempt < attempts && trained == nullptr; ++attempt) {
+    trained = TrainGuarded(factory, table, train,
+                           seed + static_cast<uint64_t>(attempt) *
+                                      options.retry_seed_stride,
+                           attempt, options, &report);
+  }
+  bool served = false;
+  if (trained != nullptr) {
+    report.model_size_bytes = trained->SizeBytes();
+    served = EstimateGuarded(std::move(trained), test, table.num_rows(),
+                             options, &report);
+    if (served) report.served_by = estimator_name;
+  }
+
+  // Degrade to the configured traditional estimator, rule-guarded, instead
+  // of vanishing from the table — whether training was exhausted or the
+  // estimate stage itself failed.
+  if (!served && !options.fallback.empty() &&
+      options.fallback != estimator_name) {
+    auto fallback_factory = [&options] {
+      return std::unique_ptr<CardinalityEstimator>(
+          std::make_unique<GuardedEstimator>(
+              MakeEstimator(options.fallback)));
+    };
+    std::shared_ptr<CardinalityEstimator> fallback =
+        TrainGuarded(fallback_factory, table, train, seed,
+                     /*attempt=*/attempts, options, &report);
+    if (fallback != nullptr) {
+      report.model_size_bytes = fallback->SizeBytes();
+      served = EstimateGuarded(std::move(fallback), test, table.num_rows(),
+                               options, &report);
+      if (served) report.served_by = "guarded(" + options.fallback + ")";
+    }
+  }
+
+  if (report.served_by.empty()) {
+    // No numbers at all: report the sentinel quantiles so a failed cell is
+    // visibly broken in any aggregate that still includes it.
+    report.qerror = {kInvalidQError, kInvalidQError, kInvalidQError,
+                     kInvalidQError};
+  } else {
+    report.qerror = Summarize(report.raw_qerrors);
+  }
+  return report;
+}
+
+}  // namespace arecel::robust

@@ -1,0 +1,55 @@
+#ifndef ARECEL_ROBUSTNESS_RUNNER_H_
+#define ARECEL_ROBUSTNESS_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+
+namespace arecel::robust {
+
+// Knobs for one guarded (estimator, dataset) evaluation cell.
+struct RobustOptions {
+  // Per-stage wall-clock deadlines; <= 0 disables that watchdog.
+  double train_deadline_seconds = 600.0;
+  // Deadline for the whole estimate sweep over the test workload (one
+  // worker thread per stage, not per query).
+  double estimate_deadline_seconds = 300.0;
+
+  // Bounded retries for stochastic training divergence: attempt k trains a
+  // FRESH instance with seed + k * retry_seed_stride, so a diverging run
+  // does not just replay itself. Every failed attempt is logged.
+  int max_train_attempts = 2;
+  uint64_t retry_seed_stride = 9973;
+
+  // Registry name of the traditional estimator that serves the cell when
+  // all training attempts failed ("" disables). Wrapped in GuardedEstimator
+  // (§7.2 rule guarding) so the degraded path also behaves logically.
+  std::string fallback = "postgres";
+};
+
+using EstimatorFactory =
+    std::function<std::unique_ptr<CardinalityEstimator>()>;
+
+// Options read from the environment: ARECEL_TRAIN_DEADLINE,
+// ARECEL_ESTIMATE_DEADLINE (seconds), ARECEL_TRAIN_ATTEMPTS,
+// ARECEL_FALLBACK ("none" disables). The bench binaries use this so a CI
+// job can tighten budgets without recompiling.
+RobustOptions RobustOptionsFromEnv();
+
+// Fault-tolerant counterpart of EvaluateOnDataset: trains under the
+// watchdog with seed-bump retries, degrades to options.fallback when
+// training is exhausted, runs the estimate stage under its own deadline,
+// and maps every failure to the taxonomy in the report. Never throws and
+// never hangs past the configured deadlines: a report with
+// served_by.empty() means the cell produced no numbers (its quantiles are
+// kInvalidQError so aggregates surface the hole instead of masking it).
+EstimatorReport EvaluateOnDatasetRobust(
+    const std::string& estimator_name, const EstimatorFactory& factory,
+    const Table& table, const Workload& train, const Workload& test,
+    const RobustOptions& options = {}, uint64_t seed = 42);
+
+}  // namespace arecel::robust
+
+#endif  // ARECEL_ROBUSTNESS_RUNNER_H_

@@ -1,0 +1,26 @@
+#ifndef ARECEL_UTIL_CANCELLATION_H_
+#define ARECEL_UTIL_CANCELLATION_H_
+
+#include <atomic>
+
+namespace arecel {
+
+// Cooperative cancellation flag shared between a watchdog and a worker.
+// The watchdog calls Cancel() when a deadline passes; long-running work
+// (training epoch loops, injected delays) polls cancelled() and returns
+// early. Purely advisory: non-cooperative work is abandoned on its worker
+// thread instead (robustness/guard.h).
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_CANCELLATION_H_

@@ -115,7 +115,7 @@ TEST(ModelIoTest, PersistenceSupportMatchesDocumentedSet) {
   // The set documented in core/model_io.h; growing it is welcome, silently
   // shrinking it is not.
   for (const char* name : {"postgres", "mysql", "dbms-a", "sampling",
-                           "lw-xgb"}) {
+                           "mhist", "lw-xgb"}) {
     auto estimator = MakeEstimator(name);
     TrainContext context;
     context.training_workload = &Shared().train;
