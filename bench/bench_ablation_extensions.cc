@@ -6,6 +6,10 @@
 //    is mid-update.
 
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/registry.h"
@@ -24,17 +28,25 @@ int main() {
                      "research opportunities (Section 7)");
 
   bench::CellGuard cells;
-  // Runs a cell under the combined deadline; prints a FAILED row into
-  // `out` (padded to its column count) instead of aborting the study.
-  const auto guarded_cell = [&](AsciiTable& out, const std::string& label,
-                                size_t columns,
-                                const std::function<void()>& body) {
-    if (cells.Run(label, body)) return;
-    std::vector<std::string> row{label};
-    while (row.size() + 1 < columns) row.push_back("-");
-    row.push_back("FAILED");
-    out.AddRow(row);
-  };
+  // Runs a cell under the combined deadline. The body returns its table
+  // row; on failure a FAILED row (padded to `columns`) is printed instead.
+  // The row lands in `out` only on the non-abandoned path — a timed-out
+  // worker keeps writing its own shared row, which nobody reads, instead
+  // of reaching into the block-scoped AsciiTable. Body lambdas must follow
+  // the CellGuard capture contract (loop-scoped inputs by value).
+  const auto guarded_cell =
+      [&cells](AsciiTable& out, const std::string& label, size_t columns,
+               const std::function<std::vector<std::string>()>& body) {
+        auto row = std::make_shared<std::vector<std::string>>();
+        if (cells.Run(label, [row, body] { *row = body(); })) {
+          out.AddRow(*row);
+          return;
+        }
+        std::vector<std::string> failed{label};
+        while (failed.size() + 1 < columns) failed.push_back("-");
+        failed.push_back("FAILED");
+        out.AddRow(failed);
+      };
 
   DatasetSpec spec = CensusSpec();
   spec.rows = static_cast<size_t>(
@@ -54,7 +66,10 @@ int main() {
       for (bool guard : {false, true}) {
         const std::string label =
             guard ? std::string("guarded(") + base_name + ")" : base_name;
-        guarded_cell(out, label, 4, [&] {
+        // guard/base_name are loop-scoped, so the body copies them;
+        // table/context/test are main-scoped and safe by reference.
+        guarded_cell(out, label, 4,
+                     [&, guard, base_name]() -> std::vector<std::string> {
           std::unique_ptr<CardinalityEstimator> estimator;
           if (guard) {
             estimator = std::make_unique<GuardedEstimator>(
@@ -68,9 +83,8 @@ int main() {
           for (const RuleResult& rule : rules) passed += rule.satisfied();
           const QuantileSummary s =
               Summarize(EvaluateQErrors(*estimator, test, table.num_rows()));
-          out.AddRow({estimator->Name(),
-                      std::to_string(passed) + "/5",
-                      FormatCompact(s.p95), FormatCompact(s.max)});
+          return {estimator->Name(), std::to_string(passed) + "/5",
+                  FormatCompact(s.p95), FormatCompact(s.max)};
         });
       }
     }
@@ -81,7 +95,8 @@ int main() {
   // --- Hierarchical hybrid. ---
   {
     AsciiTable out({"estimator", "train s", "avg ms/query", "95th", "max"});
-    auto measure = [&](CardinalityEstimator& estimator) {
+    auto measure =
+        [&](CardinalityEstimator& estimator) -> std::vector<std::string> {
       Timer train_timer;
       estimator.Train(table, context);
       const double train_s = train_timer.ElapsedSeconds();
@@ -90,22 +105,23 @@ int main() {
           Summarize(EvaluateQErrors(estimator, test, table.num_rows()));
       const double ms =
           inference_timer.ElapsedMillis() / static_cast<double>(test.size());
-      out.AddRow({estimator.Name(), FormatFixed(train_s, 1),
-                  FormatFixed(ms, 3), FormatCompact(s.p95),
-                  FormatCompact(s.max)});
+      return {estimator.Name(), FormatFixed(train_s, 1), FormatFixed(ms, 3),
+              FormatCompact(s.p95), FormatCompact(s.max)};
     };
-    guarded_cell(out, "postgres", 5, [&] {
+    // Bodies copy `measure` (block-scoped; its own captures are all
+    // main-scoped references, so the copy stays valid after this block).
+    guarded_cell(out, "postgres", 5, [measure] {
       auto light = bench::MakeBenchEstimator("postgres");
-      measure(*light);
+      return measure(*light);
     });
-    guarded_cell(out, "naru", 5, [&] {
+    guarded_cell(out, "naru", 5, [measure] {
       auto heavy = bench::MakeBenchEstimator("naru");
-      measure(*heavy);
+      return measure(*heavy);
     });
-    guarded_cell(out, "hybrid(postgres,naru)", 5, [&] {
+    guarded_cell(out, "hybrid(postgres,naru)", 5, [measure] {
       HybridEstimator hybrid(bench::MakeBenchEstimator("postgres"),
                              bench::MakeBenchEstimator("naru"));
-      measure(hybrid);
+      return measure(hybrid);
     });
     std::printf("\nhierarchical hybrid (<=1 predicate -> postgres, else "
                 "naru):\n%s",

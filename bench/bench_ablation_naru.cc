@@ -71,12 +71,15 @@ int main() {
 
   // --- Vocabulary cap on a large-domain synthetic column. ---
   {
-    const Table wide = GenerateSynthetic2D(
+    // Shared copies for the guarded bodies: this block ends before main
+    // does, so an abandoned worker would otherwise dangle into it.
+    const auto wide = std::make_shared<const Table>(GenerateSynthetic2D(
         static_cast<size_t>(80000 * std::max(0.2, bench::BenchScale())),
-        /*skew=*/1.0, /*correlation=*/1.0, /*domain_size=*/10000, 42);
+        /*skew=*/1.0, /*correlation=*/1.0, /*domain_size=*/10000, 42));
     WorkloadOptions ood;
     ood.ood_probability = 1.0;
-    const Workload wide_test = GenerateWorkload(wide, 400, 7, ood);
+    const auto wide_test = std::make_shared<const Workload>(
+        GenerateWorkload(*wide, 400, 7, ood));
     AsciiTable out({"max vocab", "model KB", "50th", "99th", "max"});
     for (int vocab : {32, 128, 512, 2048}) {
       NaruEstimator::Options options;
@@ -89,14 +92,14 @@ int main() {
       auto cell = std::make_shared<Cell>();
       const bool ok = guard.Run(
           "naru x vocab=" + std::to_string(vocab),
-          [cell, options, &wide, &wide_test] {
+          [cell, options, wide, wide_test] {
             auto naru = robust::WrapWithFaults(
                 std::make_unique<NaruEstimator>(options),
                 robust::FaultPlanFromEnv());
-            naru->Train(wide, {});
+            naru->Train(*wide, {});
             cell->kb = static_cast<double>(naru->SizeBytes()) / 1024.0;
             cell->s = Summarize(
-                EvaluateQErrors(*naru, wide_test, wide.num_rows()));
+                EvaluateQErrors(*naru, *wide_test, wide->num_rows()));
           });
       if (ok) {
         out.AddRow({std::to_string(vocab), FormatFixed(cell->kb, 0),

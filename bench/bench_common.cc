@@ -18,6 +18,23 @@ double EnvDouble(const char* name, double fallback) {
   return std::atof(v);
 }
 
+// Called on the way out of a driver: if any watchdog worker was abandoned
+// and is still running, returning through main would destroy the driver's
+// state (tables, workloads, AsciiTables the worker may still reference)
+// under a live thread. End the process without teardown instead — the exit
+// code is unchanged, stdio is flushed, and the journal is already durable
+// (it flushes per append).
+void ExitNowIfWorkersAbandoned(int exit_code) {
+  const int abandoned = robust::AbandonedWorkerCount();
+  if (abandoned == 0) return;
+  std::printf("[robustness] %d abandoned watchdog worker(s) still running; "
+              "exiting without teardown\n",
+              abandoned);
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::_Exit(exit_code);
+}
+
 bool JournalingEnabled() {
   const char* v = std::getenv("ARECEL_JOURNAL");
   return v == nullptr || std::string(v) != "0";
@@ -135,13 +152,18 @@ EstimatorReport SweepContext::EvaluateCell(const std::string& estimator_name,
       },
       table, train, test, options_, seed);
 
-  if (report.ok()) {
-    if (!journal_.Append(
-            {estimator_name, table.name(), ReportMetrics(report)})) {
-      std::fprintf(stderr, "[journal] write to %s failed (%s)\n",
-                   journal_.path().c_str(),
-                   FailureKindName(FailureKind::kPersistenceFailure));
-    }
+  if (report.ok() &&
+      !journal_.Append(
+          {estimator_name, table.name(), ReportMetrics(report)})) {
+    // Accounted, not just printed: a refused or failed append means this
+    // run's resume state is lost, so the sweep must exit non-zero (and the
+    // cell, still missing from the journal, re-runs on the next attempt).
+    std::fprintf(stderr, "[journal] append to %s failed (%s)\n",
+                 journal_.path().c_str(),
+                 FailureKindName(FailureKind::kPersistenceFailure));
+    NoteOutcome(estimator_name, table.name(), false,
+                std::string("FAILED ") +
+                    FailureKindName(FailureKind::kPersistenceFailure));
   }
   NoteOutcome(estimator_name, table.name(), report.ok(),
               StatusLabel(report));
@@ -171,8 +193,13 @@ SweepContext::CellStatus SweepContext::RunCell(
                 options_.estimate_deadline_seconds;
   auto result =
       std::make_shared<std::vector<std::pair<std::string, double>>>();
+  // The closure owns a COPY of `body`: the caller's std::function is a
+  // call-site temporary that dies when RunCell returns, but after a
+  // timeout the abandoned worker is still executing inside it. (The copied
+  // lambda's own captures are the driver's responsibility — see the
+  // CellGuard contract in bench_common.h.)
   const robust::GuardResult outcome = robust::RunGuarded(
-      [result, &body] { *result = body(); }, deadline,
+      [result, body] { *result = body(); }, deadline,
       {FailureKind::kCellTimeout, FailureKind::kCellThrew,
        FailureKind::kCellThrew},
       nullptr, result);
@@ -181,9 +208,12 @@ SweepContext::CellStatus SweepContext::RunCell(
     status.ok = true;
     status.metrics = *result;
     if (!journal_.Append({estimator_name, cell_key, status.metrics})) {
-      std::fprintf(stderr, "[journal] write to %s failed (%s)\n",
+      std::fprintf(stderr, "[journal] append to %s failed (%s)\n",
                    journal_.path().c_str(),
                    FailureKindName(FailureKind::kPersistenceFailure));
+      NoteOutcome(estimator_name, cell_key, false,
+                  std::string("FAILED ") +
+                      FailureKindName(FailureKind::kPersistenceFailure));
     }
   } else {
     status.failure = std::string(FailureKindName(outcome.kind)) +
@@ -238,17 +268,24 @@ bool CellGuard::Run(const std::string& label,
 }
 
 int CellGuard::Finish() const {
-  if (failed_.empty()) return 0;
+  if (failed_.empty()) {
+    ExitNowIfWorkersAbandoned(0);
+    return 0;
+  }
   std::printf("\n[robustness] %zu cell(s) FAILED:\n", failed_.size());
   for (const std::string& cell : failed_)
     std::printf("  %s\n", cell.c_str());
+  ExitNowIfWorkersAbandoned(1);
   return 1;
 }
 
 int SweepContext::Finish() {
   if (failed_cells_.empty()) {
-    // Clean sweep: nothing to resume. Next run starts fresh.
+    // Clean sweep: nothing to resume. Next run starts fresh. (A clean sweep
+    // can still have abandoned workers only when a timed-out attempt was
+    // retried successfully — teardown is unsafe all the same.)
     journal_.RemoveFile();
+    ExitNowIfWorkersAbandoned(0);
     return 0;
   }
   std::printf("\n[robustness] %zu cell(s) FAILED:\n", failed_cells_.size());
@@ -259,6 +296,7 @@ int SweepContext::Finish() {
                 "this binary to execute only the failed cells\n",
                 journal_.path().c_str());
   }
+  ExitNowIfWorkersAbandoned(1);
   return 1;
 }
 

@@ -81,7 +81,12 @@ class SweepContext {
   // Generic guarded + journaled cell for drivers whose cells are not plain
   // EvaluateOnDataset sweeps. `body` runs under a single cell deadline
   // (train + estimate budgets combined) and returns the named metrics that
-  // are journaled and handed back on resume.
+  // are journaled and handed back on resume. The guarded closure owns a
+  // copy of `body`, so after a timeout the abandoned worker keeps running
+  // against that copy — which is why the body lambda itself must capture
+  // loop-scoped inputs by value (or via shared_ptr), never by reference;
+  // by-reference captures are only safe for objects that live until
+  // process exit (see CellGuard below).
   struct CellStatus {
     bool ok = false;
     bool from_journal = false;
@@ -101,7 +106,11 @@ class SweepContext {
 
   // Prints the failure summary (and the resume hint when cells failed),
   // deletes the journal when the whole sweep is clean, and returns the
-  // process exit code (0 clean / 1 any cell failed).
+  // process exit code (0 clean / 1 any cell failed — including a cell
+  // whose journal append failed, accounted as kPersistenceFailure). When
+  // an abandoned watchdog worker is still running, this does not return:
+  // it flushes stdio and ends the process with the same exit code, because
+  // running destructors under a live worker would be a use-after-free.
   int Finish();
 
   const robust::RobustOptions& options() const { return options_; }
@@ -117,13 +126,30 @@ class SweepContext {
   std::vector<std::string> failed_cells_;  // "estimator x cell: failure".
 };
 
+// Heavyweight cell inputs for the dynamic-environment drivers, bundled in
+// one shared_ptr<DynamicInputs> so guarded bodies capture shared ownership
+// by value: after a timeout the abandoned worker keeps the whole dataset
+// alive instead of dangling into the driver's dataset loop. Drivers fill
+// only the fields they use.
+struct DynamicInputs {
+  Table base;
+  Table updated;
+  Workload initial_train;
+  Workload test;
+};
+
 // Guarded-cell tracker for drivers whose cells cannot be journaled —
 // custom-option ablations and dynamic profiles that feed shared downstream
 // math. Each cell runs under the combined train+estimate deadline; a
 // failed cell prints a [robustness] FAILED line and the driver keeps
-// going, exiting non-zero only after the sweep completes. Bodies that must
-// survive a timeout abandonment should capture shared ownership by value
-// (the guard keeps the closure alive until the worker returns).
+// going, exiting non-zero only after the sweep completes.
+//
+// Capture contract for bodies (the guard keeps the closure alive until the
+// worker returns, so what the closure OWNS is safe): capture loop-scoped
+// inputs by value or via shared_ptr (e.g. a DynamicInputs bundle); capture
+// by reference only main-scope objects, which stay alive until process
+// exit because Finish() ends the process without teardown while an
+// abandoned worker is still running.
 class CellGuard {
  public:
   CellGuard();
@@ -133,7 +159,9 @@ class CellGuard {
 
   bool any_failed() const { return !failed_.empty(); }
 
-  // Prints the failure summary; returns the process exit code (0/1).
+  // Prints the failure summary; returns the process exit code (0/1). Like
+  // SweepContext::Finish, ends the process directly (same exit code,
+  // stdio flushed) instead of returning when a worker is still abandoned.
   int Finish() const;
 
  private:

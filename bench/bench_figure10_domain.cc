@@ -27,7 +27,10 @@ int main() {
     AsciiTable out({"domain d", "q1", "median", "q3", "max"});
     for (int d : {10, 100, 1000, 10000}) {
       const std::string cell_key = "domain=" + std::to_string(d);
-      const auto status = sweep.RunCell(name, cell_key, [&] {
+      // Value captures only: after a timeout the abandoned worker outlives
+      // this loop iteration (d) and even main's frame (see RunCell).
+      const auto status = sweep.RunCell(name, cell_key,
+                                        [rows, d, workload_options, name] {
         const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0,
                                                 /*correlation=*/1.0, d, 42);
         const Workload train =

@@ -29,11 +29,15 @@ int main() {
                                           "mscn",     "lw-xgb", "lw-nn",
                                           "naru",     "deepdb"};
   for (const Table& base : bench::LoadBenchmarkDatasets()) {
-    const Table updated = AppendCorrelatedUpdate(base, 0.20, 99);
-    const Workload initial_train =
-        GenerateWorkload(base, bench::BenchTrainQueryCount(), 1001);
-    const Workload test =
-        GenerateWorkload(updated, bench::BenchQueryCount(), 2002);
+    // Shared bundle captured by value in every guarded body: a timed-out
+    // worker is abandoned and must not dangle into this dataset iteration.
+    auto data = std::make_shared<bench::DynamicInputs>();
+    data->base = base;
+    data->updated = AppendCorrelatedUpdate(base, 0.20, 99);
+    data->initial_train =
+        GenerateWorkload(data->base, bench::BenchTrainQueryCount(), 1001);
+    data->test =
+        GenerateWorkload(data->updated, bench::BenchQueryCount(), 2002);
 
     // Profile every estimator once (profiles separate the measured update
     // from the interval mixture), then pick T relative to the slowest
@@ -49,16 +53,17 @@ int main() {
       auto cell = std::make_shared<DynamicProfile>();
       const bool ok = guard.Run(
           name + " x " + base.name(),
-          [&, cell] {
+          [data, cell, name] {
             std::unique_ptr<CardinalityEstimator> estimator =
                 bench::MakeBenchEstimator(name);
             TrainContext train_context;
-            train_context.training_workload = &initial_train;
-            estimator->Train(base, train_context);
+            train_context.training_workload = &data->initial_train;
+            estimator->Train(data->base, train_context);
             DynamicOptions options;
             options.update_query_count = bench::BenchTrainQueryCount() / 2;
-            *cell = ProfileDynamicUpdate(*estimator, updated,
-                                         base.num_rows(), test, options);
+            *cell = ProfileDynamicUpdate(*estimator, data->updated,
+                                         data->base.num_rows(), data->test,
+                                         options);
           });
       if (!ok) continue;
       profiles.push_back(*cell);
@@ -71,7 +76,8 @@ int main() {
                                            8.0 * max_learned_tu};
     std::printf("\n--- dataset %s (%zu -> %zu rows; T = %.2fs / %.2fs / "
                 "%.2fs) ---\n",
-                base.name().c_str(), base.num_rows(), updated.num_rows(),
+                base.name().c_str(), base.num_rows(),
+                data->updated.num_rows(),
                 intervals[0], intervals[1], intervals[2]);
 
     AsciiTable out({"estimator", "t_u (s)", "T=high", "T=medium", "T=low",

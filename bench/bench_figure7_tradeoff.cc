@@ -28,15 +28,18 @@ int main() {
   for (DatasetSpec& spec : specs) {
     spec.rows = static_cast<size_t>(
         static_cast<double>(spec.rows) * bench::BenchScale());
-    const Table base = GenerateDataset(spec, 2021);
-    const Table updated = AppendCorrelatedUpdate(base, 0.20, 99);
-    const Workload test =
-        GenerateWorkload(updated, bench::BenchQueryCount(), 2002);
+    // Shared bundle captured by value in every guarded body: a timed-out
+    // worker is abandoned and must not dangle into this dataset iteration.
+    auto data = std::make_shared<bench::DynamicInputs>();
+    data->base = GenerateDataset(spec, 2021);
+    data->updated = AppendCorrelatedUpdate(data->base, 0.20, 99);
+    data->test =
+        GenerateWorkload(data->updated, bench::BenchQueryCount(), 2002);
 
     // T generous enough that every epoch count finishes (paper: 10 min on
     // Census, 100 min on Forest), scaled to this box.
     const double interval =
-        static_cast<double>(updated.num_rows()) / 50000.0 * 40.0;
+        static_cast<double>(data->updated.num_rows()) / 50000.0 * 40.0;
     std::printf("\n--- dataset %s (T = %.1fs) ---\n", spec.name.c_str(),
                 interval);
 
@@ -46,7 +49,7 @@ int main() {
       auto profile = std::make_shared<DynamicProfile>();
       const bool ok = guard.Run(
           "naru x " + spec.name + " x epochs=" + std::to_string(epochs),
-          [profile, epochs, &base, &updated, &test] {
+          [profile, epochs, data] {
             // A fresh initial model per setting (updates mutate in place);
             // fewer initial epochs than the Table 4 profile keep the sweep
             // affordable.
@@ -56,12 +59,13 @@ int main() {
                 std::make_unique<NaruEstimator>(initial_options),
                 robust::FaultPlanFromEnv());
             TrainContext train_context;
-            naru->Train(base, train_context);
+            naru->Train(data->base, train_context);
 
             DynamicOptions options;
             options.update_epochs = epochs;
-            *profile = ProfileDynamicUpdate(*naru, updated, base.num_rows(),
-                                            test, options);
+            *profile = ProfileDynamicUpdate(*naru, data->updated,
+                                            data->base.num_rows(),
+                                            data->test, options);
           });
       if (ok) {
         out.AddRow({std::to_string(epochs),

@@ -23,14 +23,17 @@ int main() {
   for (DatasetSpec& spec : specs) {
     spec.rows = static_cast<size_t>(
         static_cast<double>(spec.rows) * bench::BenchScale());
-    const Table base = GenerateDataset(spec, 2021);
-    const Table updated = AppendCorrelatedUpdate(base, 0.20, 99);
-    const Workload initial_train =
-        GenerateWorkload(base, bench::BenchTrainQueryCount(), 1001);
-    const Workload test =
-        GenerateWorkload(updated, bench::BenchQueryCount(), 2002);
+    // Shared bundle captured by value in every guarded body: a timed-out
+    // worker is abandoned and must not dangle into this dataset iteration.
+    auto data = std::make_shared<bench::DynamicInputs>();
+    data->base = GenerateDataset(spec, 2021);
+    data->updated = AppendCorrelatedUpdate(data->base, 0.20, 99);
+    data->initial_train =
+        GenerateWorkload(data->base, bench::BenchTrainQueryCount(), 1001);
+    data->test =
+        GenerateWorkload(data->updated, bench::BenchQueryCount(), 2002);
     const double interval =
-        static_cast<double>(updated.num_rows()) / 50000.0 * 25.0;
+        static_cast<double>(data->updated.num_rows()) / 50000.0 * 25.0;
     std::printf("\n--- dataset %s (T = %.1fs) ---\n", spec.name.c_str(),
                 interval);
 
@@ -41,17 +44,18 @@ int main() {
         auto profile = std::make_shared<DynamicProfile>();
         const bool ok = guard.Run(
             name + " x " + DeviceLabel(device) + " x " + spec.name,
-            [&, profile] {
+            [data, profile, name, device] {
               std::unique_ptr<CardinalityEstimator> estimator =
                   bench::MakeBenchEstimator(name);
               TrainContext train_context;
-              train_context.training_workload = &initial_train;
-              estimator->Train(base, train_context);
+              train_context.training_workload = &data->initial_train;
+              estimator->Train(data->base, train_context);
               DynamicOptions options;
               options.device = device;
               options.update_query_count = bench::BenchTrainQueryCount() / 2;
-              *profile = ProfileDynamicUpdate(*estimator, updated,
-                                              base.num_rows(), test, options);
+              *profile = ProfileDynamicUpdate(*estimator, data->updated,
+                                              data->base.num_rows(),
+                                              data->test, options);
             });
         if (!ok) {
           out.AddRow({name, DeviceLabel(device), "-", "FAILED"});

@@ -29,7 +29,10 @@ int main() {
     AsciiTable out({"correlation c", "q1", "median", "q3", "max"});
     for (double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       const std::string cell_key = "corr=" + FormatFixed(c, 2);
-      const auto status = sweep.RunCell(name, cell_key, [&] {
+      // Value captures only: after a timeout the abandoned worker outlives
+      // this loop iteration (c) and even main's frame (see RunCell).
+      const auto status = sweep.RunCell(name, cell_key,
+                                        [rows, c, workload_options, name] {
         const Table table = GenerateSynthetic2D(rows, /*skew=*/1.0, c,
                                                 /*domain_size=*/1000, 42);
         const Workload train =

@@ -27,7 +27,10 @@ int main() {
     AsciiTable out({"skew s", "q1", "median", "q3", "max"});
     for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
       const std::string cell_key = "skew=" + FormatFixed(s, 2);
-      const auto status = sweep.RunCell(name, cell_key, [&] {
+      // Value captures only: after a timeout the abandoned worker outlives
+      // this loop iteration (s) and even main's frame (see RunCell).
+      const auto status = sweep.RunCell(name, cell_key,
+                                        [rows, s, workload_options, name] {
         const Table table = GenerateSynthetic2D(rows, s, /*correlation=*/1.0,
                                                 /*domain_size=*/1000, 42);
         const Workload train =

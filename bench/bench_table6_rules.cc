@@ -37,7 +37,10 @@ int main() {
   AsciiTable out({"estimator", "monotonic", "consistent", "stable",
                   "fidelity-A", "fidelity-B", "paper(M C S FA FB)"});
   for (const std::string& name : LearnedEstimatorNames()) {
-    const auto status = sweep.RunCell(name, "rules", [&] {
+    // `name` by value (loop-scoped); table/train by reference is safe only
+    // because they are main-scoped and Finish() never tears them down under
+    // an abandoned worker (see CellGuard contract in bench_common.h).
+    const auto status = sweep.RunCell(name, "rules", [name, &table, &train] {
       std::unique_ptr<CardinalityEstimator> estimator =
           bench::MakeBenchEstimator(name);
       TrainContext context;

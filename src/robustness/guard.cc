@@ -1,5 +1,6 @@
 #include "robustness/guard.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -11,6 +12,9 @@ namespace arecel::robust {
 
 namespace {
 
+// Abandoned-and-still-running worker count; see AbandonedWorkerCount().
+std::atomic<int> g_abandoned_workers{0};
+
 // State shared between the caller and the (possibly abandoned) worker.
 // Owned by shared_ptr from both sides so an abandoned worker can finish —
 // or sleep forever — without dangling; the work closure and keep_alive
@@ -19,6 +23,7 @@ struct SharedState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  bool abandoned = false;  // set by the guard when the deadline gives up.
   bool threw = false;
   bool cancelled = false;
   std::string error;
@@ -74,13 +79,17 @@ GuardResult RunGuarded(std::function<void()> work, double deadline_seconds,
       threw = true;
       error = "non-standard exception";
     }
+    bool was_abandoned = false;
     {
       std::lock_guard<std::mutex> lock(state->mu);
       state->done = true;
       state->threw = threw;
       state->cancelled = cancelled;
       state->error = std::move(error);
+      was_abandoned = state->abandoned;
     }
+    if (was_abandoned)
+      g_abandoned_workers.fetch_sub(1, std::memory_order_relaxed);
     state->cv.notify_all();
   }).detach();
 
@@ -100,6 +109,9 @@ GuardResult RunGuarded(std::function<void()> work, double deadline_seconds,
     if (!state->done) {
       // Abandoned: the detached worker still holds a shared_ptr to `state`,
       // so everything the closure references stays alive until it returns.
+      // Register it so shutdown paths know teardown is unsafe.
+      state->abandoned = true;
+      g_abandoned_workers.fetch_add(1, std::memory_order_relaxed);
       result.kind = kinds.on_timeout;
       result.detail =
           "deadline " + std::to_string(deadline_seconds) + "s exceeded";
@@ -125,6 +137,10 @@ GuardResult RunGuarded(std::function<void()> work, double deadline_seconds,
     result.detail = state->error;
   }
   return result;
+}
+
+int AbandonedWorkerCount() {
+  return g_abandoned_workers.load(std::memory_order_relaxed);
 }
 
 }  // namespace arecel::robust

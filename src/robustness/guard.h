@@ -37,17 +37,33 @@ struct GuardKinds {
 // cooperative work can exit, waits a short grace period for it, and then
 // ABANDONS the worker: the detached thread keeps running against the state
 // captured in `work` and `keep_alive` until it eventually returns, at which
-// point that state is released. Callers must therefore (a) move shared
-// ownership of everything `work` touches into `keep_alive`, and (b) never
-// reuse an object whose stage timed out — the robust runner discards the
-// estimator and builds a fresh one instead. This is the standard
-// leak-on-hang contract of watchdog harnesses: a hung cell costs one thread
-// and its model, not the whole figure binary.
+// point that state is released. Callers must therefore:
+//  (a) give the closure shared ownership of everything it touches — capture
+//      by value or by shared_ptr (or bundle it into `keep_alive`). The only
+//      permissible by-reference captures are objects guaranteed to stay
+//      alive until the process ends, e.g. main-scope data in a bench driver
+//      whose exit path goes through SweepContext/CellGuard::Finish (which
+//      ends the process without teardown while workers are abandoned —
+//      see AbandonedWorkerCount). Loop-scoped locals and call-site
+//      temporaries must NEVER be captured by reference.
+//  (b) never reuse an object whose stage timed out — the robust runner
+//      discards the estimator and builds a fresh one instead.
+// This is the standard leak-on-hang contract of watchdog harnesses: a hung
+// cell costs one thread and its model, not the whole figure binary.
 GuardResult RunGuarded(std::function<void()> work, double deadline_seconds,
                        const GuardKinds& kinds,
                        CancellationToken* cancel = nullptr,
                        std::shared_ptr<void> keep_alive = nullptr,
                        double cancel_grace_seconds = 0.25);
+
+// Number of abandoned worker threads that are still running in this
+// process (incremented when a deadline abandons a worker, decremented when
+// that worker eventually finishes). While this is nonzero, process teardown
+// (destructors of globals or of main's locals) would run under live
+// workers; shutdown paths that observed failures should end the process
+// without teardown instead (std::_Exit) — SweepContext/CellGuard::Finish
+// do exactly that.
+int AbandonedWorkerCount();
 
 }  // namespace arecel::robust
 

@@ -23,10 +23,10 @@ std::string EscapeJson(const std::string& s) {
 }
 
 std::string NumberJson(double v) {
-  // Journaled metrics must stay valid JSON: clamp non-finite values to the
-  // representable edge (journaled cells are clean, so this only fires for
-  // legitimately huge q-errors).
-  if (std::isnan(v)) v = 0.0;
+  // Journaled metrics must stay valid JSON: clamp infinities (legitimately
+  // huge q-errors) to the representable edge. NaN never reaches this point —
+  // Append refuses NaN records outright rather than laundering corruption
+  // into a plausible-looking resumed result.
   if (std::isinf(v)) v = v > 0 ? 1e308 : -1e308;
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -145,6 +145,13 @@ const JournalRecord* SweepJournal::Find(const std::string& estimator,
 
 bool SweepJournal::Append(const JournalRecord& record) {
   if (!enabled()) return true;  // no-op: Find must keep missing.
+  // Refuse NaN metrics before indexing: a NaN is corruption, not a result,
+  // and persisting any substitute would make a resumed run silently adopt
+  // it. Leaving the cell out of the journal forces a re-run instead.
+  for (const auto& [name, value] : record.metrics) {
+    (void)name;
+    if (std::isnan(value)) return false;
+  }
   records_[record.estimator + "\n" + record.cell] = record;
 
   std::ofstream out(path_, header_written_

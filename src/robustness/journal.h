@@ -45,9 +45,12 @@ class SweepJournal {
   const JournalRecord* Find(const std::string& estimator,
                             const std::string& cell) const;
 
-  // Journals one completed cell (persists + indexes it). Returns false when
-  // the write failed — callers account that as kPersistenceFailure but keep
-  // sweeping; a broken disk should not kill the figure either.
+  // Journals one completed cell (persists + indexes it). Returns false —
+  // without indexing the record, so Find keeps missing and the cell re-runs
+  // on resume — when the write failed or any metric is NaN (corruption is
+  // refused, never rewritten into a plausible number). Callers account a
+  // false return as kPersistenceFailure but keep sweeping; a broken disk
+  // should not kill the figure either.
   bool Append(const JournalRecord& record);
 
   // Deletes the journal file: the sweep finished with zero failures, so

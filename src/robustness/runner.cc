@@ -1,5 +1,7 @@
 #include "robustness/runner.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "core/registry.h"
@@ -16,15 +18,31 @@ double EnvSeconds(const char* name, double fallback) {
   return v == nullptr ? fallback : std::atof(v);
 }
 
+// Shared handle for a guarded stage's input: an owning copy when the stage
+// runs under a watchdog (a timed-out worker is abandoned and keeps reading
+// the input, which must therefore not be the caller's loop-scoped object —
+// in drivers like bench_table4_accuracy the Workloads die when the sweep
+// advances to the next dataset), or a non-owning alias when the deadline is
+// disabled (RunGuarded then runs inline and can never abandon, so the copy
+// would be pure waste).
+template <typename T>
+std::shared_ptr<const T> ShareForGuard(const T& value, bool watchdog) {
+  if (watchdog) return std::make_shared<T>(value);
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), &value);
+}
+
 // Bundle moved into the guard's keep_alive: everything a stage closure
 // touches, so an abandoned worker thread never dangles.
 struct TrainCell {
   std::shared_ptr<CardinalityEstimator> estimator;
+  std::shared_ptr<const Table> table;
+  std::shared_ptr<const Workload> train;
   CancellationToken cancel;
 };
 
 struct EstimateCell {
   std::shared_ptr<CardinalityEstimator> estimator;
+  std::shared_ptr<const Workload> test;
   QErrorScan scan;
   double inference_ms = 0.0;
 };
@@ -32,20 +50,22 @@ struct EstimateCell {
 // Trains a fresh instance under the watchdog. Returns the trained estimator
 // (null on failure, with the failure recorded in *report).
 std::shared_ptr<CardinalityEstimator> TrainGuarded(
-    const EstimatorFactory& factory, const Table& table,
-    const Workload& train, uint64_t seed, int attempt,
+    const EstimatorFactory& factory, std::shared_ptr<const Table> table,
+    std::shared_ptr<const Workload> train, uint64_t seed, int attempt,
     const RobustOptions& options, EstimatorReport* report) {
   auto cell = std::make_shared<TrainCell>();
   cell->estimator = factory();
+  cell->table = std::move(table);
+  cell->train = std::move(train);
 
   Timer timer;
   const GuardResult outcome = RunGuarded(
-      [cell, &table, &train, seed] {
+      [cell, seed] {
         TrainContext context;
-        context.training_workload = &train;
+        context.training_workload = cell->train.get();
         context.seed = seed;
         context.cancellation = &cell->cancel;
-        cell->estimator->Train(table, context);
+        cell->estimator->Train(*cell->table, context);
       },
       options.train_deadline_seconds,
       {FailureKind::kTrainTimeout, FailureKind::kTrainThrew,
@@ -67,15 +87,16 @@ std::shared_ptr<CardinalityEstimator> TrainGuarded(
 // estimator must not be reused after a timeout (the worker may still be
 // touching it), which the caller honours by dropping its reference.
 bool EstimateGuarded(std::shared_ptr<CardinalityEstimator> estimator,
-                     const Workload& test, size_t rows,
+                     std::shared_ptr<const Workload> test, size_t rows,
                      const RobustOptions& options, EstimatorReport* report) {
   auto cell = std::make_shared<EstimateCell>();
   cell->estimator = std::move(estimator);
+  cell->test = std::move(test);
 
   const GuardResult outcome = RunGuarded(
-      [cell, &test, rows] {
+      [cell, rows] {
         Timer inference_timer;
-        cell->scan = ScanQErrors(*cell->estimator, test, rows);
+        cell->scan = ScanQErrors(*cell->estimator, *cell->test, rows);
         cell->inference_ms = inference_timer.ElapsedMillis();
       },
       options.estimate_deadline_seconds,
@@ -86,17 +107,17 @@ bool EstimateGuarded(std::shared_ptr<CardinalityEstimator> estimator,
     report->failures.push_back({outcome.kind, "estimate", 0, outcome.detail});
     return false;
   }
+  const size_t queries = cell->test->size();
   report->raw_qerrors = std::move(cell->scan.qerrors);
   report->invalid_estimates = cell->scan.invalid_estimates;
   report->avg_inference_ms =
-      test.size() == 0
-          ? 0.0
-          : cell->inference_ms / static_cast<double>(test.size());
+      queries == 0 ? 0.0
+                   : cell->inference_ms / static_cast<double>(queries);
   if (report->invalid_estimates > 0) {
     report->failures.push_back(
         {FailureKind::kNonFiniteEstimate, "estimate", 0,
          std::to_string(report->invalid_estimates) + "/" +
-             std::to_string(test.size()) + " invalid estimates"});
+             std::to_string(queries) + " invalid estimates"});
   }
   return true;
 }
@@ -116,6 +137,24 @@ RobustOptions RobustOptionsFromEnv() {
     options.fallback = fallback;
     if (options.fallback == "none") options.fallback.clear();
   }
+  // Fail fast on a typo'd fallback: MakeEstimator aborts on an unknown
+  // name, and deferring that abort until the first cell has exhausted all
+  // its training attempts (potentially many minutes in) would crash the
+  // figure the harness exists to protect.
+  if (!options.fallback.empty()) {
+    const std::vector<std::string> registered = AllRegistryNames();
+    if (std::find(registered.begin(), registered.end(), options.fallback) ==
+        registered.end()) {
+      std::fprintf(stderr,
+                   "[robustness] ARECEL_FALLBACK \"%s\" is not a registered "
+                   "estimator (\"none\" disables the fallback); valid:",
+                   options.fallback.c_str());
+      for (const std::string& name : registered)
+        std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
   return options;
 }
 
@@ -127,11 +166,22 @@ EstimatorReport EvaluateOnDatasetRobust(
   report.estimator = estimator_name;
   report.dataset = table.name();
 
+  // Guard inputs get shared ownership (owning copies whenever the stage's
+  // watchdog is armed): after an uncooperative hang the abandoned worker
+  // keeps reading them long after this call — and the caller's loop-scoped
+  // table/workloads — would be gone.
+  const std::shared_ptr<const Table> shared_table =
+      ShareForGuard(table, options.train_deadline_seconds > 0);
+  const std::shared_ptr<const Workload> shared_train =
+      ShareForGuard(train, options.train_deadline_seconds > 0);
+  const std::shared_ptr<const Workload> shared_test =
+      ShareForGuard(test, options.estimate_deadline_seconds > 0);
+
   // Pillar 2: bounded seed-bump retries over fresh instances.
   std::shared_ptr<CardinalityEstimator> trained;
   const int attempts = std::max(1, options.max_train_attempts);
   for (int attempt = 0; attempt < attempts && trained == nullptr; ++attempt) {
-    trained = TrainGuarded(factory, table, train,
+    trained = TrainGuarded(factory, shared_table, shared_train,
                            seed + static_cast<uint64_t>(attempt) *
                                       options.retry_seed_stride,
                            attempt, options, &report);
@@ -139,8 +189,8 @@ EstimatorReport EvaluateOnDatasetRobust(
   bool served = false;
   if (trained != nullptr) {
     report.model_size_bytes = trained->SizeBytes();
-    served = EstimateGuarded(std::move(trained), test, table.num_rows(),
-                             options, &report);
+    served = EstimateGuarded(std::move(trained), shared_test,
+                             table.num_rows(), options, &report);
     if (served) report.served_by = estimator_name;
   }
 
@@ -155,12 +205,12 @@ EstimatorReport EvaluateOnDatasetRobust(
               MakeEstimator(options.fallback)));
     };
     std::shared_ptr<CardinalityEstimator> fallback =
-        TrainGuarded(fallback_factory, table, train, seed,
+        TrainGuarded(fallback_factory, shared_table, shared_train, seed,
                      /*attempt=*/attempts, options, &report);
     if (fallback != nullptr) {
       report.model_size_bytes = fallback->SizeBytes();
-      served = EstimateGuarded(std::move(fallback), test, table.num_rows(),
-                               options, &report);
+      served = EstimateGuarded(std::move(fallback), shared_test,
+                               table.num_rows(), options, &report);
       if (served) report.served_by = "guarded(" + options.fallback + ")";
     }
   }

@@ -35,7 +35,10 @@ using EstimatorFactory =
 // Options read from the environment: ARECEL_TRAIN_DEADLINE,
 // ARECEL_ESTIMATE_DEADLINE (seconds), ARECEL_TRAIN_ATTEMPTS,
 // ARECEL_FALLBACK ("none" disables). The bench binaries use this so a CI
-// job can tighten budgets without recompiling.
+// job can tighten budgets without recompiling. A fallback name that is not
+// in the registry terminates the process immediately (exit 2) with the
+// valid names on stderr — failing fast at startup instead of aborting
+// minutes in when the first failed cell tries to construct it.
 RobustOptions RobustOptionsFromEnv();
 
 // Fault-tolerant counterpart of EvaluateOnDataset: trains under the
@@ -45,6 +48,9 @@ RobustOptions RobustOptionsFromEnv();
 // never hangs past the configured deadlines: a report with
 // served_by.empty() means the cell produced no numbers (its quantiles are
 // kInvalidQError so aggregates surface the hole instead of masking it).
+// Whenever a stage watchdog is armed, the guarded closures own private
+// copies of table/train/test, so the caller's inputs may be loop-scoped:
+// an abandoned worker never reaches back into the caller's frame.
 EstimatorReport EvaluateOnDatasetRobust(
     const std::string& estimator_name, const EstimatorFactory& factory,
     const Table& table, const Workload& train, const Workload& test,

@@ -371,27 +371,37 @@ TEST(JournalTest, DisabledJournalIsInert) {
   EXPECT_EQ(journal.Find("x", "y"), nullptr);
 }
 
-TEST(JournalTest, NonFiniteMetricsSurviveSerialization) {
+TEST(JournalTest, InfClampsButNanIsRefused) {
   const std::string path = TempPath("journal_nonfinite.jsonl");
   std::remove(path.c_str());
   const std::string fp = robust::FingerprintConfig({"nf"});
   {
     SweepJournal journal(path, fp);
-    JournalRecord record;
-    record.estimator = "bad";
-    record.cell = "cell";
-    record.metrics = {{"inf", std::numeric_limits<double>::infinity()},
-                      {"nan", std::nan("")}};
-    ASSERT_TRUE(journal.Append(record));
+    // Infinite q-errors are legitimate results: they journal, clamped to
+    // the representable edge so the JSONL stays parseable.
+    JournalRecord inf_record;
+    inf_record.estimator = "big";
+    inf_record.cell = "cell";
+    inf_record.metrics = {{"inf", std::numeric_limits<double>::infinity()}};
+    ASSERT_TRUE(journal.Append(inf_record));
+    // NaN is corruption, not a result: Append refuses it outright instead
+    // of rewriting it into a plausible number, and never indexes it — the
+    // cell stays missing so a resumed run re-executes it.
+    JournalRecord nan_record;
+    nan_record.estimator = "bad";
+    nan_record.cell = "cell";
+    nan_record.metrics = {{"p50", 1.5}, {"p99", std::nan("")}};
+    EXPECT_FALSE(journal.Append(nan_record));
+    EXPECT_EQ(journal.Find("bad", "cell"), nullptr);
   }
-  // The JSONL stays parseable; non-finite values land as large/zero
-  // placeholders rather than bare `inf`/`nan` tokens.
   SweepJournal reopened(path, fp);
   ASSERT_EQ(reopened.resumed_cells(), 1u);
-  const JournalRecord* hit = reopened.Find("bad", "cell");
+  const JournalRecord* hit = reopened.Find("big", "cell");
   ASSERT_NE(hit, nullptr);
   EXPECT_GT(hit->Metric("inf"), 1e300);
-  EXPECT_TRUE(std::isfinite(hit->Metric("nan")));
+  EXPECT_TRUE(std::isfinite(hit->Metric("inf")));
+  // The refused NaN record never reached disk.
+  EXPECT_EQ(reopened.Find("bad", "cell"), nullptr);
   reopened.RemoveFile();
 }
 

@@ -75,8 +75,13 @@ TEST(GuardTimeoutTest, UncooperativeWorkIsAbandonedAsTimeout) {
        FailureKind::kTrainCancelled},
       nullptr, gate, /*cancel_grace_seconds=*/0.1);
   EXPECT_EQ(result.kind, FailureKind::kTrainTimeout);
+  // The abandoned worker is tracked until it actually finishes: callers use
+  // this count to decide whether process teardown is safe.
+  EXPECT_GE(robust::AbandonedWorkerCount(), 1);
   gate->store(true);  // release the abandoned worker before test exit.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 100 && robust::AbandonedWorkerCount() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(robust::AbandonedWorkerCount(), 0);
 }
 
 TEST(RobustTimeoutTest, HangingTrainTimesOutThenFallsBack) {
