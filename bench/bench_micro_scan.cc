@@ -1,0 +1,208 @@
+// Micro-benchmark of the vectorized block-scan execution engine
+// (src/scan/) against the naive per-query reference executor, across a
+// rows x predicates x batch-size grid plus a batch-labeling headline at
+// paper scale (10K queries x 1M rows by default). Every measured cell also
+// checks count equality, so the bench doubles as a coarse differential
+// gate. Emits machine-readable BENCH_scan.json (default at the repo root)
+// to seed the perf trajectory: later PRs compare against it to detect
+// scan-path regressions.
+//
+// Environment knobs (all optional):
+//   ARECEL_SCAN_BENCH_ROWS     headline table rows        (default 1000000)
+//   ARECEL_SCAN_BENCH_QUERIES  headline batch size        (default 10000)
+//   ARECEL_SCAN_BENCH_GRID     0 skips the grid           (default 1)
+//   ARECEL_SCAN_BENCH_OUT      output JSON path (default <repo>/BENCH_scan.json)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "scan/block_scan.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+#include "workload/query.h"
+
+namespace {
+
+using namespace arecel;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback
+                      : static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+Table MakeCensusLike(size_t rows, uint64_t seed) {
+  DatasetSpec spec = CensusSpec();
+  spec.rows = rows;
+  return GenerateDataset(spec, seed);
+}
+
+// The pre-engine labeling path: one full naive scan per query,
+// parallelized over queries exactly as the old LabelQueries was.
+std::vector<size_t> NaiveCounts(const Table& table,
+                                const std::vector<Query>& queries) {
+  std::vector<size_t> counts(queries.size(), 0);
+  ParallelFor(0, queries.size(), [&](size_t i) {
+    counts[i] = ExecuteCountNaive(table, queries[i]);
+  });
+  return counts;
+}
+
+struct Measurement {
+  double naive_seconds = 0.0;
+  double block_seconds = 0.0;
+  bool counts_match = false;
+
+  double speedup() const {
+    return block_seconds > 0.0 ? naive_seconds / block_seconds : 0.0;
+  }
+};
+
+// Times naive-vs-block over `queries`, labeling `batch` queries per engine
+// call (batch == 1 exercises the single-query ExecuteCount path, larger
+// batches the shared scan).
+Measurement MeasureCell(const Table& table, const std::vector<Query>& queries,
+                        size_t batch) {
+  Measurement m;
+  Timer timer;
+  const std::vector<size_t> naive = NaiveCounts(table, queries);
+  m.naive_seconds = timer.ElapsedSeconds();
+
+  std::vector<size_t> block(queries.size(), 0);
+  timer.Reset();
+  if (batch <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i)
+      block[i] = ExecuteCount(table, queries[i]);
+  } else {
+    scan::BlockScanner scanner(table);
+    for (size_t begin = 0; begin < queries.size(); begin += batch) {
+      const size_t end = std::min(queries.size(), begin + batch);
+      const std::vector<Query> slice(queries.begin() + begin,
+                                     queries.begin() + end);
+      const std::vector<size_t> counts = scanner.CountBatch(slice);
+      for (size_t i = 0; i < counts.size(); ++i) block[begin + i] = counts[i];
+    }
+  }
+  m.block_seconds = timer.ElapsedSeconds();
+  m.counts_match = block == naive;
+  return m;
+}
+
+struct GridCell {
+  size_t rows = 0;
+  int preds = 0;
+  size_t batch = 0;
+  size_t queries = 0;
+  Measurement m;
+};
+
+}  // namespace
+
+int main() {
+  const size_t headline_rows = EnvSize("ARECEL_SCAN_BENCH_ROWS", 1000000);
+  const size_t headline_queries =
+      EnvSize("ARECEL_SCAN_BENCH_QUERIES", 10000);
+  const bool run_grid = EnvSize("ARECEL_SCAN_BENCH_GRID", 1) != 0;
+  std::string out_path = ARECEL_REPO_ROOT "/BENCH_scan.json";
+  if (const char* env_out = std::getenv("ARECEL_SCAN_BENCH_OUT"))
+    out_path = env_out;
+
+  std::printf("== bench_micro_scan: naive vs. vectorized block scan ==\n");
+  std::printf("workers=%d block_size=%zu\n\n", ParallelWorkerCount(),
+              scan::kDefaultBlockSize);
+
+  bool all_match = true;
+
+  // ---- rows x predicates x batch grid -----------------------------------
+  std::vector<GridCell> grid;
+  if (run_grid) {
+    std::printf("%8s %6s %6s %8s %12s %12s %9s %s\n", "rows", "preds",
+                "batch", "queries", "naive_s", "block_s", "speedup",
+                "match");
+    const size_t grid_queries = 128;
+    for (size_t rows : {16384u, 131072u}) {
+      const Table table = MakeCensusLike(rows, /*seed=*/101);
+      for (int preds : {1, 2, 4}) {
+        WorkloadOptions options;
+        options.min_predicates = preds;
+        options.max_predicates = preds;
+        const std::vector<Query> queries = GenerateQueries(
+            table, grid_queries, /*seed=*/202 + static_cast<uint64_t>(preds),
+            options);
+        for (size_t batch : {1u, 16u, 128u}) {
+          GridCell cell;
+          cell.rows = rows;
+          cell.preds = preds;
+          cell.batch = batch;
+          cell.queries = grid_queries;
+          cell.m = MeasureCell(table, queries, batch);
+          all_match = all_match && cell.m.counts_match;
+          std::printf("%8zu %6d %6zu %8zu %12.4f %12.4f %8.1fx %s\n",
+                      cell.rows, cell.preds, cell.batch, cell.queries,
+                      cell.m.naive_seconds, cell.m.block_seconds,
+                      cell.m.speedup(), cell.m.counts_match ? "ok" : "MISMATCH");
+          grid.push_back(cell);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- batch-labeling headline ------------------------------------------
+  std::printf("headline: labeling %zu queries over %zu rows...\n",
+              headline_queries, headline_rows);
+  const Table table = MakeCensusLike(headline_rows, /*seed=*/11);
+  const std::vector<Query> queries =
+      GenerateQueries(table, headline_queries, /*seed=*/12);
+  const Measurement headline =
+      MeasureCell(table, queries, headline_queries);
+  all_match = all_match && headline.counts_match;
+  std::printf("naive  %.3f s\nblock  %.3f s\nspeedup %.1fx (%s)\n",
+              headline.naive_seconds, headline.block_seconds,
+              headline.speedup(), headline.counts_match ? "ok" : "MISMATCH");
+
+  // ---- machine-readable artifact ----------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_micro_scan\",\n");
+  std::fprintf(out, "  \"block_size\": %zu,\n", scan::kDefaultBlockSize);
+  std::fprintf(out, "  \"workers\": %d,\n", ParallelWorkerCount());
+  std::fprintf(out, "  \"headline\": {\"rows\": %zu, \"queries\": %zu, "
+                    "\"naive_seconds\": %.6f, \"block_seconds\": %.6f, "
+                    "\"speedup\": %.3f, \"counts_match\": %s},\n",
+               headline_rows, headline_queries, headline.naive_seconds,
+               headline.block_seconds, headline.speedup(),
+               headline.counts_match ? "true" : "false");
+  std::fprintf(out, "  \"grid\": [");
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const GridCell& cell = grid[i];
+    std::fprintf(out,
+                 "%s\n    {\"rows\": %zu, \"preds\": %d, \"batch\": %zu, "
+                 "\"queries\": %zu, \"naive_seconds\": %.6f, "
+                 "\"block_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"counts_match\": %s}",
+                 i == 0 ? "" : ",", cell.rows, cell.preds, cell.batch,
+                 cell.queries, cell.m.naive_seconds, cell.m.block_seconds,
+                 cell.m.speedup(), cell.m.counts_match ? "true" : "false");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAILED: block-scan counts diverged from the naive "
+                 "executor\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,9 @@
 # ARECEL_SAN selects the sanitizer:
 #   asan (default) — AddressSanitizer + UBSan over the whole suite.
 #   tsan           — ThreadSanitizer, focused by default on the robustness
-#                    suite (the watchdog/guard threads are the only
-#                    multithreaded code); set ARECEL_SAN_ALL=1 for all tests.
+#                    suite (watchdog/guard threads) and the shared-scan
+#                    engine (parallel block labeling); set ARECEL_SAN_ALL=1
+#                    for all tests.
 #
 # By default the `slow` label (full-registry training sweeps and the
 # watchdog timeout tests) is excluded — sanitized NN training is painfully
@@ -35,10 +36,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 report_thread_leaks=0}"
 filter=()
 if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
   if [ "$san" = "tsan" ]; then
-    # Only the robustness machinery spawns threads; sweeping sanitized NN
+    # The concurrent code paths are the robustness machinery (watchdog /
+    # guard threads) and the shared-scan engine (ParallelForChunked block
+    # labeling with thread-local accumulators); sweeping sanitized NN
     # training under TSan buys nothing. Include the slow watchdog timeout
     # tests — they are the reason this preset exists.
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel')
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan')
   else
     filter=(-LE slow)
   fi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "scan/block_scan.h"
 #include "util/stats.h"
 #include "util/timer.h"
 #include "workload/generator.h"
@@ -34,8 +35,11 @@ DynamicProfile ProfileDynamicUpdate(CardinalityEstimator& estimator,
                  updated_table.num_rows()) * options.label_sample_fraction));
     const Table sample = updated_table.SampleRows(
         std::min(sample_rows, updated_table.num_rows()), options.seed + 2);
+    // Relabeling happens after every append step, so it rides the
+    // shared-scan engine: one pass over the sample for the whole update
+    // workload instead of one scan per query.
     update_workload.selectivities =
-        LabelQueries(sample, update_workload.queries);
+        scan::BlockScanner(sample).Label(update_workload.queries);
     label_seconds = label_timer.ElapsedSeconds();
   }
 

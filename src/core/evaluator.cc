@@ -7,25 +7,34 @@
 
 namespace arecel {
 
+double ScoreEstimate(double raw_selectivity, size_t rows,
+                     double actual_cardinality, bool* invalid) {
+  // Inspect the raw selectivity before any clamping: a NaN would survive
+  // std::clamp (unordered comparisons keep the value) and an out-of-range
+  // estimate would be silently laundered into a plausible cardinality.
+  // Both are structural failures of the estimator, not workload facts, so
+  // they score the sentinel and are counted for the report.
+  if (!std::isfinite(raw_selectivity) || raw_selectivity < 0.0) {
+    *invalid = true;
+    return kInvalidQError;
+  }
+  *invalid = false;
+  const double card =
+      std::clamp(raw_selectivity * static_cast<double>(rows), 0.0,
+                 static_cast<double>(rows));
+  return QError(card, actual_cardinality);
+}
+
 QErrorScan ScanQErrors(const CardinalityEstimator& estimator,
                        const Workload& workload, size_t rows) {
   QErrorScan scan;
   scan.qerrors.resize(workload.size());
   for (size_t i = 0; i < workload.size(); ++i) {
-    // Inspect the raw selectivity before any clamping: a NaN would survive
-    // std::clamp (unordered comparisons keep the value) and an out-of-range
-    // estimate would be silently laundered into a plausible cardinality.
-    // Both are structural failures of the estimator, not workload facts, so
-    // they score the sentinel and are counted for the report.
     const double sel = estimator.EstimateSelectivity(workload.queries[i]);
-    if (!std::isfinite(sel) || sel < 0.0) {
-      ++scan.invalid_estimates;
-      scan.qerrors[i] = kInvalidQError;
-      continue;
-    }
-    const double card = std::clamp(sel * static_cast<double>(rows), 0.0,
-                                   static_cast<double>(rows));
-    scan.qerrors[i] = QError(card, workload.Cardinality(i, rows));
+    bool invalid = false;
+    scan.qerrors[i] =
+        ScoreEstimate(sel, rows, workload.Cardinality(i, rows), &invalid);
+    if (invalid) ++scan.invalid_estimates;
   }
   return scan;
 }

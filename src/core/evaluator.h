@@ -48,6 +48,15 @@ struct QErrorScan {
 QErrorScan ScanQErrors(const CardinalityEstimator& estimator,
                        const Workload& workload, size_t rows);
 
+// Scores one raw selectivity estimate against the actual cardinality on a
+// `rows`-row table: the single place where boundary policy lives. A
+// non-finite or negative raw selectivity sets *invalid and scores
+// kInvalidQError; anything else is clamped into [0, rows] and scored with
+// QError. Shared by ScanQErrors and the robustness runner's per-query
+// budget path so both report identical statistics.
+double ScoreEstimate(double raw_selectivity, size_t rows,
+                     double actual_cardinality, bool* invalid);
+
 // Trains `estimator` (with `train` as the labelled workload for query-driven
 // methods) and evaluates q-errors over `test`. Wall-clock timings included.
 // An empty `test` produces an all-zero summary and zero inference time.

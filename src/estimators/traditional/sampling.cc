@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "scan/block_scan.h"
+
 namespace arecel {
+
+SamplingEstimator::SamplingEstimator(size_t max_sample_rows)
+    : max_sample_rows_(max_sample_rows) {}
+
+SamplingEstimator::~SamplingEstimator() = default;
+
+void SamplingEstimator::RebuildScanner() {
+  scanner_ = sample_.num_rows() > 0
+                 ? std::make_unique<scan::BlockScanner>(sample_)
+                 : nullptr;
+}
 
 void SamplingEstimator::Train(const Table& table,
                               const TrainContext& context) {
@@ -11,10 +24,12 @@ void SamplingEstimator::Train(const Table& table,
   rows = std::clamp<size_t>(rows, std::min<size_t>(table.num_rows(), 100),
                             std::min(max_sample_rows_, table.num_rows()));
   sample_ = table.SampleRows(rows, context.seed);
+  RebuildScanner();
 }
 
 double SamplingEstimator::EstimateSelectivity(const Query& query) const {
-  return ExecuteSelectivity(sample_, query);
+  if (scanner_ == nullptr) return ExecuteSelectivity(sample_, query);
+  return scanner_->Selectivity(query);
 }
 
 bool SamplingEstimator::SerializeModel(ByteWriter* writer) const {
@@ -47,6 +62,7 @@ bool SamplingEstimator::DeserializeModel(ByteReader* reader) {
   }
   loaded.Finalize();
   sample_ = std::move(loaded);
+  RebuildScanner();
   return true;
 }
 

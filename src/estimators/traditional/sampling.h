@@ -1,20 +1,29 @@
 #ifndef ARECEL_ESTIMATORS_TRADITIONAL_SAMPLING_H_
 #define ARECEL_ESTIMATORS_TRADITIONAL_SAMPLING_H_
 
+#include <memory>
 #include <string>
 
 #include "core/estimator.h"
 
 namespace arecel {
 
+namespace scan {
+class BlockScanner;
+}  // namespace scan
+
 // Uniform-random-sample estimator (§4.1): keeps a 1.5%-of-data sample
 // (matching the learned models' size budget) and answers a query with the
-// fraction of sample rows that satisfy it.
+// fraction of sample rows that satisfy it. The sample scan runs on the
+// vectorized block-scan engine: a scanner (zone maps + selection vectors)
+// is built once per (re)trained sample and reused by every estimate.
 class SamplingEstimator : public CardinalityEstimator {
  public:
   // `max_sample_rows` caps the sample like the paper's 150K cap for KDE.
-  explicit SamplingEstimator(size_t max_sample_rows = 150000)
-      : max_sample_rows_(max_sample_rows) {}
+  // Constructor/destructor live in the .cc so this header can hold the
+  // scanner behind a forward declaration.
+  explicit SamplingEstimator(size_t max_sample_rows = 150000);
+  ~SamplingEstimator() override;
 
   std::string Name() const override { return "sampling"; }
   void Train(const Table& table, const TrainContext& context) override;
@@ -24,8 +33,13 @@ class SamplingEstimator : public CardinalityEstimator {
   bool DeserializeModel(ByteReader* reader) override;
 
  private:
+  // Rebuilds the scanner over the current sample_ (call after every
+  // assignment to sample_; the scanner holds a pointer to it).
+  void RebuildScanner();
+
   size_t max_sample_rows_;
   Table sample_;
+  std::unique_ptr<scan::BlockScanner> scanner_;
 };
 
 }  // namespace arecel

@@ -122,6 +122,89 @@ bool EstimateGuarded(std::shared_ptr<CardinalityEstimator> estimator,
   return true;
 }
 
+// Per-query budget variant (ROADMAP item): each query runs under its own
+// watchdog, so one pathological query becomes one per-query failure record
+// and one kInvalidQError instead of sinking the whole estimate stage. The
+// loop itself runs on the caller's thread — it is bounded by
+// queries x budget, so no sweep-level watchdog wraps it. After
+// options.max_query_timeouts overruns the sweep gives up (a deterministic
+// hang would otherwise pay the budget once per remaining query) and the
+// caller degrades to the fallback. Every per-query worker shares ownership
+// of the estimator and workload, so an abandoned one can never dangle.
+bool EstimatePerQueryGuarded(std::shared_ptr<CardinalityEstimator> estimator,
+                             std::shared_ptr<const Workload> test,
+                             size_t rows, const RobustOptions& options,
+                             EstimatorReport* report) {
+  struct QueryCell {
+    std::shared_ptr<CardinalityEstimator> estimator;
+    std::shared_ptr<const Workload> test;
+    double sel = 0.0;
+  };
+  const size_t queries = test->size();
+  std::vector<double> qerrors(queries, kInvalidQError);
+  size_t invalid = 0;
+  int timeouts = 0;
+  double inference_ms = 0.0;
+  for (size_t i = 0; i < queries; ++i) {
+    auto cell = std::make_shared<QueryCell>();
+    cell->estimator = estimator;
+    cell->test = test;
+    const GuardResult outcome = RunGuarded(
+        [cell, i] {
+          cell->sel = cell->estimator->EstimateSelectivity(
+              cell->test->queries[i]);
+        },
+        options.query_deadline_seconds,
+        {FailureKind::kEstimateTimeout, FailureKind::kEstimateThrew,
+         FailureKind::kEstimateThrew},
+        nullptr, cell);
+    if (outcome.ok()) {
+      inference_ms += outcome.elapsed_seconds * 1e3;
+      bool bad = false;
+      qerrors[i] =
+          ScoreEstimate(cell->sel, rows, test->Cardinality(i, rows), &bad);
+      invalid += bad ? 1 : 0;
+      continue;
+    }
+    report->failures.push_back({outcome.kind, "estimate", 0,
+                                outcome.detail + ", query " +
+                                    std::to_string(i)});
+    if (outcome.kind == FailureKind::kEstimateTimeout &&
+        ++timeouts >= std::max(1, options.max_query_timeouts)) {
+      report->failures.push_back(
+          {FailureKind::kEstimateTimeout, "estimate", 0,
+           "gave up after " + std::to_string(timeouts) +
+               " per-query budget overruns"});
+      return false;
+    }
+  }
+  report->raw_qerrors = std::move(qerrors);
+  report->invalid_estimates = invalid;
+  report->avg_inference_ms =
+      queries == 0 ? 0.0 : inference_ms / static_cast<double>(queries);
+  if (invalid > 0) {
+    report->failures.push_back(
+        {FailureKind::kNonFiniteEstimate, "estimate", 0,
+         std::to_string(invalid) + "/" + std::to_string(queries) +
+             " invalid estimates"});
+  }
+  return true;
+}
+
+// Dispatches the estimate stage to the per-query budget path when one is
+// configured, else to the sweep-level watchdog.
+bool RunEstimateStage(std::shared_ptr<CardinalityEstimator> estimator,
+                      std::shared_ptr<const Workload> test, size_t rows,
+                      const RobustOptions& options,
+                      EstimatorReport* report) {
+  if (options.query_deadline_seconds > 0) {
+    return EstimatePerQueryGuarded(std::move(estimator), std::move(test),
+                                   rows, options, report);
+  }
+  return EstimateGuarded(std::move(estimator), std::move(test), rows,
+                         options, report);
+}
+
 }  // namespace
 
 RobustOptions RobustOptionsFromEnv() {
@@ -130,6 +213,8 @@ RobustOptions RobustOptionsFromEnv() {
       EnvSeconds("ARECEL_TRAIN_DEADLINE", options.train_deadline_seconds);
   options.estimate_deadline_seconds = EnvSeconds(
       "ARECEL_ESTIMATE_DEADLINE", options.estimate_deadline_seconds);
+  options.query_deadline_seconds =
+      EnvSeconds("ARECEL_QUERY_DEADLINE", options.query_deadline_seconds);
   options.max_train_attempts = static_cast<int>(
       EnvSeconds("ARECEL_TRAIN_ATTEMPTS",
                  static_cast<double>(options.max_train_attempts)));
@@ -175,7 +260,8 @@ EstimatorReport EvaluateOnDatasetRobust(
   const std::shared_ptr<const Workload> shared_train =
       ShareForGuard(train, options.train_deadline_seconds > 0);
   const std::shared_ptr<const Workload> shared_test =
-      ShareForGuard(test, options.estimate_deadline_seconds > 0);
+      ShareForGuard(test, options.estimate_deadline_seconds > 0 ||
+                              options.query_deadline_seconds > 0);
 
   // Pillar 2: bounded seed-bump retries over fresh instances.
   std::shared_ptr<CardinalityEstimator> trained;
@@ -189,8 +275,8 @@ EstimatorReport EvaluateOnDatasetRobust(
   bool served = false;
   if (trained != nullptr) {
     report.model_size_bytes = trained->SizeBytes();
-    served = EstimateGuarded(std::move(trained), shared_test,
-                             table.num_rows(), options, &report);
+    served = RunEstimateStage(std::move(trained), shared_test,
+                              table.num_rows(), options, &report);
     if (served) report.served_by = estimator_name;
   }
 
@@ -209,8 +295,8 @@ EstimatorReport EvaluateOnDatasetRobust(
                      /*attempt=*/attempts, options, &report);
     if (fallback != nullptr) {
       report.model_size_bytes = fallback->SizeBytes();
-      served = EstimateGuarded(std::move(fallback), shared_test,
-                               table.num_rows(), options, &report);
+      served = RunEstimateStage(std::move(fallback), shared_test,
+                                table.num_rows(), options, &report);
       if (served) report.served_by = "guarded(" + options.fallback + ")";
     }
   }

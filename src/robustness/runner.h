@@ -14,8 +14,23 @@ struct RobustOptions {
   // Per-stage wall-clock deadlines; <= 0 disables that watchdog.
   double train_deadline_seconds = 600.0;
   // Deadline for the whole estimate sweep over the test workload (one
-  // worker thread per stage, not per query).
+  // worker thread per stage, not per query). Ignored when a per-query
+  // budget is set below.
   double estimate_deadline_seconds = 300.0;
+
+  // Per-query estimate budget; <= 0 disables (the default — the sweep-level
+  // deadline above applies instead). When enabled, each query runs under
+  // its own watchdog: a pathological query is recorded as a per-query
+  // failure (kEstimateTimeout with the query index in the detail) and
+  // scores kInvalidQError, and the sweep CONTINUES with the remaining
+  // queries instead of timing out the whole estimate stage. The sweep only
+  // gives up (and degrades to the fallback) after `max_query_timeouts`
+  // budget overruns. This assumes EstimateSelectivity is a pure read — true
+  // of every registry estimator — because an abandoned per-query worker may
+  // still be inside the estimator (kept alive via shared ownership) while
+  // the sweep moves on.
+  double query_deadline_seconds = 0.0;
+  int max_query_timeouts = 5;
 
   // Bounded retries for stochastic training divergence: attempt k trains a
   // FRESH instance with seed + k * retry_seed_stride, so a diverging run
@@ -33,8 +48,8 @@ using EstimatorFactory =
     std::function<std::unique_ptr<CardinalityEstimator>()>;
 
 // Options read from the environment: ARECEL_TRAIN_DEADLINE,
-// ARECEL_ESTIMATE_DEADLINE (seconds), ARECEL_TRAIN_ATTEMPTS,
-// ARECEL_FALLBACK ("none" disables). The bench binaries use this so a CI
+// ARECEL_ESTIMATE_DEADLINE, ARECEL_QUERY_DEADLINE (seconds),
+// ARECEL_TRAIN_ATTEMPTS, ARECEL_FALLBACK ("none" disables). The bench binaries use this so a CI
 // job can tighten budgets without recompiling. A fallback name that is not
 // in the registry terminates the process immediately (exit 2) with the
 // valid names on stderr — failing fast at startup instead of aborting

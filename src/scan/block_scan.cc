@@ -1,0 +1,249 @@
+#include "scan/block_scan.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace arecel::scan {
+
+namespace {
+
+// A predicate with its column storage resolved once, outside every loop.
+struct CompiledPredicate {
+  const double* values = nullptr;
+  double lo = 0.0;
+  double hi = 0.0;
+  int column = 0;
+};
+
+struct CompiledQuery {
+  std::vector<CompiledPredicate> preds;  // most selective first.
+  bool satisfiable = true;
+};
+
+// Fraction of the column's distinct values covered by [lo, hi]: the
+// ordering key that puts the most selective predicate first, so the
+// selection vector collapses as early as possible.
+double DomainFraction(const Column& col, const Predicate& p) {
+  const int32_t lo_code = col.LowerBoundCode(p.lo);
+  const int32_t hi_code = col.UpperBoundCode(p.hi);
+  const int32_t covered = std::max<int32_t>(0, hi_code - lo_code + 1);
+  return static_cast<double>(covered) /
+         static_cast<double>(col.domain_size());
+}
+
+CompiledQuery Compile(const Table& table, const Query& query) {
+  CompiledQuery out;
+  out.satisfiable = query.IsSatisfiable();
+  if (!out.satisfiable) return out;
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(query.predicates.size());
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const Predicate& p = query.predicates[i];
+    order.emplace_back(
+        DomainFraction(table.column(static_cast<size_t>(p.column)), p), i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.preds.reserve(query.predicates.size());
+  for (const auto& [fraction, i] : order) {
+    const Predicate& p = query.predicates[i];
+    out.preds.push_back({table.column(static_cast<size_t>(p.column))
+                             .values.data(),
+                         p.lo, p.hi, p.column});
+  }
+  return out;
+}
+
+// Evaluates one compiled query over rows [begin, end) of one block with
+// the selection-vector cascade. `sel` needs end - begin slots.
+size_t EvalBlock(const CompiledQuery& query, uint32_t begin, uint32_t end,
+                 uint32_t* sel) {
+  const CompiledPredicate& first = query.preds.front();
+  if (query.preds.size() == 1)
+    return CountInterval(first.values, begin, end, first.lo, first.hi);
+  size_t n = FilterInterval(first.values, begin, end, first.lo, first.hi, sel);
+  for (size_t k = 1; k < query.preds.size() && n > 0; ++k) {
+    const CompiledPredicate& p = query.preds[k];
+    n = RefineInterval(p.values, p.lo, p.hi, sel, n);
+  }
+  return n;
+}
+
+// Zone-map classification of (block, query): skip entirely, count
+// wholesale, or evaluate row by row.
+enum class BlockFate { kSkip, kEvaluate, kFullMatch };
+
+BlockFate Classify(const TableSynopsis& synopsis, const CompiledQuery& query,
+                   size_t block) {
+  bool full = true;
+  for (const CompiledPredicate& p : query.preds) {
+    const size_t col = static_cast<size_t>(p.column);
+    if (!synopsis.CanMatch(block, col, p.lo, p.hi)) return BlockFate::kSkip;
+    full = full && synopsis.FullyMatches(block, col, p.lo, p.hi);
+  }
+  return full ? BlockFate::kFullMatch : BlockFate::kEvaluate;
+}
+
+uint32_t CheckedRowCount(const Table& table) {
+  ARECEL_CHECK_MSG(
+      table.num_rows() <= std::numeric_limits<uint32_t>::max(),
+      "block scan uses 32-bit row ids");
+  return static_cast<uint32_t>(table.num_rows());
+}
+
+}  // namespace
+
+size_t FilterInterval(const double* values, uint32_t begin, uint32_t end,
+                      double lo, double hi, uint32_t* sel) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    sel[n] = r;
+    n += static_cast<size_t>((values[r] >= lo) & (values[r] <= hi));
+  }
+  return n;
+}
+
+size_t RefineInterval(const double* values, double lo, double hi,
+                      uint32_t* sel, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[sel[i]];
+    sel[kept] = sel[i];
+    kept += static_cast<size_t>((v >= lo) & (v <= hi));
+  }
+  return kept;
+}
+
+size_t CountInterval(const double* values, uint32_t begin, uint32_t end,
+                     double lo, double hi) {
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r)
+    n += static_cast<size_t>((values[r] >= lo) & (values[r] <= hi));
+  return n;
+}
+
+BlockScanner::BlockScanner(const Table& table, ScanOptions options)
+    : table_(&table),
+      options_(options),
+      synopsis_(table, options.block_size) {
+  CheckedRowCount(table);
+}
+
+size_t BlockScanner::Count(const Query& query) const {
+  const uint32_t rows = CheckedRowCount(*table_);
+  const CompiledQuery compiled = Compile(*table_, query);
+  if (!compiled.satisfiable) return 0;
+  if (compiled.preds.empty()) return rows;
+  std::vector<uint32_t> sel(options_.block_size);
+  size_t total = 0;
+  for (size_t b = 0; b < synopsis_.num_blocks(); ++b) {
+    const uint32_t lo = static_cast<uint32_t>(b * options_.block_size);
+    const uint32_t hi = static_cast<uint32_t>(
+        std::min<size_t>(rows, (b + 1) * options_.block_size));
+    switch (Classify(synopsis_, compiled, b)) {
+      case BlockFate::kSkip:
+        break;
+      case BlockFate::kFullMatch:
+        total += hi - lo;
+        break;
+      case BlockFate::kEvaluate:
+        total += EvalBlock(compiled, lo, hi, sel.data());
+        break;
+    }
+  }
+  return total;
+}
+
+double BlockScanner::Selectivity(const Query& query) const {
+  if (table_->num_rows() == 0) return 0.0;
+  return static_cast<double>(Count(query)) /
+         static_cast<double>(table_->num_rows());
+}
+
+std::vector<size_t> BlockScanner::CountBatch(
+    const std::vector<Query>& queries) const {
+  std::vector<size_t> counts(queries.size(), 0);
+  const uint32_t rows = CheckedRowCount(*table_);
+  if (rows == 0 || queries.empty()) return counts;
+
+  std::vector<CompiledQuery> compiled;
+  compiled.reserve(queries.size());
+  for (const Query& q : queries) compiled.push_back(Compile(*table_, q));
+
+  // Blocks-outer, queries-inner: the table streams through cache once per
+  // chunk instead of once per query. Each worker accumulates into private
+  // counters and merges once; integer sums over disjoint block ranges make
+  // the merged result independent of the partitioning.
+  std::mutex merge_mutex;
+  ParallelForChunked(0, synopsis_.num_blocks(), [&](size_t chunk_begin,
+                                                    size_t chunk_end) {
+    std::vector<size_t> local(compiled.size(), 0);
+    std::vector<uint32_t> sel(options_.block_size);
+    for (size_t b = chunk_begin; b < chunk_end; ++b) {
+      const uint32_t lo = static_cast<uint32_t>(b * options_.block_size);
+      const uint32_t hi = static_cast<uint32_t>(
+          std::min<size_t>(rows, (b + 1) * options_.block_size));
+      for (size_t qi = 0; qi < compiled.size(); ++qi) {
+        const CompiledQuery& query = compiled[qi];
+        if (!query.satisfiable) continue;
+        if (query.preds.empty()) {
+          local[qi] += hi - lo;
+          continue;
+        }
+        switch (Classify(synopsis_, query, b)) {
+          case BlockFate::kSkip:
+            break;
+          case BlockFate::kFullMatch:
+            local[qi] += hi - lo;
+            break;
+          case BlockFate::kEvaluate:
+            local[qi] += EvalBlock(query, lo, hi, sel.data());
+            break;
+        }
+      }
+    }
+    const std::scoped_lock lock(merge_mutex);
+    for (size_t qi = 0; qi < local.size(); ++qi) counts[qi] += local[qi];
+  });
+  return counts;
+}
+
+std::vector<double> BlockScanner::Label(
+    const std::vector<Query>& queries) const {
+  std::vector<double> selectivities(queries.size(), 0.0);
+  if (table_->num_rows() == 0) return selectivities;
+  const std::vector<size_t> counts = CountBatch(queries);
+  const double rows = static_cast<double>(table_->num_rows());
+  for (size_t i = 0; i < counts.size(); ++i)
+    selectivities[i] = static_cast<double>(counts[i]) / rows;
+  return selectivities;
+}
+
+size_t CountMatches(const Table& table, const Query& query) {
+  const uint32_t rows = CheckedRowCount(table);
+  const CompiledQuery compiled = Compile(table, query);
+  if (!compiled.satisfiable) return 0;
+  if (compiled.preds.empty()) return rows;
+  // One query cannot amortize a synopsis build (that costs a full pass over
+  // every column), so this path goes straight to the selection-vector
+  // cascade over fixed-size blocks.
+  constexpr uint32_t kBlock = static_cast<uint32_t>(kDefaultBlockSize);
+  std::vector<uint32_t> sel(kBlock);
+  size_t total = 0;
+  for (uint32_t lo = 0; lo < rows; lo += kBlock)
+    total += EvalBlock(compiled, lo, std::min(rows, lo + kBlock), sel.data());
+  return total;
+}
+
+std::vector<double> LabelMatches(const Table& table,
+                                 const std::vector<Query>& queries) {
+  if (table.num_rows() == 0)
+    return std::vector<double>(queries.size(), 0.0);
+  return BlockScanner(table).Label(queries);
+}
+
+}  // namespace arecel::scan

@@ -1,0 +1,91 @@
+#ifndef ARECEL_SCAN_BLOCK_SCAN_H_
+#define ARECEL_SCAN_BLOCK_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "scan/synopsis.h"
+#include "workload/query.h"
+
+namespace arecel::scan {
+
+// Vectorized exact-count execution engine (DESIGN.md §8).
+//
+// Three layers, cheapest first:
+//  1. zone maps (TableSynopsis): a predicate skips every block whose
+//     [min, max] envelope misses its interval, and counts wholesale every
+//     block whose envelope it contains;
+//  2. selection vectors: surviving blocks are evaluated one *column* at a
+//     time, most-selective predicate first, compacting a dense row-id
+//     vector instead of re-testing every predicate per row;
+//  3. branch-free kernels: the inner loops are data-independent
+//     `lo <= v && v <= hi` passes over contiguous column blocks.
+//
+// All counts are exact integers: results are bit-identical to the naive
+// reference executor (ExecuteCountNaive) by construction, which
+// tests/scan_engine_test.cc enforces differentially. Interval semantics are
+// Predicate::Matches (inclusive bounds, NaN never matches).
+
+struct ScanOptions {
+  size_t block_size = kDefaultBlockSize;
+};
+
+// Branch-free interval kernels over contiguous column data. Exposed for the
+// micro-benchmark and tests; `sel` must have room for (end - begin) ids.
+//
+// Writes the row ids in [begin, end) with lo <= values[r] <= hi into `sel`;
+// returns how many matched.
+size_t FilterInterval(const double* values, uint32_t begin, uint32_t end,
+                      double lo, double hi, uint32_t* sel);
+// Compacts `sel` (n row ids) in place, keeping ids whose value lies in
+// [lo, hi]; returns the surviving count.
+size_t RefineInterval(const double* values, double lo, double hi,
+                      uint32_t* sel, size_t n);
+// Count-only variant for single-predicate scans (no ids materialized).
+size_t CountInterval(const double* values, uint32_t begin, uint32_t end,
+                     double lo, double hi);
+
+// Scan engine bound to one table. Builds the synopsis once; queries then
+// share it. After the table grows (AppendRows + Finalize), call Refresh()
+// to extend the synopsis incrementally. The table must outlive the scanner
+// and must not shrink or change schema between Refresh() calls.
+class BlockScanner {
+ public:
+  explicit BlockScanner(const Table& table, ScanOptions options = {});
+
+  // Re-syncs the synopsis after rows were appended to the table.
+  void Refresh() { synopsis_.ExtendTo(*table_); }
+
+  const TableSynopsis& synopsis() const { return synopsis_; }
+
+  // Exact match count / selectivity of one query.
+  size_t Count(const Query& query) const;
+  double Selectivity(const Query& query) const;
+
+  // Shared-scan batch labeling: streams each block once through every
+  // query (loop order blocks-outer, queries-inner), parallelized over
+  // block ranges. Per-query counts are integer sums over disjoint blocks,
+  // so the result is independent of thread partitioning and bit-identical
+  // to labeling each query alone.
+  std::vector<size_t> CountBatch(const std::vector<Query>& queries) const;
+  std::vector<double> Label(const std::vector<Query>& queries) const;
+
+ private:
+  const Table* table_;
+  ScanOptions options_;
+  TableSynopsis synopsis_;
+};
+
+// One-shot conveniences behind ExecuteCount / LabelQueries. CountMatches
+// skips the synopsis (one query cannot amortize building it) but still
+// runs the selection-vector block evaluation; LabelMatches builds a
+// scanner and shared-scans the whole batch.
+size_t CountMatches(const Table& table, const Query& query);
+std::vector<double> LabelMatches(const Table& table,
+                                 const std::vector<Query>& queries);
+
+}  // namespace arecel::scan
+
+#endif  // ARECEL_SCAN_BLOCK_SCAN_H_

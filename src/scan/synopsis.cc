@@ -1,0 +1,55 @@
+#include "scan/synopsis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace arecel::scan {
+
+TableSynopsis::TableSynopsis(const Table& table, size_t block_size)
+    : block_size_(block_size) {
+  ARECEL_CHECK_MSG(block_size_ > 0, "block size must be positive");
+  mins_.resize(table.num_cols());
+  maxs_.resize(table.num_cols());
+  rows_ = table.num_rows();
+  num_blocks_ = (rows_ + block_size_ - 1) / block_size_;
+  BuildBlocks(table, 0);
+}
+
+void TableSynopsis::ExtendTo(const Table& table) {
+  const bool shape_changed =
+      table.num_cols() != mins_.size() || table.num_rows() < rows_;
+  // The append only dirtied the last previously-covered block (it may have
+  // been partial) and created blocks after it; everything before is
+  // immutable under the AppendRows contract.
+  size_t first_block = shape_changed ? 0 : rows_ / block_size_;
+  if (shape_changed) {
+    mins_.assign(table.num_cols(), {});
+    maxs_.assign(table.num_cols(), {});
+  }
+  rows_ = table.num_rows();
+  num_blocks_ = (rows_ + block_size_ - 1) / block_size_;
+  BuildBlocks(table, first_block);
+}
+
+void TableSynopsis::BuildBlocks(const Table& table, size_t first_block) {
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    const double* values = table.column(c).values.data();
+    mins_[c].resize(num_blocks_);
+    maxs_[c].resize(num_blocks_);
+    for (size_t b = first_block; b < num_blocks_; ++b) {
+      const size_t lo = b * block_size_;
+      const size_t hi = std::min(rows_, lo + block_size_);
+      double block_min = values[lo];
+      double block_max = values[lo];
+      for (size_t r = lo + 1; r < hi; ++r) {
+        block_min = std::min(block_min, values[r]);
+        block_max = std::max(block_max, values[r]);
+      }
+      mins_[c][b] = block_min;
+      maxs_[c][b] = block_max;
+    }
+  }
+}
+
+}  // namespace arecel::scan

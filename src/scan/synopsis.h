@@ -1,0 +1,78 @@
+#ifndef ARECEL_SCAN_SYNOPSIS_H_
+#define ARECEL_SCAN_SYNOPSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "workload/query.h"
+
+namespace arecel::scan {
+
+// Rows per zone-map block. 4096 doubles = 32 KB per column block, so one
+// block of one column fits comfortably in L1 while the per-block metadata
+// (16 bytes per column) stays negligible even for million-row tables.
+inline constexpr size_t kDefaultBlockSize = 4096;
+
+// Per-column min/max zone maps over fixed-size row blocks of one table.
+//
+// A predicate `lo <= v <= hi` can only match inside a block whose
+// [min, max] envelope overlaps [lo, hi]; a block whose envelope is
+// *contained* in [lo, hi] matches wholesale and never needs its values
+// touched. Built in one pass over the table; after an append
+// (Table::AppendRows + Finalize) ExtendTo() recomputes only from the first
+// block the append touched, so synopsis maintenance is O(new rows), not
+// O(table).
+class TableSynopsis {
+ public:
+  TableSynopsis() = default;
+  explicit TableSynopsis(const Table& table,
+                         size_t block_size = kDefaultBlockSize);
+
+  // Re-syncs with `table` after rows were appended: recomputes the last
+  // (possibly partial) previously-covered block and everything after it.
+  // A table that shrank or changed column count triggers a full rebuild.
+  void ExtendTo(const Table& table);
+
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return num_blocks_; }
+  size_t covered_rows() const { return rows_; }
+
+  double BlockMin(size_t col, size_t block) const {
+    return mins_[col][block];
+  }
+  double BlockMax(size_t col, size_t block) const {
+    return maxs_[col][block];
+  }
+
+  // Interval [lo, hi] on `col` overlaps the block's envelope: at least one
+  // row of the block *may* match.
+  bool CanMatch(size_t block, size_t col, double lo, double hi) const {
+    return lo <= maxs_[col][block] && hi >= mins_[col][block];
+  }
+  // Interval [lo, hi] contains the block's envelope: every row matches.
+  bool FullyMatches(size_t block, size_t col, double lo, double hi) const {
+    return lo <= mins_[col][block] && maxs_[col][block] <= hi;
+  }
+
+  bool CanMatch(size_t block, const Predicate& p) const {
+    return CanMatch(block, static_cast<size_t>(p.column), p.lo, p.hi);
+  }
+  bool FullyMatches(size_t block, const Predicate& p) const {
+    return FullyMatches(block, static_cast<size_t>(p.column), p.lo, p.hi);
+  }
+
+ private:
+  // Recomputes blocks [first_block, ceil(rows / block_size)) per column.
+  void BuildBlocks(const Table& table, size_t first_block);
+
+  size_t block_size_ = kDefaultBlockSize;
+  size_t rows_ = 0;
+  size_t num_blocks_ = 0;
+  std::vector<std::vector<double>> mins_;  // [col][block].
+  std::vector<std::vector<double>> maxs_;
+};
+
+}  // namespace arecel::scan
+
+#endif  // ARECEL_SCAN_SYNOPSIS_H_

@@ -88,6 +88,9 @@ Workload GenerateWorkload(const Table& table, size_t count, uint64_t seed,
                           const WorkloadOptions& options) {
   Workload w;
   w.queries = GenerateQueries(table, count, seed, options);
+  // Ground-truth labeling is the dominant cost of workload construction;
+  // LabelQueries shared-scans the table once through the whole batch
+  // (src/scan/block_scan.h) instead of scanning it once per query.
   w.selectivities = LabelQueries(table, w.queries);
   return w;
 }

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "util/thread_pool.h"
+#include "scan/block_scan.h"
 
 namespace arecel {
 
@@ -35,14 +35,29 @@ std::string Query::ToString(const Table& table) const {
 }
 
 size_t ExecuteCount(const Table& table, const Query& query) {
+  return scan::CountMatches(table, query);
+}
+
+size_t ExecuteCountNaive(const Table& table, const Query& query) {
   if (!query.IsSatisfiable()) return 0;
   const size_t rows = table.num_rows();
+  // Column pointers are hoisted out of the row loop; Predicate::Matches is
+  // the interval oracle, so this path and the vectorized one share one
+  // definition of the semantics.
+  struct Bound {
+    const double* values;
+    const Predicate* pred;
+  };
+  std::vector<Bound> bounds;
+  bounds.reserve(query.predicates.size());
+  for (const Predicate& p : query.predicates)
+    bounds.push_back(
+        {table.column(static_cast<size_t>(p.column)).values.data(), &p});
   size_t count = 0;
   for (size_t r = 0; r < rows; ++r) {
     bool match = true;
-    for (const Predicate& p : query.predicates) {
-      const double v = table.column(static_cast<size_t>(p.column)).values[r];
-      if (v < p.lo || v > p.hi) {
+    for (const Bound& b : bounds) {
+      if (!b.pred->Matches(b.values[r])) {
         match = false;
         break;
       }
@@ -60,11 +75,7 @@ double ExecuteSelectivity(const Table& table, const Query& query) {
 
 std::vector<double> LabelQueries(const Table& table,
                                  const std::vector<Query>& queries) {
-  std::vector<double> selectivities(queries.size(), 0.0);
-  ParallelFor(0, queries.size(), [&](size_t i) {
-    selectivities[i] = ExecuteSelectivity(table, queries[i]);
-  });
-  return selectivities;
+  return scan::LabelMatches(table, queries);
 }
 
 }  // namespace arecel

@@ -33,13 +33,22 @@ struct Query {
   std::string ToString(const Table& table) const;
 };
 
-// Exact number of rows of `table` matching `query` (full scan).
+// Exact number of rows of `table` matching `query`. Routed through the
+// vectorized block-scan engine (src/scan/block_scan.h).
 size_t ExecuteCount(const Table& table, const Query& query);
+
+// Reference executor: row-at-a-time scan with Predicate::Matches as the
+// interval oracle. Kept as the differential-testing baseline
+// (tests/scan_engine_test.cc) and the "naive" side of bench_micro_scan;
+// production callers use ExecuteCount.
+size_t ExecuteCountNaive(const Table& table, const Query& query);
 
 // Exact selectivity = ExecuteCount / rows.
 double ExecuteSelectivity(const Table& table, const Query& query);
 
-// Labels every query in parallel. Returns selectivities in [0, 1].
+// Labels the whole batch with one shared scan of the table (each block is
+// streamed once through every query, parallelized over blocks). Returns
+// selectivities in [0, 1], bit-identical to per-query execution.
 std::vector<double> LabelQueries(const Table& table,
                                  const std::vector<Query>& queries);
 

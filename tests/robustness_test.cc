@@ -419,5 +419,57 @@ TEST(FailureTest, KindNamesAreStable) {
   EXPECT_NE(text.find("boom"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Per-query estimate budgets.
+
+TEST(RobustRunnerTest, PerQueryBudgetLocalizesPathologicalQuery) {
+  std::vector<FaultSpec> plan;
+  std::string error;
+  // Query index 2 stalls well past the budget; everything else is instant.
+  ASSERT_TRUE(ParseFaultPlan(
+      "postgres:estimate:delay:after=2:times=1:delay=0.6", &plan, &error));
+  robust::RobustOptions options = FastOptions();
+  options.query_deadline_seconds = 0.05;
+  const auto report = robust::EvaluateOnDatasetRobust(
+      "postgres",
+      [&plan] { return WrapWithFaults(FastBase(), plan); },
+      Shared().table, Shared().train, Shared().test, options);
+  // The pathological query is a per-query failure, not a dead stage: the
+  // estimator itself still serves the cell.
+  EXPECT_EQ(report.served_by, "postgres");
+  ASSERT_EQ(report.raw_qerrors.size(), Shared().test.size());
+  EXPECT_EQ(report.raw_qerrors[2], kInvalidQError);
+  EXPECT_TRUE(std::isfinite(report.raw_qerrors[0]));
+  EXPECT_TRUE(std::isfinite(report.raw_qerrors[3]));
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].kind, FailureKind::kEstimateTimeout);
+  EXPECT_NE(report.failures[0].detail.find("query 2"), std::string::npos);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(RobustRunnerTest, PerQueryBudgetGivesUpAfterTimeoutCap) {
+  std::vector<FaultSpec> plan;
+  std::string error;
+  // Every probe stalls: a deterministic hang should cost at most
+  // max_query_timeouts budgets, then the stage gives up.
+  ASSERT_TRUE(
+      ParseFaultPlan("postgres:estimate:delay:delay=0.6", &plan, &error));
+  robust::RobustOptions options = FastOptions();
+  options.query_deadline_seconds = 0.05;
+  options.max_query_timeouts = 2;
+  options.fallback.clear();
+  const auto report = robust::EvaluateOnDatasetRobust(
+      "postgres",
+      [&plan] { return WrapWithFaults(FastBase(), plan); },
+      Shared().table, Shared().train, Shared().test, options);
+  EXPECT_TRUE(report.served_by.empty());
+  EXPECT_EQ(report.qerror.p50, kInvalidQError);
+  // Two per-query timeout records plus the give-up record.
+  ASSERT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.failures[0].kind, FailureKind::kEstimateTimeout);
+  EXPECT_EQ(report.failures[1].kind, FailureKind::kEstimateTimeout);
+  EXPECT_NE(report.failures[2].detail.find("gave up"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace arecel
