@@ -37,11 +37,13 @@ filter=()
 if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
   if [ "$san" = "tsan" ]; then
     # The concurrent code paths are the robustness machinery (watchdog /
-    # guard threads) and the shared-scan engine (ParallelForChunked block
-    # labeling with thread-local accumulators); sweeping sanitized NN
-    # training under TSan buys nothing. Include the slow watchdog timeout
-    # tests — they are the reason this preset exists.
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan')
+    # guard threads), the shared-scan engine (ParallelForChunked block
+    # labeling with thread-local accumulators), and the serving layer
+    # (single-flight loads, sharded cache, batched dispatch, background
+    # refresh); sweeping sanitized NN training under TSan buys nothing.
+    # Include the slow watchdog timeout tests — they are the reason this
+    # preset exists.
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve')
   else
     filter=(-LE slow)
   fi

@@ -79,6 +79,14 @@ class CardinalityEstimator {
   // True for methods that require a labelled workload to train.
   virtual bool IsQueryDriven() const { return false; }
 
+  // True when EstimateSelectivity on a trained model is a pure read, safe
+  // to call concurrently from many threads. Estimators whose inference
+  // draws fresh randomness from a mutable per-instance counter (naru,
+  // bayes, dqm-d) or memoizes internally (guarded) override this to false;
+  // the serving layer (src/serve/) serializes their dispatch instead of
+  // fanning it out.
+  virtual bool ThreadSafeEstimates() const { return true; }
+
   // Optional model persistence (core/model_io.h): estimators that support
   // it can be trained once and served from a saved model file by another
   // process. Defaults report "unsupported".

@@ -10,7 +10,10 @@ constexpr uint32_t kVersion = 1;
 }  // namespace
 
 bool SupportsPersistence(const CardinalityEstimator& estimator) {
-  ByteWriter probe;
+  // Counting probe: serializers walk their state but nothing is buffered,
+  // so per-request capability checks (serve/model_manager.cc) don't pay a
+  // full serialization's allocation and copy.
+  ByteWriter probe = ByteWriter::Counting();
   return estimator.SerializeModel(&probe);
 }
 

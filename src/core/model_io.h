@@ -15,16 +15,18 @@ namespace arecel {
 // Supported estimators implement SerializeModel/DeserializeModel:
 // postgres / mysql / dbms-a (per-column statistics), sampling (the
 // materialized sample), mhist (the bucket directory), lw-xgb (featurizer
-// statistics + boosted trees). SaveEstimator returns false for estimators
-// without support.
+// statistics + boosted trees), lw-nn (featurizer statistics + dense-layer
+// weights). SaveEstimator returns false for estimators without support.
 
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path);
 
 // True when `estimator` implements model persistence (probes SerializeModel
-// into an in-memory buffer; no file is written). Call on a trained
-// instance. The conformance suite uses this to decide whether the
-// round-trip invariant applies or is reported as skipped.
+// with a counting writer — state is walked but nothing is buffered and no
+// file is written, so the check is cheap enough for per-request use in the
+// serving layer). Call on a trained instance. The conformance suite uses
+// this to decide whether the round-trip invariant applies or is reported as
+// skipped.
 bool SupportsPersistence(const CardinalityEstimator& estimator);
 
 // `estimator` must be a default-constructed instance of the same kind

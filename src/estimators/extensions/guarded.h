@@ -34,6 +34,9 @@ class GuardedEstimator : public CardinalityEstimator {
   void Update(const Table& table, const UpdateContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override { return base_->SizeBytes(); }
+  // The memo map below mutates without a lock, and the base may be
+  // stochastic anyway.
+  bool ThreadSafeEstimates() const override { return false; }
 
   const CardinalityEstimator& base() const { return *base_; }
 

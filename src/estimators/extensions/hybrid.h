@@ -35,6 +35,9 @@ class HybridEstimator : public CardinalityEstimator {
   bool IsQueryDriven() const override {
     return light_->IsQueryDriven() || heavy_->IsQueryDriven();
   }
+  bool ThreadSafeEstimates() const override {
+    return light_->ThreadSafeEstimates() && heavy_->ThreadSafeEstimates();
+  }
 
   void Train(const Table& table, const TrainContext& context) override {
     light_->Train(table, context);

@@ -59,6 +59,8 @@ class DqmDEstimator : public CardinalityEstimator {
   void Update(const Table& table, const UpdateContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  // VEGAS sampling advances estimate_counter_ per call.
+  bool ThreadSafeEstimates() const override { return false; }
 
   double final_loss() const { return final_loss_; }
 

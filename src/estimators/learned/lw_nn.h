@@ -35,6 +35,12 @@ class LwNnEstimator : public CardinalityEstimator {
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
 
+  // Model persistence: featurizer statistics + dense-layer topology,
+  // weights, and biases (Adam moments are training-only state and are not
+  // saved; an Update() after a load restarts them from zero).
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
   // Final training loss (mean squared error on log labels) — used by the
   // hyper-parameter tuning harness.
   double final_loss() const { return final_loss_; }

@@ -60,6 +60,8 @@ class NaruEstimator : public CardinalityEstimator {
   void Update(const Table& table, const UpdateContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  // Progressive sampling advances estimate_counter_ per call.
+  bool ThreadSafeEstimates() const override { return false; }
 
   double final_loss() const { return final_loss_; }
   const AutoregressiveModel* model() const { return model_.get(); }

@@ -42,6 +42,8 @@ class BayesEstimator : public CardinalityEstimator {
   void Train(const Table& table, const TrainContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  // Progressive-sampling mode advances estimate_counter_ per call.
+  bool ThreadSafeEstimates() const override { return false; }
 
   // Tree structure for tests: parent[i] is i's parent column (-1 for root).
   const std::vector<int>& parents() const { return parent_; }

@@ -133,10 +133,15 @@ Mlp::Mlp(const std::vector<size_t>& layer_sizes, Rng& rng) {
 }
 
 void Mlp::Forward(const Matrix& input, Matrix* output) const {
+  // Local ping-pong activations instead of the shared training buffers:
+  // inference stays a pure read, so a trained MLP (LW-NN, MSCN) can serve
+  // concurrent EstimateSelectivity calls (src/serve/ batch dispatch).
+  Matrix ping, pong;
   const Matrix* cur = &input;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i].Forward(*cur, &buffers_[i]);
-    cur = &buffers_[i];
+    Matrix* dst = (i % 2 == 0) ? &ping : &pong;
+    layers_[i].Forward(*cur, dst);
+    cur = dst;
   }
   *output = *cur;
 }

@@ -104,8 +104,9 @@ class Mlp {
 
  private:
   std::vector<DenseLayer> layers_;
-  // Per-layer activation buffers for training.
-  mutable std::vector<Matrix> buffers_;
+  // Per-layer activation buffers for ForwardTrain only; Forward uses local
+  // scratch so concurrent inference over a shared trained model is safe.
+  std::vector<Matrix> buffers_;
 };
 
 // Softmax over the columns of each row segment [begin, end). In-place.

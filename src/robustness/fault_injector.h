@@ -63,6 +63,11 @@ class FaultInjector : public CardinalityEstimator {
 
   std::string Name() const override { return base_->Name(); }
   bool IsQueryDriven() const override { return base_->IsQueryDriven(); }
+  // Call counters below are atomics, so the wrapper adds no races of its
+  // own; thread safety is whatever the base reports.
+  bool ThreadSafeEstimates() const override {
+    return base_->ThreadSafeEstimates();
+  }
   size_t SizeBytes() const override { return base_->SizeBytes(); }
 
   void Train(const Table& table, const TrainContext& context) override;

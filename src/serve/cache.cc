@@ -1,0 +1,164 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace arecel::serve {
+
+namespace {
+
+// FNV-1a, the same fingerprint family the sweep journal uses.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void AppendRaw(std::string* out, const void* data, size_t bytes) {
+  out->append(static_cast<const char*>(data), bytes);
+}
+
+void AppendBound(std::string* out, double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0 to one bit pattern.
+  AppendRaw(out, &v, sizeof(v));
+}
+
+// Approximate resident cost of one entry: key bytes plus list/map node
+// overhead. Exactness does not matter — the knob is "roughly N MB".
+size_t EntryBytes(const std::string& key) { return key.size() + 96; }
+
+}  // namespace
+
+std::string CanonicalPredicateKey(const Query& query) {
+  std::vector<Predicate> sorted = query.predicates;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Predicate& a, const Predicate& b) {
+              if (a.column != b.column) return a.column < b.column;
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  std::string key;
+  key.reserve(sorted.size() * (sizeof(int32_t) + 2 * sizeof(double)));
+  for (const Predicate& p : sorted) {
+    const int32_t column = p.column;
+    AppendRaw(&key, &column, sizeof(column));
+    AppendBound(&key, p.lo);
+    AppendBound(&key, p.hi);
+  }
+  return key;
+}
+
+std::string DatasetKeyPrefix(const std::string& dataset) {
+  return dataset + '\x1f';
+}
+
+std::string EstimateCacheKey(const std::string& dataset,
+                             const std::string& estimator,
+                             uint64_t data_version, const Query& query) {
+  std::string key = DatasetKeyPrefix(dataset);
+  key += estimator;
+  key += '\x1f';
+  AppendRaw(&key, &data_version, sizeof(data_version));
+  key += CanonicalPredicateKey(query);
+  return key;
+}
+
+EstimateCache::EstimateCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  num_shards = std::max<size_t>(1, num_shards);
+  shard_capacity_bytes_ = capacity_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+EstimateCache::Shard& EstimateCache::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a(key) % shards_.size()];
+}
+
+bool EstimateCache::Lookup(const std::string& key, double* selectivity) {
+  if (capacity_bytes_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *selectivity = it->second->second;
+  return true;
+}
+
+void EstimateCache::Insert(const std::string& key, double selectivity) {
+  if (capacity_bytes_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = selectivity;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, selectivity);
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += EntryBytes(key);
+  while (shard.bytes > shard_capacity_bytes_ && shard.lru.size() > 1) {
+    const auto& victim = shard.lru.back();
+    shard.bytes -= EntryBytes(victim.first);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+size_t EstimateCache::InvalidatePrefix(const std::string& prefix) {
+  size_t erased = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard.bytes -= EntryBytes(it->first);
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return erased;
+}
+
+void EstimateCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats EstimateCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace arecel::serve

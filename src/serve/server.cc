@@ -1,0 +1,291 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "robustness/guard.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace arecel::serve {
+
+namespace {
+
+constexpr size_t kLatencyWindowSize = 4096;
+
+// Below this batch size the dispatch threads cost more than they save.
+constexpr size_t kMinQueriesPerThread = 8;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end == value) ? fallback : parsed;
+}
+
+}  // namespace
+
+ServeOptions ServeOptionsFromEnv() {
+  ServeOptions options;
+  const double cache_mb = EnvDouble("ARECEL_SERVE_CACHE_MB", 64.0);
+  options.cache_bytes =
+      cache_mb <= 0 ? 0 : static_cast<size_t>(cache_mb * (1 << 20));
+  options.cache_enabled = options.cache_bytes > 0;
+  options.dispatch_threads =
+      static_cast<int>(EnvDouble("ARECEL_SERVE_THREADS", 0));
+  options.robust = robust::RobustOptionsFromEnv();
+  return options;
+}
+
+EstimatorServer::EstimatorServer(ServeOptions options)
+    : options_(std::move(options)),
+      manager_(options_.manager),
+      cache_(options_.cache_bytes, options_.cache_shards),
+      cache_enabled_(options_.cache_enabled) {
+  if (options_.dispatch_threads <= 0)
+    options_.dispatch_threads = ParallelWorkerCount();
+}
+
+void EstimatorServer::RegisterDataset(const std::string& name, Table table) {
+  manager_.RegisterDataset(name, std::move(table));
+}
+
+bool EstimatorServer::RunInference(
+    const std::string& dataset, const std::string& estimator,
+    const std::shared_ptr<const ServedModel>& model, const Query& query,
+    double* selectivity, EstimateResponse* response) {
+  const double deadline = options_.robust.query_deadline_seconds;
+  if (deadline <= 0) {
+    try {
+      if (model->thread_safe) {
+        *selectivity = model->estimator->EstimateSelectivity(query);
+      } else {
+        std::lock_guard<std::mutex> lock(model->inference_mutex);
+        *selectivity = model->estimator->EstimateSelectivity(query);
+      }
+      return true;
+    } catch (const std::exception& e) {
+      response->failure = FailureKind::kEstimateThrew;
+      response->detail = e.what();
+      ++estimate_errors_;
+      return false;
+    }
+  }
+
+  // Guarded path: the closure owns the model (shared_ptr by value) and a
+  // private copy of the query, per the leak-on-hang contract — an abandoned
+  // worker may outlive this request, never this process' model.
+  auto result = std::make_shared<double>(0.0);
+  robust::GuardKinds kinds;
+  kinds.on_timeout = FailureKind::kEstimateTimeout;
+  kinds.on_throw = FailureKind::kEstimateThrew;
+  kinds.on_cancel = FailureKind::kEstimateThrew;
+  robust::GuardResult guard = robust::RunGuarded(
+      [model, query, result] {
+        if (model->thread_safe) {
+          *result = model->estimator->EstimateSelectivity(query);
+        } else {
+          std::lock_guard<std::mutex> lock(model->inference_mutex);
+          *result = model->estimator->EstimateSelectivity(query);
+        }
+      },
+      deadline, kinds);
+  if (guard.ok()) {
+    *selectivity = *result;
+    return true;
+  }
+  response->failure = guard.kind;
+  response->detail = guard.detail;
+  if (guard.kind == FailureKind::kEstimateTimeout) {
+    ++deadline_exceeded_;
+    // A timed-out worker on a serialized model may still hold the model's
+    // inference mutex; retire the entry so later requests retrain a fresh
+    // instance instead of queueing behind a hung lock.
+    if (!model->thread_safe) manager_.Evict(dataset, estimator);
+  } else {
+    ++estimate_errors_;
+  }
+  return false;
+}
+
+EstimateResponse EstimatorServer::EstimateWithModel(
+    const std::string& dataset, const std::string& estimator,
+    const std::shared_ptr<const ServedModel>& model, const Query& query) {
+  Timer timer;
+  EstimateResponse response;
+  response.data_version = model->data_version;
+  ++requests_;
+
+  const bool use_cache = cache_enabled_.load() && cache_.capacity_bytes() > 0;
+  std::string key;
+  if (use_cache) {
+    key = EstimateCacheKey(dataset, estimator, model->data_version, query);
+    double cached = 0.0;
+    if (cache_.Lookup(key, &cached)) {
+      response.ok = true;
+      response.cache_hit = true;
+      response.selectivity = cached;
+      response.cardinality =
+          cached * static_cast<double>(model->trained_rows);
+      response.latency_ms = timer.ElapsedMillis();
+      RecordLatency(dataset, estimator, response.latency_ms);
+      return response;
+    }
+  }
+
+  double selectivity = 0.0;
+  if (RunInference(dataset, estimator, model, query, &selectivity,
+                   &response)) {
+    if (!std::isfinite(selectivity) || selectivity < 0.0) {
+      response.failure = FailureKind::kNonFiniteEstimate;
+      response.detail = "selectivity " + std::to_string(selectivity);
+      ++estimate_errors_;
+    } else {
+      // Clamp like EstimateCardinality does; the cached value is the
+      // clamped one, so a hit replays exactly what was served.
+      selectivity = std::min(selectivity, 1.0);
+      response.ok = true;
+      response.selectivity = selectivity;
+      response.cardinality =
+          selectivity * static_cast<double>(model->trained_rows);
+      if (use_cache) cache_.Insert(key, selectivity);
+    }
+  }
+  response.latency_ms = timer.ElapsedMillis();
+  RecordLatency(dataset, estimator, response.latency_ms);
+  return response;
+}
+
+EstimateResponse EstimatorServer::Estimate(const std::string& dataset,
+                                           const std::string& estimator,
+                                           const Query& query) {
+  std::string error;
+  std::shared_ptr<const ServedModel> model =
+      manager_.GetModel(dataset, estimator, &error);
+  if (model == nullptr) {
+    ++requests_;
+    ++model_failures_;
+    EstimateResponse response;
+    response.failure = FailureKind::kTrainThrew;
+    response.detail = error;
+    return response;
+  }
+  return EstimateWithModel(dataset, estimator, model, query);
+}
+
+std::vector<EstimateResponse> EstimatorServer::EstimateBatch(
+    const std::string& dataset, const std::string& estimator,
+    const std::vector<Query>& queries) {
+  ++batches_;
+  std::vector<EstimateResponse> responses(queries.size());
+  if (queries.empty()) return responses;
+
+  std::string error;
+  std::shared_ptr<const ServedModel> model =
+      manager_.GetModel(dataset, estimator, &error);
+  if (model == nullptr) {
+    requests_ += queries.size();
+    model_failures_ += queries.size();
+    for (EstimateResponse& response : responses) {
+      response.failure = FailureKind::kTrainThrew;
+      response.detail = error;
+    }
+    return responses;
+  }
+
+  // Serialized-inference models gain nothing from fan-out: every request
+  // would queue on the inference mutex while paying thread startup. Small
+  // batches likewise run inline.
+  const size_t want_threads = std::min<size_t>(
+      static_cast<size_t>(options_.dispatch_threads),
+      queries.size() / kMinQueriesPerThread);
+  if (!model->thread_safe || want_threads <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i)
+      responses[i] = EstimateWithModel(dataset, estimator, model, queries[i]);
+    return responses;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(want_threads);
+  const size_t chunk = (queries.size() + want_threads - 1) / want_threads;
+  for (size_t t = 0; t < want_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(queries.size(), begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([this, &dataset, &estimator, &model, &queries,
+                          &responses, begin, end] {
+      for (size_t i = begin; i < end; ++i)
+        responses[i] =
+            EstimateWithModel(dataset, estimator, model, queries[i]);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return responses;
+}
+
+uint64_t EstimatorServer::Update(const std::string& dataset, uint64_t seed) {
+  const uint64_t version =
+      manager_.ApplyUpdate(dataset, options_.update_fraction, seed);
+  if (version == 0) return 0;
+  ++updates_;
+  // Order matters: invalidate before kicking refreshes so no refreshed
+  // model can observe a cache still holding pre-update keys. (Stale-model
+  // requests racing this call may re-insert entries under the OLD version
+  // prefix; those keys are unreachable once their model refreshes and age
+  // out via LRU — they can never serve a wrong answer because the version
+  // is part of the key.)
+  cache_.InvalidatePrefix(DatasetKeyPrefix(dataset));
+  manager_.RefreshModelsAsync(dataset);
+  return version;
+}
+
+void EstimatorServer::RecordLatency(const std::string& dataset,
+                                    const std::string& estimator, double ms) {
+  const std::string key = dataset + "/" + estimator;
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  LatencyWindow& window = latencies_[key];
+  ++window.requests;
+  if (window.values.size() < kLatencyWindowSize) {
+    window.values.push_back(ms);
+  } else {
+    window.values[window.next] = ms;
+    window.next = (window.next + 1) % kLatencyWindowSize;
+    window.full = true;
+  }
+}
+
+ServerStats EstimatorServer::Stats() const {
+  ServerStats stats;
+  stats.requests = requests_.load();
+  stats.batches = batches_.load();
+  stats.deadline_exceeded = deadline_exceeded_.load();
+  stats.estimate_errors = estimate_errors_.load();
+  stats.model_failures = model_failures_.load();
+  stats.updates = updates_.load();
+  stats.cache = cache_.Stats();
+  stats.manager = manager_.counters();
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  stats.latencies.reserve(latencies_.size());
+  for (const auto& [key, window] : latencies_) {
+    ModelLatencyStats entry;
+    entry.model = key;
+    entry.requests = window.requests;
+    if (!window.values.empty()) {
+      entry.p50_ms = Percentile(window.values, 50.0);
+      entry.p90_ms = Percentile(window.values, 90.0);
+      entry.p99_ms = Percentile(window.values, 99.0);
+      entry.max_ms =
+          *std::max_element(window.values.begin(), window.values.end());
+    }
+    stats.latencies.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+}  // namespace arecel::serve

@@ -10,8 +10,16 @@ namespace {
 constexpr uint64_t kMaxElements = 1ull << 30;
 }  // namespace
 
+ByteWriter ByteWriter::Counting() {
+  ByteWriter writer;
+  writer.counting_only_ = true;
+  return writer;
+}
+
 void ByteWriter::Raw(const void* data, size_t bytes) {
-  buffer_.append(static_cast<const char*>(data), bytes);
+  bytes_written_ += bytes;
+  if (!counting_only_)
+    buffer_.append(static_cast<const char*>(data), bytes);
 }
 
 void ByteWriter::Str(const std::string& s) {

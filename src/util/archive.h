@@ -14,6 +14,13 @@ namespace arecel {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  // A counting writer tallies bytes_written() without storing anything —
+  // the cheap capability probe behind SupportsPersistence (core/model_io.h):
+  // serializers still walk their state, but no buffer is grown or copied.
+  static ByteWriter Counting();
+
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void I32(int32_t v) { Raw(&v, sizeof(v)); }
@@ -24,11 +31,19 @@ class ByteWriter {
   void Doubles(const std::vector<double>& v);
   void Ints(const std::vector<int>& v);
 
+  // The serialized bytes. Empty for a counting writer regardless of what
+  // was written.
   const std::string& buffer() const { return buffer_; }
+
+  // Total bytes written so far (counted in both modes).
+  size_t bytes_written() const { return bytes_written_; }
+  bool counting_only() const { return counting_only_; }
 
  private:
   void Raw(const void* data, size_t bytes);
   std::string buffer_;
+  size_t bytes_written_ = 0;
+  bool counting_only_ = false;
 };
 
 class ByteReader {

@@ -56,6 +56,19 @@ TEST(ByteArchiveTest, ScalarRoundTrip) {
   EXPECT_TRUE(r.AtEnd());
 }
 
+TEST(ByteArchiveTest, CountingWriterTalliesWithoutBuffering) {
+  ByteWriter full;
+  ByteWriter counting = ByteWriter::Counting();
+  for (ByteWriter* w : {&full, &counting}) {
+    w->U32(7);
+    w->Str("hello");
+    w->Doubles({1.0, 2.0, 3.0});
+  }
+  EXPECT_EQ(counting.bytes_written(), full.buffer().size());
+  EXPECT_EQ(full.bytes_written(), full.buffer().size());
+  EXPECT_TRUE(counting.buffer().empty());
+}
+
 TEST(ByteArchiveTest, TruncatedReadFails) {
   ByteWriter w;
   w.U64(1000);  // claims a 1000-byte string follows; none does.
@@ -115,7 +128,7 @@ TEST(ModelIoTest, PersistenceSupportMatchesDocumentedSet) {
   // The set documented in core/model_io.h; growing it is welcome, silently
   // shrinking it is not.
   for (const char* name : {"postgres", "mysql", "dbms-a", "sampling",
-                           "mhist", "lw-xgb"}) {
+                           "mhist", "lw-xgb", "lw-nn"}) {
     auto estimator = MakeEstimator(name);
     TrainContext context;
     context.training_workload = &Shared().train;

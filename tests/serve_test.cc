@@ -1,0 +1,450 @@
+// Serving-layer contract tests (src/serve/): cache canonicalization,
+// single-flight cold loads, LRU eviction order, the per-request deadline's
+// failure taxonomy, post-update invalidation + stale-while-revalidate
+// refresh equivalence, and a concurrent smoke designed for the TSan preset
+// (scripts/run_sanitized_tests.sh matches these suites by the "Serve" in
+// their names).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "serve/cache.h"
+#include "serve/model_manager.h"
+#include "serve/server.h"
+#include "workload/generator.h"
+
+namespace arecel::serve {
+namespace {
+
+Table SmallTable(uint64_t seed = 5) {
+  return GenerateSynthetic2D(/*rows=*/3000, /*skew=*/1.0,
+                             /*correlation=*/0.6, /*domain_size=*/40, seed);
+}
+
+Query MakeQuery(std::vector<Predicate> predicates) {
+  Query query;
+  query.predicates = std::move(predicates);
+  return query;
+}
+
+// Test double whose train and estimate latencies are programmable; used to
+// force single-flight overlap and deadline expiry deterministically.
+class StubEstimator : public CardinalityEstimator {
+ public:
+  StubEstimator(double train_ms, double estimate_ms, bool thread_safe)
+      : train_ms_(train_ms),
+        estimate_ms_(estimate_ms),
+        thread_safe_(thread_safe) {}
+
+  std::string Name() const override { return "stub"; }
+
+  void Train(const Table& table, const TrainContext& context) override {
+    (void)table;
+    (void)context;
+    if (train_ms_ > 0)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(train_ms_ * 1000)));
+  }
+
+  double EstimateSelectivity(const Query& query) const override {
+    (void)query;
+    if (estimate_ms_ > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(estimate_ms_ * 1000)));
+    return 0.25;
+  }
+
+  size_t SizeBytes() const override { return 8; }
+  bool ThreadSafeEstimates() const override { return thread_safe_; }
+
+ private:
+  double train_ms_;
+  double estimate_ms_;
+  bool thread_safe_;
+};
+
+ServeEstimatorFactory StubFactory(double train_ms, double estimate_ms,
+                                  bool thread_safe = true) {
+  return [=](const std::string&) {
+    return std::make_unique<StubEstimator>(train_ms, estimate_ms,
+                                           thread_safe);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Cache key canonicalization.
+
+TEST(ServeCacheKeyTest, PredicateOrderDoesNotChangeTheKey) {
+  const Query a = MakeQuery({{2, 1.0, 5.0}, {0, 3.0, 3.0}, {7, -4.0, 9.0}});
+  const Query b = MakeQuery({{0, 3.0, 3.0}, {7, -4.0, 9.0}, {2, 1.0, 5.0}});
+  EXPECT_EQ(CanonicalPredicateKey(a), CanonicalPredicateKey(b));
+}
+
+TEST(ServeCacheKeyTest, NegativeZeroBoundsCollapse) {
+  const Query a = MakeQuery({{1, -0.0, 2.0}});
+  const Query b = MakeQuery({{1, 0.0, 2.0}});
+  EXPECT_EQ(CanonicalPredicateKey(a), CanonicalPredicateKey(b));
+}
+
+TEST(ServeCacheKeyTest, DifferentBoundsColumnsVersionsDiffer) {
+  const Query base = MakeQuery({{1, 2.0, 8.0}});
+  EXPECT_NE(CanonicalPredicateKey(base),
+            CanonicalPredicateKey(MakeQuery({{1, 2.0, 9.0}})));
+  EXPECT_NE(CanonicalPredicateKey(base),
+            CanonicalPredicateKey(MakeQuery({{2, 2.0, 8.0}})));
+  // Same predicates, bumped data version: distinct entries by construction.
+  EXPECT_NE(EstimateCacheKey("t", "e", 0, base),
+            EstimateCacheKey("t", "e", 1, base));
+  // Dataset prefix is shared, so invalidation can address all of "t".
+  const std::string key = EstimateCacheKey("t", "e", 0, base);
+  EXPECT_EQ(key.compare(0, DatasetKeyPrefix("t").size(),
+                        DatasetKeyPrefix("t")),
+            0);
+}
+
+// Duplicate predicates on one column must NOT be merged: estimators answer
+// the literal conjunct list, and the cache contract is bit-identical
+// replay of what was served.
+TEST(ServeCacheKeyTest, DuplicateColumnsAreNotMerged) {
+  const Query twice = MakeQuery({{1, 2.0, 8.0}, {1, 3.0, 9.0}});
+  const Query merged = MakeQuery({{1, 3.0, 8.0}});
+  EXPECT_NE(CanonicalPredicateKey(twice), CanonicalPredicateKey(merged));
+}
+
+// ---------------------------------------------------------------------------
+// LRU eviction.
+
+TEST(ServeCacheLruTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the LRU order is global. Each 1-char key costs 97
+  // approximate bytes; capacity fits exactly three entries.
+  EstimateCache cache(/*capacity_bytes=*/3 * 97, /*num_shards=*/1);
+  cache.Insert("A", 0.1);
+  cache.Insert("B", 0.2);
+  cache.Insert("C", 0.3);
+
+  double got = 0.0;
+  ASSERT_TRUE(cache.Lookup("A", &got));  // A is now most-recent.
+  EXPECT_DOUBLE_EQ(got, 0.1);
+
+  cache.Insert("D", 0.4);  // evicts B, the least recently used.
+  EXPECT_FALSE(cache.Lookup("B", &got));
+  EXPECT_TRUE(cache.Lookup("A", &got));
+  EXPECT_TRUE(cache.Lookup("C", &got));
+  EXPECT_TRUE(cache.Lookup("D", &got));
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(ServeCacheLruTest, ZeroCapacityDisablesCaching) {
+  EstimateCache cache(/*capacity_bytes=*/0);
+  cache.Insert("A", 0.1);
+  double got = 0.0;
+  EXPECT_FALSE(cache.Lookup("A", &got));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight cold load.
+
+TEST(ServeSingleFlightTest, ConcurrentColdRequestsTrainOnce) {
+  ModelManagerOptions options;
+  options.factory = StubFactory(/*train_ms=*/150, /*estimate_ms=*/0);
+  ModelManager manager(options);
+  manager.RegisterDataset("t", SmallTable());
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ServedModel>> models(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back(
+        [&manager, &models, i] { models[i] = manager.GetModel("t", "stub"); });
+  for (std::thread& thread : threads) thread.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(models[i], nullptr);
+    EXPECT_EQ(models[i], models[0]) << "thread " << i
+                                    << " got a different instance";
+  }
+  const ManagerCounters counters = manager.counters();
+  EXPECT_EQ(counters.cold_trains, 1u);
+  EXPECT_GE(counters.single_flight_waits, 1u);
+}
+
+TEST(ServeSingleFlightTest, FailedLoadIsForgottenAndRetried) {
+  ModelManagerOptions options;
+  int calls = 0;
+  options.factory = [&calls](const std::string&)
+      -> std::unique_ptr<CardinalityEstimator> {
+    if (++calls == 1) throw std::runtime_error("flaky construction");
+    return std::make_unique<StubEstimator>(0, 0, true);
+  };
+  ModelManager manager(options);
+  manager.RegisterDataset("t", SmallTable());
+
+  std::string error;
+  EXPECT_EQ(manager.GetModel("t", "stub", &error), nullptr);
+  EXPECT_NE(error.find("flaky construction"), std::string::npos);
+  EXPECT_NE(manager.GetModel("t", "stub"), nullptr);  // retried, not stuck.
+}
+
+// ---------------------------------------------------------------------------
+// Deadline -> failure taxonomy.
+
+TEST(ServeDeadlineTest, TimeoutMapsToEstimateTimeout) {
+  ServeOptions options;
+  options.robust.query_deadline_seconds = 0.05;
+  options.manager.factory =
+      StubFactory(/*train_ms=*/0, /*estimate_ms=*/500);
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const EstimateResponse response =
+      server.Estimate("t", "stub", MakeQuery({{0, 1.0, 5.0}}));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.failure, FailureKind::kEstimateTimeout);
+  EXPECT_EQ(server.Stats().deadline_exceeded, 1u);
+
+  // The stub is thread-safe, so the model entry survives the timeout.
+  EXPECT_EQ(server.Stats().manager.evictions, 0u);
+  // Let the abandoned worker drain before the server (and its model) can
+  // be torn down safely at process exit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+}
+
+TEST(ServeDeadlineTest, TimeoutOnSerializedModelEvictsTheEntry) {
+  ServeOptions options;
+  options.robust.query_deadline_seconds = 0.05;
+  options.manager.factory =
+      StubFactory(/*train_ms=*/0, /*estimate_ms=*/400, /*thread_safe=*/false);
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const EstimateResponse response =
+      server.Estimate("t", "stub", MakeQuery({{0, 1.0, 5.0}}));
+  EXPECT_EQ(response.failure, FailureKind::kEstimateTimeout);
+  // The abandoned worker may still hold the model's inference mutex, so
+  // the entry was retired; the next request gets a fresh instance.
+  EXPECT_EQ(server.Stats().manager.evictions, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+}
+
+TEST(ServeDeadlineTest, ThrowMapsToEstimateThrew) {
+  class ThrowingEstimator : public StubEstimator {
+   public:
+    ThrowingEstimator() : StubEstimator(0, 0, true) {}
+    double EstimateSelectivity(const Query&) const override {
+      throw std::runtime_error("inference exploded");
+    }
+  };
+  ServeOptions options;
+  options.manager.factory = [](const std::string&) {
+    return std::make_unique<ThrowingEstimator>();
+  };
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const EstimateResponse response =
+      server.Estimate("t", "stub", MakeQuery({{0, 1.0, 5.0}}));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.failure, FailureKind::kEstimateThrew);
+  EXPECT_NE(response.detail.find("inference exploded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Serving behavior: cache hits, persistence, update + refresh.
+
+TEST(ServeServerTest, RepeatAndPermutedQueriesHitTheCache) {
+  ServeOptions options;
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const Query a = MakeQuery({{0, 2.0, 9.0}, {1, 1.0, 4.0}});
+  const Query permuted = MakeQuery({{1, 1.0, 4.0}, {0, 2.0, 9.0}});
+
+  const EstimateResponse miss = server.Estimate("t", "sampling", a);
+  ASSERT_TRUE(miss.ok);
+  EXPECT_FALSE(miss.cache_hit);
+
+  const EstimateResponse hit = server.Estimate("t", "sampling", permuted);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cache_hit);
+  // Bit-identical replay, not merely approximately equal.
+  EXPECT_EQ(hit.selectivity, miss.selectivity);
+  EXPECT_EQ(server.Stats().cache.hits, 1u);
+}
+
+TEST(ServeServerTest, BatchMatchesSingleRequests) {
+  ServeOptions options;
+  options.dispatch_threads = 4;  // force the fan-out path even on 1 core.
+  options.cache_enabled = false;
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const Table table = SmallTable();
+  const std::vector<Query> queries = GenerateQueries(table, 64, /*seed=*/3);
+  const auto batched = server.EstimateBatch("t", "sampling", queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const EstimateResponse single =
+        server.Estimate("t", "sampling", queries[i]);
+    ASSERT_TRUE(batched[i].ok);
+    EXPECT_EQ(batched[i].selectivity, single.selectivity) << "query " << i;
+  }
+  EXPECT_EQ(server.Stats().batches, 1u);
+}
+
+TEST(ServeServerTest, PersistedModelIsLoadedBySecondManager) {
+  const std::string dir = ::testing::TempDir() + "serve_models";
+  std::remove((dir + "/t.sampling.model").c_str());
+  ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+
+  ModelManagerOptions options;
+  options.model_dir = dir;
+  const Query probe = MakeQuery({{0, 2.0, 9.0}});
+  double trained_sel = 0.0;
+  {
+    ModelManager manager(options);
+    manager.RegisterDataset("t", SmallTable());
+    auto model = manager.GetModel("t", "sampling");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->source, "trained");
+    EXPECT_EQ(manager.counters().model_saves, 1u);
+    trained_sel = model->estimator->EstimateSelectivity(probe);
+  }
+  {
+    ModelManager manager(options);
+    manager.RegisterDataset("t", SmallTable());
+    auto model = manager.GetModel("t", "sampling");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->source, "loaded");
+    EXPECT_EQ(manager.counters().cold_trains, 0u);
+    EXPECT_EQ(model->estimator->EstimateSelectivity(probe), trained_sel);
+  }
+}
+
+TEST(ServeUpdateTest, UpdateInvalidatesAndRefreshMatchesManualRetrain) {
+  ServeOptions options;
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable(/*seed=*/5));
+
+  const Query query = MakeQuery({{0, 2.0, 9.0}, {1, 1.0, 4.0}});
+  const EstimateResponse before = server.Estimate("t", "sampling", query);
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.data_version, 0u);
+  ASSERT_TRUE(server.Estimate("t", "sampling", query).cache_hit);
+
+  const uint64_t version = server.Update("t", /*seed=*/97);
+  EXPECT_EQ(version, 1u);
+  server.WaitForRefreshes();
+
+  const EstimateResponse after = server.Estimate("t", "sampling", query);
+  ASSERT_TRUE(after.ok);
+  EXPECT_FALSE(after.cache_hit) << "update must invalidate the dataset";
+  EXPECT_EQ(after.data_version, 1u);
+  EXPECT_EQ(server.Stats().manager.refreshes, 1u);
+  EXPECT_GE(server.Stats().cache.invalidations, 1u);
+
+  // The refreshed model must match a manual retrain at the same version
+  // exactly: same updated table (§5.1 append, same fraction and seed) and
+  // the same per-version training seed.
+  Table manual = AppendCorrelatedUpdate(SmallTable(/*seed=*/5),
+                                        options.update_fraction, 97);
+  auto fresh = MakeEstimator("sampling");
+  TrainContext context;
+  context.seed = TrainSeedForVersion(options.manager.train_seed, version);
+  fresh->Train(manual, context);
+  EXPECT_EQ(after.selectivity, fresh->EstimateSelectivity(query));
+  EXPECT_EQ(after.cardinality,
+            fresh->EstimateSelectivity(query) *
+                static_cast<double>(manual.num_rows()));
+}
+
+TEST(ServeUpdateTest, StaleModelServesWhileRefreshRuns) {
+  ServeOptions options;
+  options.manager.factory =
+      StubFactory(/*train_ms=*/200, /*estimate_ms=*/0);
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const Query query = MakeQuery({{0, 1.0, 5.0}});
+  ASSERT_TRUE(server.Estimate("t", "stub", query).ok);
+
+  server.Update("t");
+  // Refresh needs ~200ms; the stale model must answer immediately.
+  const EstimateResponse stale = server.Estimate("t", "stub", query);
+  ASSERT_TRUE(stale.ok);
+  EXPECT_EQ(stale.data_version, 0u);
+
+  server.WaitForRefreshes();
+  const EstimateResponse fresh = server.Estimate("t", "stub", query);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_EQ(fresh.data_version, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent smoke for the TSan preset: readers, batch readers, and an
+// updater hammer one server; the invariant is simply "no data race, every
+// completed request is well-formed".
+
+TEST(ServeConcurrencyTest, ConcurrentEstimateBatchAndUpdateSmoke) {
+  ServeOptions options;
+  options.dispatch_threads = 2;
+  EstimatorServer server(options);
+  server.RegisterDataset("t", SmallTable());
+
+  const Table table = SmallTable();
+  const std::vector<Query> queries = GenerateQueries(table, 32, /*seed=*/9);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int reader = 0; reader < 3; ++reader) {
+    threads.emplace_back([&server, &queries, &failed, reader] {
+      for (int i = 0; i < 40; ++i) {
+        if (reader == 0 && i % 4 == 0) {
+          const auto responses = server.EstimateBatch(
+              "t", "sampling",
+              std::vector<Query>(queries.begin(), queries.begin() + 16));
+          for (const auto& response : responses)
+            if (!response.ok) failed.store(true);
+        } else {
+          const auto response = server.Estimate(
+              "t", "sampling", queries[static_cast<size_t>(i) % queries.size()]);
+          if (!response.ok) failed.store(true);
+          if (response.ok &&
+              (response.selectivity < 0.0 || response.selectivity > 1.0))
+            failed.store(true);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&server] {
+    for (int i = 0; i < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      server.Update("t", /*seed=*/100 + static_cast<uint64_t>(i));
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  server.WaitForRefreshes();
+
+  EXPECT_FALSE(failed.load());
+  const ServerStats stats = server.Stats();
+  EXPECT_GE(stats.requests, 100u);
+  EXPECT_EQ(stats.estimate_errors, 0u);
+  EXPECT_EQ(stats.updates, 2u);
+  EXPECT_EQ(stats.manager.refresh_failures, 0u);
+}
+
+}  // namespace
+}  // namespace arecel::serve
