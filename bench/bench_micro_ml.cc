@@ -1,121 +1,524 @@
-// google-benchmark microbenchmark of the ML substrate: matrix multiply,
-// ResMADE training steps and sliced forwards, GBDT fitting, k-means, RDC —
-// the building blocks whose cost dominates training (Figure 4) and
-// inference (progressive sampling).
+// Micro + end-to-end benchmark of the ML compute kernels (ml/kernels.h):
+// the fast backend (SIMD, cache-blocked, fused epilogues) against the
+// reference backend (the historical scalar loops, kept verbatim as the
+// numerical baseline). Three layers of measurement:
+//
+//   1. a matmul grid (MatMul / MatMulBT / MatMulAT over mixed shapes,
+//      including tile-unaligned ones) with per-cell divergence checks;
+//   2. end-to-end sections at the granularity the estimators actually pay:
+//      a ResMADE training run, a Naru progressive-sampling estimate batch,
+//      and an LW-NN training run, each timed under both backends;
+//   3. quick single-backend timings of the non-matrix ML substrate (GBDT,
+//      k-means, RDC) for continuity with earlier perf tracking.
+//
+// Every fast/reference pair also compares outputs, so the bench doubles as
+// a coarse differential gate: it exits nonzero when any divergence exceeds
+// its documented tolerance. Emits machine-readable BENCH_ml.json (default
+// at the repo root) to seed the perf trajectory: later PRs touching ml/
+// re-run this bench and compare against the committed baseline.
+//
+// Environment knobs (all optional):
+//   ARECEL_ML_BENCH_MICRO        0 skips the matmul grid      (default 1)
+//   ARECEL_ML_BENCH_OTHER        0 skips gbdt/kmeans/rdc      (default 1)
+//   ARECEL_ML_BENCH_STEPS        ResMADE train steps          (default 30)
+//   ARECEL_ML_BENCH_BATCH        ResMADE batch size           (default 512)
+//   ARECEL_ML_BENCH_ROWS         table rows for naru/lw-nn    (default 20000)
+//   ARECEL_ML_BENCH_QUERIES      naru estimate batch          (default 64)
+//   ARECEL_ML_BENCH_NARU_EPOCHS  naru training epochs         (default 4)
+//   ARECEL_ML_BENCH_LWNN_EPOCHS  lw-nn training epochs        (default 10)
+//   ARECEL_ML_BENCH_OUT          output path (default <repo>/BENCH_ml.json)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "data/datasets.h"
+#include "estimators/learned/lw_nn.h"
+#include "estimators/learned/naru.h"
 #include "ml/gbdt.h"
+#include "ml/kernels.h"
 #include "ml/kmeans.h"
 #include "ml/made.h"
 #include "ml/matrix.h"
 #include "ml/rdc.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/generator.h"
 
 namespace {
 
 using namespace arecel;
 
-void BM_MatMul(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(1);
-  Matrix a(n, n), b(n, n), out;
-  for (size_t i = 0; i < a.size(); ++i) {
-    a.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
-    b.data()[i] = static_cast<float>(rng.Uniform(-1, 1));
-  }
-  for (auto _ : state) {
-    MatMul(a, b, &out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(n * n * n));
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback
+                      : static_cast<size_t>(std::strtoull(v, nullptr, 10));
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_ResMadeTrainStep(benchmark::State& state) {
-  const int vocab = static_cast<int>(state.range(0));
-  ResMade::Options options;
-  options.hidden_units = 64;
-  ResMade made({vocab, vocab, vocab, vocab}, options);
-  Rng rng(2);
-  const size_t batch = 256;
-  Matrix input(batch, made.input_dim());
-  std::vector<int32_t> targets(batch * 4);
-  for (size_t b = 0; b < batch; ++b) {
-    int32_t codes[4];
-    for (int j = 0; j < 4; ++j) {
-      codes[j] = static_cast<int32_t>(
-          rng.UniformInt(static_cast<uint64_t>(vocab)));
-      targets[b * 4 + static_cast<size_t>(j)] = codes[j];
+// Seconds per call: warm up once, then double the repetition count until the
+// timed loop is long enough to trust the clock.
+template <typename F>
+double TimePerCall(F&& fn, double min_seconds = 0.08) {
+  fn();
+  size_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (size_t i = 0; i < reps; ++i) fn();
+    const double s = timer.ElapsedSeconds();
+    if (s >= min_seconds || reps >= (1u << 22)) return s / static_cast<double>(reps);
+    reps = s <= 1e-9 ? reps * 16
+                     : std::max(reps * 2,
+                                static_cast<size_t>(
+                                    static_cast<double>(reps) * min_seconds / s) +
+                                    1);
+  }
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return 1e30f;
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  return worst;
+}
+
+void FillRandom(Matrix* m, Rng& rng) {
+  for (size_t i = 0; i < m->size(); ++i)
+    m->data()[i] = static_cast<float>(rng.Uniform(-1, 1));
+}
+
+// ---- matmul grid ----------------------------------------------------------
+
+struct MicroCell {
+  const char* op = "";
+  size_t m = 0, k = 0, n = 0;
+  double reference_seconds = 0.0;
+  double fast_seconds = 0.0;
+  double divergence = 0.0;
+
+  double speedup() const {
+    return fast_seconds > 0.0 ? reference_seconds / fast_seconds : 0.0;
+  }
+  double gflops_fast() const {
+    return fast_seconds > 0.0
+               ? 2.0 * static_cast<double>(m * k * n) / fast_seconds / 1e9
+               : 0.0;
+  }
+};
+
+// Absolute divergence tolerance for a k-length float32 contraction over
+// inputs in [-1, 1]: FMA + 8-lane tree reduction vs strict left-to-right
+// accumulation. Empirically the worst case over these shapes is ~1e-4;
+// 2e-3 matches the tolerance tests/matrix_test.cc has always used.
+constexpr double kMicroTolerance = 2e-3;
+
+MicroCell MeasureMicroCell(const char* op, size_t m, size_t k, size_t n) {
+  MicroCell cell;
+  cell.op = op;
+  cell.m = m;
+  cell.k = k;
+  cell.n = n;
+  Rng rng(99);
+  Matrix a, b, out_ref, out_fast;
+  const bool bt = std::string(op) == "MatMulBT";
+  const bool at = std::string(op) == "MatMulAT";
+  if (bt) {
+    a.Resize(m, k);
+    b.Resize(n, k);
+  } else if (at) {
+    a.Resize(k, m);
+    b.Resize(k, n);
+  } else {
+    a.Resize(m, k);
+    b.Resize(k, n);
+  }
+  FillRandom(&a, rng);
+  FillRandom(&b, rng);
+  auto run = [&](Matrix* out) {
+    if (bt) {
+      MatMulBT(a, b, out);
+    } else if (at) {
+      MatMulAT(a, b, out);
+    } else {
+      MatMul(a, b, out);
     }
-    made.Encode(codes, 4, input.Row(b));
+  };
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+    cell.reference_seconds = TimePerCall([&] { run(&out_ref); });
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(made.TrainStep(input, targets, 1e-3f));
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kFast);
+    cell.fast_seconds = TimePerCall([&] { run(&out_fast); });
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(batch));
+  cell.divergence = MaxAbsDiff(out_ref, out_fast);
+  return cell;
 }
-BENCHMARK(BM_ResMadeTrainStep)->Arg(64)->Arg(256);
 
-void BM_ResMadeColumnForward(benchmark::State& state) {
+// ---- end-to-end sections --------------------------------------------------
+
+struct Section {
+  std::string name;
+  double reference_seconds = 0.0;
+  double fast_seconds = 0.0;
+  // Max abs difference between the two backends evaluating the *same
+  // trained model* on the same inputs (training trajectories are allowed to
+  // drift — summation order differs by design; see ml/kernels.h).
+  double divergence = 0.0;
+  double tolerance = 0.0;
+  std::string detail;
+
+  double speedup() const {
+    return fast_seconds > 0.0 ? reference_seconds / fast_seconds : 0.0;
+  }
+  bool within_tolerance() const { return divergence <= tolerance; }
+};
+
+// A ResMADE training run at paper scale (hidden 64, two residual blocks,
+// four 256-vocab columns) — the inner loop of Naru training (Figure 4's
+// dominant cost). Both backends train from identical init on the same
+// batch; divergence compares the fast-trained model's logits evaluated
+// under both backends.
+Section BenchResMadeTrain(size_t steps, size_t batch) {
+  Section section;
+  section.name = "resmade_train";
+  section.detail = "steps=" + std::to_string(steps) +
+                   " batch=" + std::to_string(batch);
+  const std::vector<int> vocabs = {256, 256, 256, 256};
   ResMade::Options options;
   options.hidden_units = 64;
-  ResMade made({256, 256, 256, 256}, options);
-  Matrix input(128, made.input_dim(), 0.0f);
-  Matrix logits;
-  for (auto _ : state) {
-    made.ForwardColumnLogits(input, 2, &logits);
-    benchmark::DoNotOptimize(logits.data());
-  }
-}
-BENCHMARK(BM_ResMadeColumnForward);
 
-void BM_GbdtTrain(benchmark::State& state) {
-  Rng rng(3);
-  const size_t n = 2000;
-  std::vector<std::vector<float>> x(n, std::vector<float>(8));
-  std::vector<double> y(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (auto& v : x[i]) v = static_cast<float>(rng.Uniform(0, 1));
-    y[i] = x[i][0] * 2 - x[i][3];
+  Rng rng(7);
+  Matrix input;
+  std::vector<int32_t> targets(batch * vocabs.size());
+  {
+    ResMade probe(vocabs, options);
+    input.Resize(batch, probe.input_dim());
+    for (size_t b = 0; b < batch; ++b) {
+      int32_t codes[4];
+      for (size_t j = 0; j < vocabs.size(); ++j) {
+        codes[j] = static_cast<int32_t>(
+            rng.UniformInt(static_cast<uint64_t>(vocabs[j])));
+        targets[b * vocabs.size() + j] = codes[j];
+      }
+      probe.Encode(codes, vocabs.size(), input.Row(b));
+    }
   }
-  GbdtOptions options;
-  options.num_trees = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    Gbdt model;
-    model.Train(x, y, options);
-    benchmark::DoNotOptimize(model.num_trees());
-  }
-}
-BENCHMARK(BM_GbdtTrain)->Arg(16)->Arg(64);
 
-void BM_KMeans(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<std::vector<double>> points(
-      static_cast<size_t>(state.range(0)), std::vector<double>(6));
-  for (auto& p : points)
-    for (auto& v : p) v = rng.Uniform(0, 1);
-  for (auto _ : state) {
-    const KMeansResult result = KMeans(points, 2, 20, 5);
-    benchmark::DoNotOptimize(result.assignments.data());
+  float loss_ref = 0.0f, loss_fast = 0.0f;
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+    ResMade made(vocabs, options);
+    Timer timer;
+    for (size_t s = 0; s < steps; ++s)
+      loss_ref = made.TrainStep(input, targets, 1e-3f);
+    section.reference_seconds = timer.ElapsedSeconds();
   }
+  ScopedMlKernelBackend fast_scope(MlKernelBackend::kFast);
+  ResMade made(vocabs, options);
+  {
+    Timer timer;
+    for (size_t s = 0; s < steps; ++s)
+      loss_fast = made.TrainStep(input, targets, 1e-3f);
+    section.fast_seconds = timer.ElapsedSeconds();
+  }
+  // Same trained model, both backends, same eval input.
+  Matrix logits_fast, logits_ref;
+  made.Forward(input, &logits_fast);
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+    made.Forward(input, &logits_ref);
+  }
+  section.divergence = MaxAbsDiff(logits_ref, logits_fast);
+  section.tolerance = 2e-3;
+  section.detail += " final_loss_ref=" + std::to_string(loss_ref) +
+                    " final_loss_fast=" + std::to_string(loss_fast);
+  return section;
 }
-BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000);
 
-void BM_Rdc(benchmark::State& state) {
-  Rng rng(5);
-  std::vector<double> x(static_cast<size_t>(state.range(0)));
-  std::vector<double> y(x.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    x[i] = rng.Uniform();
-    y[i] = rng.Bernoulli(0.5) ? x[i] : rng.Uniform();
+// A Naru progressive-sampling estimate batch: the trained model answers
+// `num_queries` range queries, each drawing 128 sample paths column by
+// column through ForwardColumnLogits (the sliced inference path). The model
+// is trained once (fast backend, pinned sampling seed); both backends then
+// run the identical estimate batch. Tolerance is looser than the pure
+// matmul bound because a ~1e-5 probability perturbation can flip a sampled
+// path, shifting that query's 128-path mean by O(1/128).
+Section BenchNaruInference(const Table& table, size_t num_queries,
+                           int epochs) {
+  Section section;
+  section.name = "naru_inference";
+  section.detail = "queries=" + std::to_string(num_queries) +
+                   " sample_count=128 epochs=" + std::to_string(epochs);
+
+  NaruEstimator::Options options;
+  options.epochs = epochs;
+  options.pin_sampling_seed = true;
+  NaruEstimator naru(options);
+  TrainContext context;
+  context.seed = 42;
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kFast);
+    naru.Train(table, context);
   }
-  for (auto _ : state) benchmark::DoNotOptimize(Rdc(x, y));
+  const std::vector<Query> queries =
+      GenerateQueries(table, num_queries, /*seed=*/31);
+
+  std::vector<double> est_ref(queries.size()), est_fast(queries.size());
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+    Timer timer;
+    for (size_t i = 0; i < queries.size(); ++i)
+      est_ref[i] = naru.EstimateSelectivity(queries[i]);
+    section.reference_seconds = timer.ElapsedSeconds();
+  }
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kFast);
+    Timer timer;
+    for (size_t i = 0; i < queries.size(); ++i)
+      est_fast[i] = naru.EstimateSelectivity(queries[i]);
+    section.fast_seconds = timer.ElapsedSeconds();
+  }
+  for (size_t i = 0; i < queries.size(); ++i)
+    section.divergence =
+        std::max(section.divergence, std::abs(est_ref[i] - est_fast[i]));
+  section.tolerance = 2e-2;
+  return section;
 }
-BENCHMARK(BM_Rdc)->Arg(2000);
+
+// An LW-NN training run over a labelled workload. Both backends train from
+// identical init; divergence compares the fast-trained model's estimates
+// under both backends over the workload's first queries.
+Section BenchLwNnTrain(const Table& table, const Workload& workload,
+                       int epochs) {
+  Section section;
+  section.name = "lwnn_train";
+  section.detail = "queries=" + std::to_string(workload.queries.size()) +
+                   " epochs=" + std::to_string(epochs);
+  LwNnEstimator::Options options;
+  options.epochs = epochs;
+  TrainContext context;
+  context.training_workload = &workload;
+  context.seed = 42;
+
+  double loss_ref = 0.0, loss_fast = 0.0;
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+    LwNnEstimator lwnn(options);
+    Timer timer;
+    lwnn.Train(table, context);
+    section.reference_seconds = timer.ElapsedSeconds();
+    loss_ref = lwnn.final_loss();
+  }
+  ScopedMlKernelBackend fast_scope(MlKernelBackend::kFast);
+  LwNnEstimator lwnn(options);
+  {
+    Timer timer;
+    lwnn.Train(table, context);
+    section.fast_seconds = timer.ElapsedSeconds();
+    loss_fast = lwnn.final_loss();
+  }
+  const size_t eval = std::min<size_t>(32, workload.queries.size());
+  for (size_t i = 0; i < eval; ++i) {
+    const double fast = lwnn.EstimateSelectivity(workload.queries[i]);
+    double ref = 0.0;
+    {
+      ScopedMlKernelBackend scoped(MlKernelBackend::kReference);
+      ref = lwnn.EstimateSelectivity(workload.queries[i]);
+    }
+    section.divergence = std::max(section.divergence, std::abs(ref - fast));
+  }
+  section.tolerance = 1e-3;
+  section.detail += " final_loss_ref=" + std::to_string(loss_ref) +
+                    " final_loss_fast=" + std::to_string(loss_fast);
+  return section;
+}
+
+void PrintSection(const Section& s) {
+  std::printf("%-16s %12.4f %12.4f %8.2fx %10.2e %8.0e %-4s %s\n",
+              s.name.c_str(), s.reference_seconds, s.fast_seconds,
+              s.speedup(), s.divergence, s.tolerance,
+              s.within_tolerance() ? "ok" : "FAIL", s.detail.c_str());
+}
+
+struct OtherTiming {
+  const char* name = "";
+  double seconds = 0.0;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const bool run_micro = EnvSize("ARECEL_ML_BENCH_MICRO", 1) != 0;
+  const bool run_other = EnvSize("ARECEL_ML_BENCH_OTHER", 1) != 0;
+  const size_t steps = EnvSize("ARECEL_ML_BENCH_STEPS", 30);
+  const size_t batch = EnvSize("ARECEL_ML_BENCH_BATCH", 512);
+  const size_t rows = EnvSize("ARECEL_ML_BENCH_ROWS", 20000);
+  const size_t queries = EnvSize("ARECEL_ML_BENCH_QUERIES", 64);
+  const int naru_epochs =
+      static_cast<int>(EnvSize("ARECEL_ML_BENCH_NARU_EPOCHS", 4));
+  const int lwnn_epochs =
+      static_cast<int>(EnvSize("ARECEL_ML_BENCH_LWNN_EPOCHS", 10));
+  std::string out_path = ARECEL_REPO_ROOT "/BENCH_ml.json";
+  if (const char* env_out = std::getenv("ARECEL_ML_BENCH_OUT"))
+    out_path = env_out;
+
+  std::printf("== bench_micro_ml: fast vs. reference ML kernels ==\n");
+  std::printf("simd=%s workers=%d\n\n", MlKernelSimdName(),
+              ParallelWorkerCount());
+
+  bool all_within = true;
+
+  // ---- matmul grid --------------------------------------------------------
+  std::vector<MicroCell> grid;
+  if (run_micro) {
+    std::printf("%-8s %5s %5s %5s %12s %12s %9s %10s %9s\n", "op", "m", "k",
+                "n", "ref_s", "fast_s", "speedup", "div", "gflops");
+    const size_t shapes[][3] = {
+        {256, 256, 256},  // square, cache-resident
+        {512, 64, 64},    // tall-skinny: a training batch through hidden 64
+        {128, 64, 1024},  // wide output: ResMADE logits layer
+        {511, 67, 33},    // deliberately tile- and lane-unaligned
+    };
+    for (const char* op : {"MatMul", "MatMulBT", "MatMulAT"}) {
+      for (const auto& s : shapes) {
+        MicroCell cell = MeasureMicroCell(op, s[0], s[1], s[2]);
+        all_within = all_within && cell.divergence <= kMicroTolerance;
+        std::printf("%-8s %5zu %5zu %5zu %12.6f %12.6f %8.1fx %10.2e %9.1f\n",
+                    cell.op, cell.m, cell.k, cell.n, cell.reference_seconds,
+                    cell.fast_seconds, cell.speedup(), cell.divergence,
+                    cell.gflops_fast());
+        grid.push_back(cell);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- end-to-end sections ------------------------------------------------
+  std::printf("%-16s %12s %12s %9s %10s %8s %-4s\n", "section", "ref_s",
+              "fast_s", "speedup", "div", "tol", "ok");
+  const Table table = [&] {
+    DatasetSpec spec = CensusSpec();
+    spec.rows = rows;
+    return GenerateDataset(spec, /*seed=*/11);
+  }();
+
+  std::vector<Section> sections;
+  sections.push_back(BenchResMadeTrain(steps, batch));
+  PrintSection(sections.back());
+  sections.push_back(BenchNaruInference(table, queries, naru_epochs));
+  PrintSection(sections.back());
+  const Workload workload = GenerateWorkload(table, 400, /*seed=*/21);
+  sections.push_back(BenchLwNnTrain(table, workload, lwnn_epochs));
+  PrintSection(sections.back());
+  for (const Section& s : sections) all_within = all_within && s.within_tolerance();
+  std::printf("\n");
+
+  // ---- non-matrix substrate (single backend, continuity timings) ----------
+  std::vector<OtherTiming> other;
+  if (run_other) {
+    {
+      Rng rng(3);
+      const size_t n = 2000;
+      std::vector<std::vector<float>> x(n, std::vector<float>(8));
+      std::vector<double> y(n);
+      for (size_t i = 0; i < n; ++i) {
+        for (auto& v : x[i]) v = static_cast<float>(rng.Uniform(0, 1));
+        y[i] = x[i][0] * 2 - x[i][3];
+      }
+      GbdtOptions options;
+      options.num_trees = 64;
+      Timer timer;
+      Gbdt model;
+      model.Train(x, y, options);
+      other.push_back({"gbdt_train_64t_2000x8", timer.ElapsedSeconds()});
+    }
+    {
+      Rng rng(4);
+      std::vector<std::vector<double>> points(2000, std::vector<double>(6));
+      for (auto& p : points)
+        for (auto& v : p) v = rng.Uniform(0, 1);
+      Timer timer;
+      const KMeansResult result = KMeans(points, 2, 20, 5);
+      other.push_back({"kmeans_2000x6", timer.ElapsedSeconds()});
+      (void)result;
+    }
+    {
+      Rng rng(5);
+      std::vector<double> x(2000), y(2000);
+      for (size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.Uniform();
+        y[i] = rng.Bernoulli(0.5) ? x[i] : rng.Uniform();
+      }
+      Timer timer;
+      const double rdc = Rdc(x, y);
+      other.push_back({"rdc_2000", timer.ElapsedSeconds()});
+      (void)rdc;
+    }
+    for (const OtherTiming& t : other)
+      std::printf("%-24s %10.4f s\n", t.name, t.seconds);
+    std::printf("\n");
+  }
+
+  // ---- machine-readable artifact ------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_micro_ml\",\n");
+  std::fprintf(out, "  \"simd\": \"%s\",\n", MlKernelSimdName());
+  std::fprintf(out, "  \"workers\": %d,\n", ParallelWorkerCount());
+  auto print_section = [&](const Section& s) {
+    std::fprintf(out,
+                 "{\"name\": \"%s\", \"reference_seconds\": %.6f, "
+                 "\"fast_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"divergence\": %.3e, \"tolerance\": %.1e, "
+                 "\"within_tolerance\": %s, \"detail\": \"%s\"}",
+                 s.name.c_str(), s.reference_seconds, s.fast_seconds,
+                 s.speedup(), s.divergence, s.tolerance,
+                 s.within_tolerance() ? "true" : "false", s.detail.c_str());
+  };
+  std::fprintf(out, "  \"headline\": {\n    \"resmade_train\": ");
+  print_section(sections[0]);
+  std::fprintf(out, ",\n    \"naru_inference\": ");
+  print_section(sections[1]);
+  std::fprintf(out, "\n  },\n");
+  std::fprintf(out, "  \"sections\": [");
+  for (size_t i = 0; i < sections.size(); ++i) {
+    std::fprintf(out, "%s\n    ", i == 0 ? "" : ",");
+    print_section(sections[i]);
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out, "  \"matmul_grid\": [");
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const MicroCell& c = grid[i];
+    std::fprintf(out,
+                 "%s\n    {\"op\": \"%s\", \"m\": %zu, \"k\": %zu, "
+                 "\"n\": %zu, \"reference_seconds\": %.6f, "
+                 "\"fast_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"gflops_fast\": %.2f, \"divergence\": %.3e}",
+                 i == 0 ? "" : ",", c.op, c.m, c.k, c.n, c.reference_seconds,
+                 c.fast_seconds, c.speedup(), c.gflops_fast(), c.divergence);
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out, "  \"other\": [");
+  for (size_t i = 0; i < other.size(); ++i)
+    std::fprintf(out, "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}",
+                 i == 0 ? "" : ",", other[i].name, other[i].seconds);
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_within) {
+    std::fprintf(stderr,
+                 "FAILED: fast-backend output diverged from the reference "
+                 "backend beyond tolerance\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the ML-substrate test suites (matrix, dense layers/MLP, ResMADE,
+# Transformer, and the kernel differential suite) under BOTH kernel
+# backends: ARECEL_ML_KERNEL=reference (the historical scalar loops) and
+# ARECEL_ML_KERNEL=fast (SIMD, cache-blocked, fused — the default). Any PR
+# touching src/ml/ should pass this before relying on the full tier-1 gate;
+# a test that passes under one backend and fails under the other almost
+# always means a hidden dependency on summation order (see the
+# accumulation-order caveat in ml/kernels.h).
+#
+# Extra args are forwarded to ctest, e.g.:
+#   scripts/run_ml_backend_tests.sh --verbose
+#   ARECEL_BUILD_DIR=build-native scripts/run_ml_backend_tests.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${ARECEL_BUILD_DIR:-build}"
+if [ ! -d "$build_dir" ]; then
+  cmake --preset release
+fi
+cmake --build "$build_dir" -j "${ARECEL_BUILD_JOBS:-$(nproc)}"
+
+suites='Matrix|DenseLayer|Mlp|SoftmaxRows|ResMade|Transformer|MlKernels'
+for backend in reference fast; do
+  echo "== ARECEL_ML_KERNEL=$backend =="
+  ARECEL_ML_KERNEL=$backend ctest --test-dir "$build_dir" \
+    --output-on-failure -R "$suites" "$@"
+done
+echo "ML suites pass under both kernel backends."

@@ -38,12 +38,13 @@ if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
   if [ "$san" = "tsan" ]; then
     # The concurrent code paths are the robustness machinery (watchdog /
     # guard threads), the shared-scan engine (ParallelForChunked block
-    # labeling with thread-local accumulators), and the serving layer
+    # labeling with thread-local accumulators), the serving layer
     # (single-flight loads, sharded cache, batched dispatch, background
-    # refresh); sweeping sanitized NN training under TSan buys nothing.
-    # Include the slow watchdog timeout tests — they are the reason this
-    # preset exists.
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve')
+    # refresh), and the ML kernels (parallel-over-rows matmul dispatch,
+    # concurrent inference over shared weights); sweeping sanitized NN
+    # training under TSan buys nothing. Include the slow watchdog timeout
+    # tests — they are the reason this preset exists.
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml')
   else
     filter=(-LE slow)
   fi

@@ -1,0 +1,451 @@
+#include "ml/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ml/kernels_simd.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace arecel {
+
+namespace {
+
+// Below this many multiply-adds, thread dispatch costs more than it saves.
+// Bench-derived: BM_MatMul in bench_micro_ml puts the single-thread /
+// ParallelForChunked crossover between the 128^3 (~2M madds) and 256^3
+// (~16M madds) cells on multi-core hosts; 4M keeps the dense layers of the
+// paper's models (batch 256-512, width 64-1024) single-threaded while the
+// largest output-layer products still fan out. On single-worker hosts the
+// pool runs inline, so the value is latency-neutral there.
+constexpr size_t kParallelMaddsThreshold = 4u << 20;
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_backend{-1};  // -1 = not yet resolved from env.
+
+[[noreturn]] void DieInvalidBackend(const char* value) {
+  std::fprintf(stderr,
+               "ARECEL_ML_KERNEL='%s' is not a kernel backend "
+               "(want 'reference' or 'fast')\n",
+               value);
+  std::exit(2);
+}
+
+const mlk::KernelOps& FastOps() {
+  static const mlk::KernelOps& ops = []() -> const mlk::KernelOps& {
+    const mlk::KernelOps* avx2 = mlk::Avx2KernelOps();
+#if defined(__x86_64__) || defined(__i386__)
+    if (avx2 != nullptr && __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+      return *avx2;
+    }
+#else
+    (void)avx2;
+#endif
+    return mlk::PortableKernelOps();
+  }();
+  return ops;
+}
+
+}  // namespace
+
+bool ParseMlKernelBackend(const char* name, MlKernelBackend* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "reference") == 0) {
+    *out = MlKernelBackend::kReference;
+    return true;
+  }
+  if (std::strcmp(name, "fast") == 0) {
+    *out = MlKernelBackend::kFast;
+    return true;
+  }
+  return false;
+}
+
+MlKernelBackend ActiveMlKernelBackend() {
+  int backend = g_backend.load(std::memory_order_relaxed);
+  if (backend < 0) {
+    MlKernelBackend parsed = MlKernelBackend::kFast;
+    const char* env = std::getenv("ARECEL_ML_KERNEL");
+    if (env != nullptr && env[0] != '\0' && !ParseMlKernelBackend(env, &parsed))
+      DieInvalidBackend(env);
+    backend = static_cast<int>(parsed);
+    g_backend.store(backend, std::memory_order_relaxed);
+  }
+  return static_cast<MlKernelBackend>(backend);
+}
+
+void SetMlKernelBackend(MlKernelBackend backend) {
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+const char* MlKernelSimdName() { return FastOps().name; }
+
+// ---------------------------------------------------------------------------
+// Portable fast kernels: branch-free blocked loops the compiler can
+// auto-vectorize at the baseline ISA. Same contracts as the AVX2 table.
+// ---------------------------------------------------------------------------
+
+namespace mlk {
+namespace {
+
+void DenseRowsPortable(const float* a, size_t lda, const float* b, size_t ldb,
+                       const float* bias, bool relu, float* out, size_t ldo,
+                       size_t i_lo, size_t i_hi, size_t k, size_t n) {
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    float* out_row = out + i * ldo;
+    if (bias != nullptr) {
+      std::memcpy(out_row, bias, n * sizeof(float));
+    } else {
+      std::memset(out_row, 0, n * sizeof(float));
+    }
+    const float* a_row = a + i * lda;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      const float* b_row = b + kk * ldb;
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+    if (relu) {
+      for (size_t j = 0; j < n; ++j)
+        out_row[j] = out_row[j] < 0.0f ? 0.0f : out_row[j];
+    }
+  }
+}
+
+void DotRowsPortable(const float* a, size_t lda, const float* b, size_t ldb,
+                     float* out, size_t ldo, size_t i_lo, size_t i_hi,
+                     size_t k, size_t n) {
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    const float* a_row = a + i * lda;
+    float* out_row = out + i * ldo;
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void AccumOuterPortable(const float* a, size_t lda, const float* b,
+                        size_t ldb, float* out, size_t ldo, size_t k_lo,
+                        size_t k_hi, size_t m, size_t n) {
+  for (size_t kk = k_lo; kk < k_hi; ++kk) {
+    const float* a_row = a + kk * lda;
+    const float* b_row = b + kk * ldb;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      float* out_row = out + i * ldo;
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+constexpr KernelOps kPortableOps = {
+    DenseRowsPortable,
+    DotRowsPortable,
+    AccumOuterPortable,
+    "portable",
+};
+
+}  // namespace
+
+const KernelOps& PortableKernelOps() { return kPortableOps; }
+
+}  // namespace mlk
+
+// ---------------------------------------------------------------------------
+// Reference backend: the original scalar i-k-j loops, retained verbatim —
+// including the `av == 0.0f` skip branches, which help on the sparse 0/1
+// encodings but pessimize dense inputs (the branch is unpredictable and
+// blocks vectorization). Differential tests and BENCH_ml.json measure the
+// fast backend against exactly this code.
+// ---------------------------------------------------------------------------
+
+namespace {
+namespace reference {
+
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, size_t lo,
+                size_t hi) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t i = lo; i < hi; ++i) {
+    float* out_row = out->Row(i);
+    const float* a_row = a.Row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = b.Row(kk);
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulBTRows(const Matrix& a, const Matrix& b, Matrix* out, size_t lo,
+                  size_t hi) {
+  const size_t k = a.cols(), n = b.rows();
+  for (size_t i = lo; i < hi; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void MatMulATAccum(const Matrix& a, const Matrix& b, Matrix* dst, size_t lo,
+                   size_t hi) {
+  const size_t m = a.cols(), n = b.cols();
+  for (size_t kk = lo; kk < hi; ++kk) {
+    const float* a_row = a.Row(kk);
+    const float* b_row = b.Row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = dst->Row(i);
+      for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace reference
+
+// Shared parallel-over-shared-dimension reduction for the A^T*B family:
+// thread-local partials, summed into `out` afterwards. `accum(dst, lo, hi)`
+// must add the contribution of shared rows [lo, hi) into dst.
+template <typename Accum>
+void AccumulateOverSharedDim(size_t k, size_t m, size_t n, Matrix* out,
+                             const Accum& accum) {
+  if (k * m * n < kParallelMaddsThreshold) {
+    accum(out, 0, k);
+    return;
+  }
+  const int workers = ParallelWorkerCount();
+  std::vector<Matrix> partials(static_cast<size_t>(workers),
+                               Matrix(m, n, 0.0f));
+  const size_t chunk =
+      (k + static_cast<size_t>(workers) - 1) / static_cast<size_t>(workers);
+  ParallelFor(0, static_cast<size_t>(workers), [&](size_t w) {
+    const size_t lo = w * chunk;
+    const size_t hi = lo + chunk < k ? lo + chunk : k;
+    if (lo < hi) accum(&partials[w], lo, hi);
+  });
+  for (const Matrix& partial : partials) AddInPlace(out, partial);
+}
+
+// Row-parallel dispatch helper for the fast backend.
+template <typename Rows>
+void RunRows(size_t m, size_t k, size_t n, const Rows& rows) {
+  if (m * k * n >= kParallelMaddsThreshold) {
+    ParallelForChunked(0, m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public matmul entry points (declared in ml/matrix.h).
+// ---------------------------------------------------------------------------
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  ARECEL_CHECK(a.cols() == b.rows());
+  out->Resize(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    out->Fill(0.0f);
+    RunRows(m, k, n, [&](size_t lo, size_t hi) {
+      reference::MatMulRows(a, b, out, lo, hi);
+    });
+    return;
+  }
+  const mlk::KernelOps& ops = FastOps();
+  RunRows(m, k, n, [&](size_t lo, size_t hi) {
+    ops.dense_rows(a.data(), k, b.data(), n, /*bias=*/nullptr,
+                   /*relu=*/false, out->data(), n, lo, hi, k, n);
+  });
+}
+
+void MatMulBT(const Matrix& a, const Matrix& b, Matrix* out) {
+  ARECEL_CHECK(a.cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  out->Resize(m, n);
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    RunRows(m, k, n, [&](size_t lo, size_t hi) {
+      reference::MatMulBTRows(a, b, out, lo, hi);
+    });
+    return;
+  }
+  const mlk::KernelOps& ops = FastOps();
+  RunRows(m, k, n, [&](size_t lo, size_t hi) {
+    ops.dot_rows(a.data(), k, b.data(), k, out->data(), n, lo, hi, k, n);
+  });
+}
+
+void MatMulAT(const Matrix& a, const Matrix& b, Matrix* out) {
+  ARECEL_CHECK(a.rows() == b.rows());
+  out->Resize(a.cols(), b.cols());
+  out->Fill(0.0f);
+  MatMulATAccumulate(a, b, out);
+}
+
+void MatMulATAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  ARECEL_CHECK(a.rows() == b.rows());
+  ARECEL_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    AccumulateOverSharedDim(k, m, n, out,
+                            [&](Matrix* dst, size_t lo, size_t hi) {
+                              reference::MatMulATAccum(a, b, dst, lo, hi);
+                            });
+    return;
+  }
+  const mlk::KernelOps& ops = FastOps();
+  AccumulateOverSharedDim(
+      k, m, n, out, [&](Matrix* dst, size_t lo, size_t hi) {
+        ops.accum_outer(a.data(), m, b.data(), n, dst->data(), n, lo, hi, m,
+                        n);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Fused layer ops.
+// ---------------------------------------------------------------------------
+
+void DenseForward(const Matrix& input, const Matrix& weights,
+                  const float* bias, bool relu, Matrix* out) {
+  ARECEL_CHECK(input.cols() == weights.rows());
+  const size_t m = input.rows(), k = input.cols(), n = weights.cols();
+  out->Resize(m, n);
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    // Historical unfused sequence: matmul, bias broadcast, activation pass.
+    out->Fill(0.0f);
+    RunRows(m, k, n, [&](size_t lo, size_t hi) {
+      reference::MatMulRows(input, weights, out, lo, hi);
+    });
+    if (bias != nullptr) {
+      for (size_t i = 0; i < m; ++i) {
+        float* row = out->Row(i);
+        for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+      }
+    }
+    if (relu) ReluInPlace(out);
+    return;
+  }
+  const mlk::KernelOps& ops = FastOps();
+  RunRows(m, k, n, [&](size_t lo, size_t hi) {
+    ops.dense_rows(input.data(), k, weights.data(), n, bias, relu,
+                   out->data(), n, lo, hi, k, n);
+  });
+}
+
+void DenseForwardSlice(const Matrix& input, const Matrix& weights,
+                       const float* bias, size_t col_begin, size_t cols,
+                       Matrix* out) {
+  ARECEL_CHECK(input.cols() == weights.rows());
+  ARECEL_CHECK(col_begin + cols <= weights.cols());
+  const size_t m = input.rows(), k = input.cols();
+  out->Resize(m, cols);
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    // Historical sliced loop (ml/made.cc), zero-skip branch included.
+    for (size_t i = 0; i < m; ++i) {
+      const float* in_row = input.Row(i);
+      float* dst = out->Row(i);
+      for (size_t v = 0; v < cols; ++v)
+        dst[v] = bias != nullptr ? bias[col_begin + v] : 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = in_row[kk];
+        if (av == 0.0f) continue;
+        const float* w_row = weights.Row(kk);
+        for (size_t v = 0; v < cols; ++v)
+          dst[v] += av * w_row[col_begin + v];
+      }
+    }
+    return;
+  }
+  const mlk::KernelOps& ops = FastOps();
+  RunRows(m, k, cols, [&](size_t lo, size_t hi) {
+    ops.dense_rows(input.data(), k, weights.data() + col_begin,
+                   weights.cols(), bias != nullptr ? bias + col_begin : nullptr,
+                   /*relu=*/false, out->data(), cols, lo, hi, k, cols);
+  });
+}
+
+void DenseBackward(const Matrix& input, const Matrix& preact, bool relu,
+                   const Matrix& output_grad, const Matrix& weights,
+                   Matrix* weight_grad, float* bias_grad, Matrix* input_grad,
+                   Matrix* dz_scratch) {
+  ARECEL_CHECK(output_grad.rows() == input.rows());
+  ARECEL_CHECK(output_grad.cols() == weights.cols());
+  const size_t rows = output_grad.rows(), n = output_grad.cols();
+
+  if (ActiveMlKernelBackend() == MlKernelBackend::kReference) {
+    // Historical sequence: masked copy, dW temp + add, colsum temp + add.
+    Matrix dz = output_grad;
+    if (relu) {
+      for (size_t i = 0; i < dz.size(); ++i) {
+        if (preact.data()[i] <= 0.0f) dz.data()[i] = 0.0f;
+      }
+    }
+    Matrix dw;
+    MatMulAT(input, dz, &dw);
+    for (size_t i = 0; i < weight_grad->size(); ++i)
+      weight_grad->data()[i] += dw.data()[i];
+    std::vector<float> db;
+    ColumnSums(dz, &db);
+    for (size_t j = 0; j < n; ++j) bias_grad[j] += db[j];
+    if (input_grad != nullptr) MatMulBT(dz, weights, input_grad);
+    return;
+  }
+
+  // Fused path: one pass produces the masked gradient and the bias column
+  // sums; dW accumulates straight into the gradient buffer (no temp).
+  const Matrix* dz = &output_grad;
+  if (relu) {
+    dz_scratch->Resize(rows, n);
+    for (size_t r = 0; r < rows; ++r) {
+      const float* g = output_grad.Row(r);
+      const float* p = preact.Row(r);
+      float* d = dz_scratch->Row(r);
+      for (size_t j = 0; j < n; ++j) {
+        const float v = p[j] > 0.0f ? g[j] : 0.0f;
+        d[j] = v;
+        bias_grad[j] += v;
+      }
+    }
+    dz = dz_scratch;
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      const float* g = output_grad.Row(r);
+      for (size_t j = 0; j < n; ++j) bias_grad[j] += g[j];
+    }
+  }
+  MatMulATAccumulate(input, *dz, weight_grad);
+  if (input_grad != nullptr) MatMulBT(*dz, weights, input_grad);
+}
+
+void AddInPlace(Matrix* acc, const Matrix& x) {
+  ARECEL_CHECK(acc->rows() == x.rows() && acc->cols() == x.cols());
+  float* a = acc->data();
+  const float* b = x.data();
+  const size_t size = x.size();
+  for (size_t i = 0; i < size; ++i) a[i] += b[i];
+}
+
+void ReluInPlace(Matrix* m) {
+  float* data = m->data();
+  const size_t size = m->size();
+  for (size_t i = 0; i < size; ++i) data[i] = data[i] < 0.0f ? 0.0f : data[i];
+}
+
+}  // namespace arecel

@@ -1,0 +1,102 @@
+#ifndef ARECEL_ML_KERNELS_H_
+#define ARECEL_ML_KERNELS_H_
+
+#include <cstddef>
+
+#include "ml/matrix.h"
+
+namespace arecel {
+
+// Kernel backend for the ML substrate's compute-heavy paths (DESIGN.md §10).
+//
+//  * kReference — the original scalar i-k-j loops, kept verbatim (including
+//    the `av == 0.0f` skip branches). Slow but simple: the numerical
+//    baseline that the fast backend is differentially tested against
+//    (tests/ml_kernels_test.cc) and the "reference_seconds" column of
+//    bench_micro_ml / BENCH_ml.json.
+//  * kFast — cache-blocked, branch-free kernels with SIMD inner loops
+//    (AVX2+FMA when the binary and CPU support it, compiler-vectorized
+//    portable loops otherwise) plus fused dense+bias+activation epilogues.
+//
+// Selection: `ARECEL_ML_KERNEL=reference|fast` (default fast), read once on
+// first use; SetMlKernelBackend / ScopedMlKernelBackend override it at
+// runtime for tests and benches.
+//
+// Accumulation-order caveat: the two backends sum in different orders
+// (FMA contraction, per-lane partial sums, register tiling), so outputs
+// agree only to float rounding — tolerances are documented in
+// tests/ml_kernels_test.cc. Switching backends mid-training changes the
+// trajectory the same way a different BLAS would; goldens are frozen
+// against the fast backend.
+enum class MlKernelBackend { kReference, kFast };
+
+// The active backend (env-derived until overridden). Exits with code 2 on
+// an invalid ARECEL_ML_KERNEL value, mirroring ARECEL_FALLBACK validation.
+MlKernelBackend ActiveMlKernelBackend();
+void SetMlKernelBackend(MlKernelBackend backend);
+
+// Parses "reference" / "fast". Returns false on anything else.
+bool ParseMlKernelBackend(const char* name, MlKernelBackend* out);
+
+// ISA tag of the fast path as resolved on this machine/binary:
+// "avx2-fma" or "portable". Independent of the active backend.
+const char* MlKernelSimdName();
+
+// RAII backend override for tests and benches.
+class ScopedMlKernelBackend {
+ public:
+  explicit ScopedMlKernelBackend(MlKernelBackend backend)
+      : saved_(ActiveMlKernelBackend()) {
+    SetMlKernelBackend(backend);
+  }
+  ~ScopedMlKernelBackend() { SetMlKernelBackend(saved_); }
+  ScopedMlKernelBackend(const ScopedMlKernelBackend&) = delete;
+  ScopedMlKernelBackend& operator=(const ScopedMlKernelBackend&) = delete;
+
+ private:
+  MlKernelBackend saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Fused layer ops. All dispatch on ActiveMlKernelBackend(); the reference
+// path reproduces the historical unfused sequence (separate matmul, bias
+// broadcast, activation pass) so it stays a faithful numerical baseline.
+// ---------------------------------------------------------------------------
+
+// out = act(input * weights + bias). `bias` has length weights.cols() and
+// may be null (treated as zero); `relu` selects the activation. The fast
+// backend computes bias and activation in the matmul epilogue, writing out
+// exactly once.
+void DenseForward(const Matrix& input, const Matrix& weights,
+                  const float* bias, bool relu, Matrix* out);
+
+// Sliced head: out = input * weights[:, col_begin:col_begin+cols] +
+// bias[col_begin:col_begin+cols]. `bias` points at the FULL bias vector
+// (length weights.cols()) and may be null. Progressive sampling reads one
+// column's logit segment per step; this keeps that step O(cols) without
+// materializing the full output layer.
+void DenseForwardSlice(const Matrix& input, const Matrix& weights,
+                       const float* bias, size_t col_begin, size_t cols,
+                       Matrix* out);
+
+// Backward of out = act(input * W + bias): consumes dL/d(out), accumulates
+// dW into `weight_grad` (shape W) and db into `bias_grad` (length
+// W.cols()), and writes dL/d(input) to `input_grad` when non-null.
+// `preact` is the cached pre-activation (ignored unless `relu`).
+// `dz_scratch` avoids a per-call allocation for the masked gradient; it is
+// only touched when `relu` is set.
+void DenseBackward(const Matrix& input, const Matrix& preact, bool relu,
+                   const Matrix& output_grad, const Matrix& weights,
+                   Matrix* weight_grad, float* bias_grad, Matrix* input_grad,
+                   Matrix* dz_scratch);
+
+// out += a^T * b without zeroing out first (gradient accumulation).
+void MatMulATAccumulate(const Matrix& a, const Matrix& b, Matrix* out);
+
+// Elementwise helpers shared by both backends (bit-exact either way).
+void AddInPlace(Matrix* acc, const Matrix& x);   // acc += x.
+void ReluInPlace(Matrix* m);                     // m = max(m, 0).
+
+}  // namespace arecel
+
+#endif  // ARECEL_ML_KERNELS_H_

@@ -1,0 +1,272 @@
+// AVX2 + FMA instantiation of the fast ML kernel table (ml/kernels_simd.h).
+//
+// This translation unit is compiled with -mavx2 -mfma (src/CMakeLists.txt)
+// while the rest of the build stays at the portable baseline ISA; the
+// dispatch layer in ml/kernels.cc only selects this table after a CPUID
+// check, so the binary remains runnable on pre-AVX2 hardware. When the
+// toolchain cannot target AVX2 at all, Avx2KernelOps() compiles to a
+// nullptr stub and the portable table is used unconditionally.
+//
+// Kernel shape notes (register blocking IS the cache blocking here):
+//  * dense_rows uses a 4x16 register tile (4 output rows x two 8-float
+//    accumulator vectors). Each loaded strip of b feeds four output rows,
+//    cutting b traffic 4x versus the scalar i-k-j loop; accumulators live
+//    in registers for the whole k loop, so out is written exactly once.
+//  * dot_rows processes four b rows per a-row pass with independent
+//    accumulators, then reduces them with a hadd tree.
+//  * accum_outer streams fused multiply-adds over 16-column strips of the
+//    accumulation target.
+// Tails (columns % 8, rows % 4) fall back to narrower vectors and then
+// scalars; every path is branch-free over values (no zero-skip — that
+// branch is the reference backend's documented pessimization).
+
+#include "ml/kernels_simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace arecel {
+namespace mlk {
+namespace {
+
+inline float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+// 4 rows x 16 cols micro-kernel: out rows i..i+3, cols j..j+15.
+inline void DenseTile4x16(const float* a, size_t lda, const float* b,
+                          size_t ldb, const float* bias, bool relu,
+                          float* out, size_t ldo, size_t i, size_t j,
+                          size_t k) {
+  __m256 acc00, acc01, acc10, acc11, acc20, acc21, acc30, acc31;
+  if (bias != nullptr) {
+    const __m256 bias0 = _mm256_loadu_ps(bias + j);
+    const __m256 bias1 = _mm256_loadu_ps(bias + j + 8);
+    acc00 = bias0; acc01 = bias1;
+    acc10 = bias0; acc11 = bias1;
+    acc20 = bias0; acc21 = bias1;
+    acc30 = bias0; acc31 = bias1;
+  } else {
+    acc00 = acc01 = acc10 = acc11 = _mm256_setzero_ps();
+    acc20 = acc21 = acc30 = acc31 = _mm256_setzero_ps();
+  }
+  const float* a0 = a + i * lda;
+  const float* a1 = a0 + lda;
+  const float* a2 = a1 + lda;
+  const float* a3 = a2 + lda;
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* b_row = b + kk * ldb + j;
+    const __m256 b0 = _mm256_loadu_ps(b_row);
+    const __m256 b1 = _mm256_loadu_ps(b_row + 8);
+    __m256 av;
+    av = _mm256_set1_ps(a0[kk]);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_set1_ps(a1[kk]);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_set1_ps(a2[kk]);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_set1_ps(a3[kk]);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  if (relu) {
+    const __m256 zero = _mm256_setzero_ps();
+    acc00 = _mm256_max_ps(acc00, zero); acc01 = _mm256_max_ps(acc01, zero);
+    acc10 = _mm256_max_ps(acc10, zero); acc11 = _mm256_max_ps(acc11, zero);
+    acc20 = _mm256_max_ps(acc20, zero); acc21 = _mm256_max_ps(acc21, zero);
+    acc30 = _mm256_max_ps(acc30, zero); acc31 = _mm256_max_ps(acc31, zero);
+  }
+  float* o0 = out + i * ldo + j;
+  float* o1 = o0 + ldo;
+  float* o2 = o1 + ldo;
+  float* o3 = o2 + ldo;
+  _mm256_storeu_ps(o0, acc00); _mm256_storeu_ps(o0 + 8, acc01);
+  _mm256_storeu_ps(o1, acc10); _mm256_storeu_ps(o1 + 8, acc11);
+  _mm256_storeu_ps(o2, acc20); _mm256_storeu_ps(o2 + 8, acc21);
+  _mm256_storeu_ps(o3, acc30); _mm256_storeu_ps(o3 + 8, acc31);
+}
+
+// `rows` (1..4) x 8 cols tile at (i, j).
+inline void DenseTileRx8(const float* a, size_t lda, const float* b,
+                         size_t ldb, const float* bias, bool relu, float* out,
+                         size_t ldo, size_t i, size_t j, size_t k,
+                         size_t rows) {
+  __m256 acc[4];
+  const __m256 init =
+      bias != nullptr ? _mm256_loadu_ps(bias + j) : _mm256_setzero_ps();
+  for (size_t r = 0; r < rows; ++r) acc[r] = init;
+  for (size_t kk = 0; kk < k; ++kk) {
+    const __m256 bv = _mm256_loadu_ps(b + kk * ldb + j);
+    for (size_t r = 0; r < rows; ++r) {
+      const __m256 av = _mm256_set1_ps(a[(i + r) * lda + kk]);
+      acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+    }
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  for (size_t r = 0; r < rows; ++r) {
+    if (relu) acc[r] = _mm256_max_ps(acc[r], zero);
+    _mm256_storeu_ps(out + (i + r) * ldo + j, acc[r]);
+  }
+}
+
+// Scalar column tail (n - j < 8) for `rows` rows at (i, j).
+inline void DenseTailScalar(const float* a, size_t lda, const float* b,
+                            size_t ldb, const float* bias, bool relu,
+                            float* out, size_t ldo, size_t i, size_t j,
+                            size_t k, size_t n, size_t rows) {
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t jj = j; jj < n; ++jj) {
+      float acc = bias != nullptr ? bias[jj] : 0.0f;
+      for (size_t kk = 0; kk < k; ++kk)
+        acc += a[(i + r) * lda + kk] * b[kk * ldb + jj];
+      if (relu && acc < 0.0f) acc = 0.0f;
+      out[(i + r) * ldo + jj] = acc;
+    }
+  }
+}
+
+void DenseRowsAvx2(const float* a, size_t lda, const float* b, size_t ldb,
+                   const float* bias, bool relu, float* out, size_t ldo,
+                   size_t i_lo, size_t i_hi, size_t k, size_t n) {
+  size_t i = i_lo;
+  for (; i + 4 <= i_hi; i += 4) {
+    size_t j = 0;
+    for (; j + 16 <= n; j += 16)
+      DenseTile4x16(a, lda, b, ldb, bias, relu, out, ldo, i, j, k);
+    for (; j + 8 <= n; j += 8)
+      DenseTileRx8(a, lda, b, ldb, bias, relu, out, ldo, i, j, k, 4);
+    if (j < n)
+      DenseTailScalar(a, lda, b, ldb, bias, relu, out, ldo, i, j, k, n, 4);
+  }
+  const size_t rows = i_hi - i;
+  if (rows > 0) {
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      DenseTileRx8(a, lda, b, ldb, bias, relu, out, ldo, i, j, k, rows);
+    if (j < n)
+      DenseTailScalar(a, lda, b, ldb, bias, relu, out, ldo, i, j, k, n, rows);
+  }
+}
+
+void DotRowsAvx2(const float* a, size_t lda, const float* b, size_t ldb,
+                 float* out, size_t ldo, size_t i_lo, size_t i_hi, size_t k,
+                 size_t n) {
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    const float* a_row = a + i * lda;
+    float* out_row = out + i * ldo;
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * ldb;
+      const float* b1 = b0 + ldb;
+      const float* b2 = b1 + ldb;
+      const float* b3 = b2 + ldb;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        const __m256 av = _mm256_loadu_ps(a_row + kk);
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + kk), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + kk), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + kk), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + kk), acc3);
+      }
+      // hadd tree: four 8-wide accumulators -> one 4-float vector of sums.
+      const __m256 h01 = _mm256_hadd_ps(acc0, acc1);
+      const __m256 h23 = _mm256_hadd_ps(acc2, acc3);
+      const __m256 h = _mm256_hadd_ps(h01, h23);
+      __m128 sums = _mm_add_ps(_mm256_castps256_ps128(h),
+                               _mm256_extractf128_ps(h, 1));
+      alignas(16) float tail[4];
+      _mm_store_ps(tail, sums);
+      for (; kk < k; ++kk) {
+        const float av = a_row[kk];
+        tail[0] += av * b0[kk];
+        tail[1] += av * b1[kk];
+        tail[2] += av * b2[kk];
+        tail[3] += av * b3[kk];
+      }
+      out_row[j] = tail[0];
+      out_row[j + 1] = tail[1];
+      out_row[j + 2] = tail[2];
+      out_row[j + 3] = tail[3];
+    }
+    for (; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      __m256 acc = _mm256_setzero_ps();
+      size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + kk),
+                              _mm256_loadu_ps(b_row + kk), acc);
+      float sum = HSum(acc);
+      for (; kk < k; ++kk) sum += a_row[kk] * b_row[kk];
+      out_row[j] = sum;
+    }
+  }
+}
+
+void AccumOuterAvx2(const float* a, size_t lda, const float* b, size_t ldb,
+                    float* out, size_t ldo, size_t k_lo, size_t k_hi,
+                    size_t m, size_t n) {
+  for (size_t kk = k_lo; kk < k_hi; ++kk) {
+    const float* a_row = a + kk * lda;
+    const float* b_row = b + kk * ldb;
+    for (size_t i = 0; i < m; ++i) {
+      const __m256 av = _mm256_set1_ps(a_row[i]);
+      float* out_row = out + i * ldo;
+      size_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m256 o0 = _mm256_loadu_ps(out_row + j);
+        const __m256 o1 = _mm256_loadu_ps(out_row + j + 8);
+        _mm256_storeu_ps(out_row + j,
+                         _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + j), o0));
+        _mm256_storeu_ps(
+            out_row + j + 8,
+            _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + j + 8), o1));
+      }
+      for (; j + 8 <= n; j += 8) {
+        const __m256 o = _mm256_loadu_ps(out_row + j);
+        _mm256_storeu_ps(out_row + j,
+                         _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + j), o));
+      }
+      const float av_scalar = a_row[i];
+      for (; j < n; ++j) out_row[j] += av_scalar * b_row[j];
+    }
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    DenseRowsAvx2,
+    DotRowsAvx2,
+    AccumOuterAvx2,
+    "avx2-fma",
+};
+
+}  // namespace
+
+const KernelOps* Avx2KernelOps() { return &kAvx2Ops; }
+
+}  // namespace mlk
+}  // namespace arecel
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace arecel {
+namespace mlk {
+
+const KernelOps* Avx2KernelOps() { return nullptr; }
+
+}  // namespace mlk
+}  // namespace arecel
+
+#endif

@@ -1,0 +1,58 @@
+#ifndef ARECEL_ML_KERNELS_SIMD_H_
+#define ARECEL_ML_KERNELS_SIMD_H_
+
+#include <cstddef>
+
+namespace arecel {
+namespace mlk {
+
+// Raw-pointer single-threaded kernel table behind the `fast` ML backend
+// (ml/kernels.h). Two implementations exist: a portable one (plain loops
+// the compiler auto-vectorizes at the baseline ISA) and an AVX2+FMA one
+// compiled in its own translation unit with -mavx2 -mfma and selected at
+// runtime via CPUID. All kernels operate on row-major buffers with an
+// explicit leading dimension (row stride in floats), so callers can slice
+// column windows out of wider matrices (e.g. one column's logit segment of
+// the MADE output layer).
+//
+// Row-range signatures (i_lo/i_hi, k_lo/k_hi) let the dispatch layer in
+// ml/kernels.cc parallelize over disjoint chunks without the kernels
+// knowing about the thread pool.
+struct KernelOps {
+  // out[i][j] = act(sum_k a[i][k] * b[k][j] + bias[j]) for i in
+  // [i_lo, i_hi), j in [0, n). `bias` may be null (treated as zero);
+  // `relu` clamps negatives. Rows of `out` are fully overwritten, so no
+  // pre-zeroing is needed; k == 0 writes act(bias).
+  void (*dense_rows)(const float* a, size_t lda, const float* b, size_t ldb,
+                     const float* bias, bool relu, float* out, size_t ldo,
+                     size_t i_lo, size_t i_hi, size_t k, size_t n);
+
+  // out[i][j] = dot(a row i, b row j) over k — i.e. out = a * b^T for row
+  // ranges of a. Used by MatMulBT (dX = dz * W^T in dense backward).
+  void (*dot_rows)(const float* a, size_t lda, const float* b, size_t ldb,
+                   float* out, size_t ldo, size_t i_lo, size_t i_hi,
+                   size_t k, size_t n);
+
+  // out[i][j] += sum over kk in [k_lo, k_hi) of a[kk][i] * b[kk][j] —
+  // i.e. out += a^T * b restricted to a shared-dimension range.
+  // Accumulates (does NOT zero out), so the caller can target gradient
+  // buffers or per-worker partials directly.
+  void (*accum_outer)(const float* a, size_t lda, const float* b, size_t ldb,
+                      float* out, size_t ldo, size_t k_lo, size_t k_hi,
+                      size_t m, size_t n);
+
+  // Human-readable ISA tag ("avx2-fma", "portable") for bench output.
+  const char* name;
+};
+
+// The AVX2+FMA table, or nullptr when the translation unit was not built
+// with AVX2 support (non-x86 target or compiler without -mavx2).
+const KernelOps* Avx2KernelOps();
+
+// The portable fallback; always available.
+const KernelOps& PortableKernelOps();
+
+}  // namespace mlk
+}  // namespace arecel
+
+#endif  // ARECEL_ML_KERNELS_SIMD_H_

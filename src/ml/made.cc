@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.h"
 #include "util/check.h"
 
 namespace arecel {
@@ -127,8 +128,7 @@ void ResMade::ForwardInternal(const Matrix& input, Matrix* logits,
     }
     // Identity skip: masks are degree-consistent, so the sum stays
     // autoregressive.
-    for (size_t i = 0; i < current.size(); ++i)
-      current.data()[i] += block_out.data()[i];
+    AddInPlace(&current, block_out);
   }
   layer_inputs_[last] = current;
   if (training) {
@@ -151,28 +151,13 @@ void ResMade::ForwardColumnLogits(const Matrix& input, size_t col,
   Matrix block_out;
   for (size_t l = 1; l < last; ++l) {
     layers_[l].Forward(current, &block_out);
-    for (size_t i = 0; i < current.size(); ++i)
-      current.data()[i] += block_out.data()[i];
+    AddInPlace(&current, block_out);
   }
   // Sliced output matmul over this column's logit segment only.
   const DenseLayer& out = layers_[last];
-  const Matrix& w = out.weights();
-  const std::vector<float>& bias = out.bias();
-  const size_t off = out_offsets_[col];
-  const size_t vocab = static_cast<size_t>(vocab_sizes_[col]);
-  const size_t hidden = current.cols();
-  logits->Resize(current.rows(), vocab);
-  for (size_t r = 0; r < current.rows(); ++r) {
-    const float* h = current.Row(r);
-    float* dst = logits->Row(r);
-    for (size_t v = 0; v < vocab; ++v) dst[v] = bias[off + v];
-    for (size_t k = 0; k < hidden; ++k) {
-      const float hv = h[k];
-      if (hv == 0.0f) continue;
-      const float* w_row = w.Row(k);
-      for (size_t v = 0; v < vocab; ++v) dst[v] += hv * w_row[off + v];
-    }
-  }
+  DenseForwardSlice(current, out.weights(), out.bias().data(),
+                    out_offsets_[col],
+                    static_cast<size_t>(vocab_sizes_[col]), logits);
 }
 
 float ResMade::TrainStep(const Matrix& input,
@@ -218,8 +203,7 @@ float ResMade::TrainStep(const Matrix& input,
   for (size_t l = last; l-- > 1;) {
     layers_[l].Backward(current_grad, &branch_grad);
     // Residual: total gradient into the block input = skip + branch.
-    for (size_t i = 0; i < current_grad.size(); ++i)
-      current_grad.data()[i] += branch_grad.data()[i];
+    AddInPlace(&current_grad, branch_grad);
   }
   layers_[0].Backward(current_grad, nullptr);
 

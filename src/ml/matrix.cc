@@ -1,115 +1,21 @@
 #include "ml/matrix.h"
 
-#include <cstring>
-#include <vector>
+#include <algorithm>
 
 #include "util/check.h"
-#include "util/thread_pool.h"
+
+// The MatMul / MatMulBT / MatMulAT definitions live in ml/kernels.cc next
+// to the backend dispatch; only the storage and trivially-vectorized
+// helpers remain here.
 
 namespace arecel {
 
-namespace {
-// Below this many multiply-adds, thread dispatch costs more than it saves.
-constexpr size_t kParallelFlopThreshold = 4u << 20;
-}  // namespace
-
-void Matrix::Fill(float v) {
-  for (auto& x : data_) x = v;
-}
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Matrix::Resize(size_t rows, size_t cols) {
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);
-}
-
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
-  ARECEL_CHECK(a.cols() == b.rows());
-  out->Resize(a.rows(), b.cols());
-  out->Fill(0.0f);
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j order keeps the inner loop streaming over contiguous rows of b and
-  // out; rows of the output are independent, so large products parallelize
-  // over row chunks.
-  auto rows = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      float* out_row = out->Row(i);
-      const float* a_row = a.Row(i);
-      for (size_t kk = 0; kk < k; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = b.Row(kk);
-        for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelFlopThreshold) {
-    ParallelForChunked(0, m, rows);
-  } else {
-    rows(0, m);
-  }
-}
-
-void MatMulBT(const Matrix& a, const Matrix& b, Matrix* out) {
-  ARECEL_CHECK(a.cols() == b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  out->Resize(m, n);
-  auto rows = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const float* a_row = a.Row(i);
-      float* out_row = out->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        const float* b_row = b.Row(j);
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-        out_row[j] = acc;
-      }
-    }
-  };
-  if (m * k * n >= kParallelFlopThreshold) {
-    ParallelForChunked(0, m, rows);
-  } else {
-    rows(0, m);
-  }
-}
-
-void MatMulAT(const Matrix& a, const Matrix& b, Matrix* out) {
-  ARECEL_CHECK(a.rows() == b.rows());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  out->Resize(m, n);
-  out->Fill(0.0f);
-  auto accumulate = [&](Matrix* dst, size_t lo, size_t hi) {
-    for (size_t kk = lo; kk < hi; ++kk) {
-      const float* a_row = a.Row(kk);
-      const float* b_row = b.Row(kk);
-      for (size_t i = 0; i < m; ++i) {
-        const float av = a_row[i];
-        if (av == 0.0f) continue;
-        float* out_row = dst->Row(i);
-        for (size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  };
-  if (k * m * n < kParallelFlopThreshold) {
-    accumulate(out, 0, k);
-    return;
-  }
-  // Parallel over row chunks of the shared dimension with thread-local
-  // accumulators (the output is a reduction over k).
-  const int workers = ParallelWorkerCount();
-  std::vector<Matrix> partials(static_cast<size_t>(workers),
-                               Matrix(m, n, 0.0f));
-  const size_t chunk = (k + static_cast<size_t>(workers) - 1) /
-                       static_cast<size_t>(workers);
-  ParallelFor(0, static_cast<size_t>(workers), [&](size_t w) {
-    const size_t lo = w * chunk;
-    const size_t hi = lo + chunk < k ? lo + chunk : k;
-    if (lo < hi) accumulate(&partials[w], lo, hi);
-  });
-  for (const Matrix& partial : partials) {
-    for (size_t i = 0; i < out->size(); ++i)
-      out->data()[i] += partial.data()[i];
-  }
 }
 
 void AddRowBroadcast(Matrix* m, const std::vector<float>& bias) {

@@ -2,13 +2,58 @@
 #define ARECEL_ML_MATRIX_H_
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 namespace arecel {
 
+// Alignment of Matrix storage. 64 bytes = one cache line = a full AVX-512
+// vector; keeps SIMD loads in the kernel backends (ml/kernels.h) from
+// straddling lines at the buffer head and lets tiled kernels assume the
+// base pointer is line-aligned.
+inline constexpr std::size_t kMatrixAlignment = 64;
+
+// Minimal over-aligned allocator so Matrix storage can stay a std::vector
+// (copy/move/resize semantics for free) while the buffer itself is
+// cache-line aligned.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+};
+
+template <typename T, typename U, std::size_t Alignment>
+bool operator==(const AlignedAllocator<T, Alignment>&,
+                const AlignedAllocator<U, Alignment>&) {
+  return true;
+}
+template <typename T, typename U, std::size_t Alignment>
+bool operator!=(const AlignedAllocator<T, Alignment>&,
+                const AlignedAllocator<U, Alignment>&) {
+  return false;
+}
+
 // Dense row-major float matrix — the numeric workhorse of the neural-network
 // substrate (Naru's ResMADE, MSCN, LW-NN). Float (not double) halves memory
 // traffic; the models here are small enough that fp32 is numerically ample.
+// Storage is contiguous (no row padding) and 64-byte aligned.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -33,10 +78,14 @@ class Matrix {
 
  private:
   size_t rows_, cols_;
-  std::vector<float> data_;
+  std::vector<float, AlignedAllocator<float, kMatrixAlignment>> data_;
 };
 
-// out = a * b. Shapes must agree; out is resized. Cache-blocked i-k-j loop.
+// The matmul family dispatches on the active kernel backend (ml/kernels.h):
+// `reference` keeps the original scalar loops, `fast` (default) runs the
+// cache-blocked SIMD kernels.
+
+// out = a * b. Shapes must agree; out is resized.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out = a * b^T (b stored row-major as (n x k); result (m x n) for a (m x k)).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.h"
 #include "util/check.h"
 
 namespace arecel {
@@ -41,50 +42,26 @@ void DenseLayer::SetMask(Matrix mask) {
 }
 
 void DenseLayer::Forward(const Matrix& input, Matrix* output) const {
-  MatMul(input, weights_, output);
-  AddRowBroadcast(output, bias_);
-  if (activation_ == Activation::kRelu) {
-    for (size_t i = 0; i < output->size(); ++i)
-      output->data()[i] = std::max(0.0f, output->data()[i]);
-  }
+  DenseForward(input, weights_, bias_.data(),
+               activation_ == Activation::kRelu, output);
 }
 
 void DenseLayer::ForwardTrain(const Matrix& input, Matrix* output) {
   cached_input_ = input;
-  MatMul(input, weights_, &cached_preact_);
-  AddRowBroadcast(&cached_preact_, bias_);
+  DenseForward(input, weights_, bias_.data(), /*relu=*/false,
+               &cached_preact_);
   *output = cached_preact_;
-  if (activation_ == Activation::kRelu) {
-    for (size_t i = 0; i < output->size(); ++i)
-      output->data()[i] = std::max(0.0f, output->data()[i]);
-  }
+  if (activation_ == Activation::kRelu) ReluInPlace(output);
 }
 
 void DenseLayer::Backward(const Matrix& output_grad, Matrix* input_grad) {
   ARECEL_CHECK(output_grad.rows() == cached_input_.rows());
   ARECEL_CHECK(output_grad.cols() == weights_.cols());
-
-  // dL/dz: fold the ReLU derivative into a local copy.
-  Matrix dz = output_grad;
-  if (activation_ == Activation::kRelu) {
-    for (size_t i = 0; i < dz.size(); ++i) {
-      if (cached_preact_.data()[i] <= 0.0f) dz.data()[i] = 0.0f;
-    }
-  }
-
-  // Accumulate parameter gradients: dW += X^T dz, db += colsum(dz).
-  Matrix dw;
-  MatMulAT(cached_input_, dz, &dw);
-  for (size_t i = 0; i < weight_grad_.size(); ++i)
-    weight_grad_.data()[i] += dw.data()[i];
-  std::vector<float> db;
-  ColumnSums(dz, &db);
-  for (size_t i = 0; i < bias_grad_.size(); ++i) bias_grad_[i] += db[i];
-
-  if (input_grad != nullptr) {
-    // dX = dz * W^T.
-    MatMulBT(dz, weights_, input_grad);
-  }
+  // Fused backward: dW += X^T dz, db += colsum(dz), dX = dz * W^T, with the
+  // ReLU mask and bias sums produced in a single pass over dL/d(out).
+  DenseBackward(cached_input_, cached_preact_,
+                activation_ == Activation::kRelu, output_grad, weights_,
+                &weight_grad_, bias_grad_.data(), input_grad, &dz_scratch_);
 }
 
 void DenseLayer::AdamStep(float learning_rate) {

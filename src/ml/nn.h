@@ -78,6 +78,10 @@ class DenseLayer {
   // Caches from ForwardTrain.
   Matrix cached_input_;
   Matrix cached_preact_;
+
+  // Scratch for the fused backward's masked gradient (avoids a per-step
+  // allocation; see DenseBackward in ml/kernels.h).
+  Matrix dz_scratch_;
 };
 
 // A plain multilayer perceptron: a stack of DenseLayers. The last layer is

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -159,11 +160,8 @@ void AutoregressiveTransformer::AttentionForward(const Block& block,
   }
 
   // Residual: out = input + context * Wo.
-  Matrix projected;
-  MatMul(context, block.wo.value, &projected);
-  out->Resize(input.rows(), d_model_);
-  for (size_t i = 0; i < out->size(); ++i)
-    out->data()[i] = input.data()[i] + projected.data()[i];
+  MatMul(context, block.wo.value, out);
+  AddInPlace(out, input);
 
   if (cache != nullptr) {
     cache->q = std::move(q);
@@ -184,23 +182,20 @@ void AutoregressiveTransformer::ForwardBlocks(
     Matrix after_attention;
     AttentionForward(block, *h, &after_attention, cache);
 
-    // FFN with residual: h = after + relu(after*W1 + b1)*W2 + b2.
+    // FFN with residual: h = after + relu(after*W1 + b1)*W2 + b2. The
+    // dense+bias (+ReLU on the cache-free inference path) is one fused
+    // kernel call; training must keep the pre-activation for backward, so
+    // it caches `pre` first and applies ReLU in place afterwards.
     Matrix pre;
-    MatMul(after_attention, block.w1.value, &pre);
-    for (size_t r = 0; r < pre.rows(); ++r) {
-      float* row = pre.Row(r);
-      const float* bias = block.b1.value.Row(0);
-      for (size_t c = 0; c < ffn_hidden_; ++c) row[c] += bias[c];
-    }
+    DenseForward(after_attention, block.w1.value, block.b1.value.Row(0),
+                 /*relu=*/cache == nullptr, &pre);
     if (cache != nullptr) {
       cache->after_attention = after_attention;
       cache->ffn_pre = pre;
+      ReluInPlace(&pre);
     }
-    Matrix relu = pre;
-    for (size_t i = 0; i < relu.size(); ++i)
-      relu.data()[i] = std::max(0.0f, relu.data()[i]);
     Matrix ffn_out;
-    MatMul(relu, block.w2.value, &ffn_out);
+    MatMul(pre, block.w2.value, &ffn_out);
     h->Resize(after_attention.rows(), d_model_);
     for (size_t r = 0; r < h->rows(); ++r) {
       float* dst = h->Row(r);
@@ -237,17 +232,15 @@ float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
     for (size_t b = 0; b < batch; ++b)
       std::copy(h.Row(b * n + col), h.Row(b * n + col) + d_model_,
                 h_col.Row(b));
-    MatMul(h_col, out_weights_[col].value, &logits);
+    DenseForward(h_col, out_weights_[col].value,
+                 out_biases_[col].value.Row(0), /*relu=*/false, &logits);
     const size_t vocab = static_cast<size_t>(vocab_sizes_[col]);
     Matrix dlogits(batch, vocab, 0.0f);
     for (size_t b = 0; b < batch; ++b) {
       float* row = logits.Row(b);
-      const float* bias = out_biases_[col].value.Row(0);
       float max_v = -1e30f;
-      for (size_t t = 0; t < vocab; ++t) {
-        row[t] += bias[t];
+      for (size_t t = 0; t < vocab; ++t)
         max_v = std::max(max_v, row[t]);
-      }
       probs.resize(vocab);
       double sum = 0.0;
       for (size_t t = 0; t < vocab; ++t) {
@@ -265,10 +258,7 @@ float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
       }
     }
     // Head gradients and dH at position col.
-    Matrix dwout;
-    MatMulAT(h_col, dlogits, &dwout);
-    for (size_t i = 0; i < dwout.size(); ++i)
-      out_weights_[col].grad.data()[i] += dwout.data()[i];
+    MatMulATAccumulate(h_col, dlogits, &out_weights_[col].grad);
     std::vector<float> dbias;
     ColumnSums(dlogits, &dbias);
     for (size_t i = 0; i < dbias.size(); ++i)
@@ -290,16 +280,12 @@ float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
 
     // --- FFN backward: out = after + relu(pre)*W2 + b2. ---
     Matrix relu = cache.ffn_pre;
-    for (size_t i = 0; i < relu.size(); ++i)
-      relu.data()[i] = std::max(0.0f, relu.data()[i]);
+    ReluInPlace(&relu);
     std::vector<float> db2;
     ColumnSums(dh, &db2);
     for (size_t i = 0; i < db2.size(); ++i)
       block.b2.grad.data()[i] += db2[i];
-    Matrix dw2;
-    MatMulAT(relu, dh, &dw2);
-    for (size_t i = 0; i < dw2.size(); ++i)
-      block.w2.grad.data()[i] += dw2.data()[i];
+    MatMulATAccumulate(relu, dh, &block.w2.grad);
     Matrix dpre;
     MatMulBT(dh, block.w2.value, &dpre);
     for (size_t i = 0; i < dpre.size(); ++i) {
@@ -309,21 +295,14 @@ float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
     ColumnSums(dpre, &db1);
     for (size_t i = 0; i < db1.size(); ++i)
       block.b1.grad.data()[i] += db1[i];
-    Matrix dw1;
-    MatMulAT(cache.after_attention, dpre, &dw1);
-    for (size_t i = 0; i < dw1.size(); ++i)
-      block.w1.grad.data()[i] += dw1.data()[i];
+    MatMulATAccumulate(cache.after_attention, dpre, &block.w1.grad);
     // d(after_attention) = dh (residual) + dpre * W1^T.
     Matrix dafter;
     MatMulBT(dpre, block.w1.value, &dafter);
-    for (size_t i = 0; i < dafter.size(); ++i)
-      dafter.data()[i] += dh.data()[i];
+    AddInPlace(&dafter, dh);
 
     // --- Attention backward: after = input + (A V) Wo. ---
-    Matrix dwo;
-    MatMulAT(cache.context, dafter, &dwo);
-    for (size_t i = 0; i < dwo.size(); ++i)
-      block.wo.grad.data()[i] += dwo.data()[i];
+    MatMulATAccumulate(cache.context, dafter, &block.wo.grad);
     Matrix dcontext;
     MatMulBT(dafter, block.wo.value, &dcontext);
 
@@ -367,15 +346,9 @@ float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
       }
     }
     // Projection gradients and dInput.
-    Matrix dwq, dwk, dwv;
-    MatMulAT(cache.input, dq, &dwq);
-    MatMulAT(cache.input, dk, &dwk);
-    MatMulAT(cache.input, dv, &dwv);
-    for (size_t i = 0; i < dwq.size(); ++i) {
-      block.wq.grad.data()[i] += dwq.data()[i];
-      block.wk.grad.data()[i] += dwk.data()[i];
-      block.wv.grad.data()[i] += dwv.data()[i];
-    }
+    MatMulATAccumulate(cache.input, dq, &block.wq.grad);
+    MatMulATAccumulate(cache.input, dk, &block.wk.grad);
+    MatMulATAccumulate(cache.input, dv, &block.wv.grad);
     Matrix dinput_q, dinput_k, dinput_v;
     MatMulBT(dq, block.wq.value, &dinput_q);
     MatMulBT(dk, block.wk.value, &dinput_k);
@@ -434,13 +407,8 @@ void AutoregressiveTransformer::ColumnLogits(const std::vector<int32_t>& codes,
   for (size_t b = 0; b < batch; ++b)
     std::copy(h.Row(b * n + col), h.Row(b * n + col) + d_model_,
               h_col.Row(b));
-  MatMul(h_col, out_weights_[col].value, logits);
-  const float* bias = out_biases_[col].value.Row(0);
-  for (size_t b = 0; b < batch; ++b) {
-    float* row = logits->Row(b);
-    for (size_t t = 0; t < static_cast<size_t>(vocab_sizes_[col]); ++t)
-      row[t] += bias[t];
-  }
+  DenseForward(h_col, out_weights_[col].value, out_biases_[col].value.Row(0),
+               /*relu=*/false, logits);
 }
 
 size_t AutoregressiveTransformer::ParamCount() const {
