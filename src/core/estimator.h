@@ -103,6 +103,21 @@ class CardinalityEstimator {
   double EstimateCardinality(const Query& query, size_t rows) const;
 };
 
+// Optional capability: estimators that learn from executed-query feedback
+// (the src/feedback/ loop) additionally implement this interface. The truth
+// worker dynamic_casts a served estimator to FeedbackSink and, when present,
+// feeds it the exact selectivity of each answered query. Implementations
+// must tolerate concurrent ObserveTruth / EstimateSelectivity calls.
+class FeedbackSink {
+ public:
+  virtual ~FeedbackSink() = default;
+
+  // One executed-query ground truth: `truth_selectivity` is the exact
+  // selectivity of `query` over the data version the estimator currently
+  // serves.
+  virtual void ObserveTruth(const Query& query, double truth_selectivity) = 0;
+};
+
 // Sentinel q-error for undefined inputs (NaN or infinite cardinalities):
 // the worst representable error, so aggregates surface the breakage instead
 // of masking it.

@@ -16,7 +16,9 @@ namespace arecel {
 // postgres / mysql / dbms-a (per-column statistics), sampling (the
 // materialized sample), mhist (the bucket directory), lw-xgb (featurizer
 // statistics + boosted trees), lw-nn (featurizer statistics + dense-layer
-// weights). SaveEstimator returns false for estimators without support.
+// weights), feedback-knn / feedback-corrected (the online feedback store,
+// plus the wrapped base model for the latter). SaveEstimator returns false
+// for estimators without support.
 
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path);

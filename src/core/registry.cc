@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include "estimators/extensions/feedback.h"
 #include "estimators/learned/deepdb.h"
 #include "estimators/learned/dqm.h"
 #include "estimators/learned/lw_nn.h"
@@ -30,8 +31,8 @@ const std::vector<std::string>& LearnedEstimatorNames() {
 }
 
 const std::vector<std::string>& ExtendedEstimatorNames() {
-  static const std::vector<std::string>* names =
-      new std::vector<std::string>{"dqm-d"};
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "dqm-d", "feedback-knn", "feedback-corrected"};
   return *names;
 }
 
@@ -62,6 +63,8 @@ std::unique_ptr<CardinalityEstimator> MakeEstimator(const std::string& name) {
   if (name == "naru") return std::make_unique<NaruEstimator>();
   if (name == "deepdb") return std::make_unique<DeepDbEstimator>();
   if (name == "dqm-d") return std::make_unique<DqmDEstimator>();
+  if (name == "feedback-knn") return std::make_unique<FeedbackKnnEstimator>();
+  if (name == "feedback-corrected") return MakeFeedbackCorrectedEstimator();
   ARECEL_CHECK_MSG(false, name.c_str());
   return nullptr;
 }

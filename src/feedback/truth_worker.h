@@ -1,0 +1,96 @@
+#ifndef ARECEL_FEEDBACK_TRUTH_WORKER_H_
+#define ARECEL_FEEDBACK_TRUTH_WORKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "data/table.h"
+#include "workload/query.h"
+
+namespace arecel::feedback {
+
+// One executed query awaiting its exact ground truth. The job carries a
+// shared snapshot of the table it ran against plus the data version the
+// estimate was served under, so a concurrent append-update cannot make the
+// worker label a query against the wrong data: the truth is computed on the
+// captured snapshot and tagged with the captured version, and the following
+// version-bump invalidation drops it if it raced.
+struct TruthJob {
+  std::string dataset;
+  std::string estimator;
+  Query query;
+  double base_selectivity = 0.0;  // what the estimator answered.
+  std::shared_ptr<const Table> snapshot;
+  uint64_t version = 0;
+  bool from_cache_hit = false;  // satellite: cached answers still learn.
+
+  // When set, the hub delivers the labeled truth here INSTEAD of learning a
+  // residual: the serving layer binds this to FeedbackSink::ObserveTruth for
+  // estimators that adapt in-model (feedback-knn, feedback-corrected), so a
+  // self-correcting model is never double-corrected by the hub.
+  std::function<void(const TruthJob&, double truth)> deliver;
+};
+
+struct TruthWorkerStats {
+  uint64_t enqueued = 0;
+  uint64_t completed = 0;
+  uint64_t dropped = 0;  // queue-full rejections (feedback is best-effort).
+  uint64_t pending = 0;  // queued but not yet executed.
+};
+
+// Asynchronous ground-truth labeler: a single background thread pops jobs,
+// computes the exact selectivity via the block-scan engine
+// (ExecuteSelectivity, PR 3), and hands (job, truth) to the callback — which
+// is where the hub folds the observation into its online models. Single
+// threaded by design: truth scans are cheap but not free, and feedback is a
+// best-effort side channel that must never contend with serving dispatch.
+// The queue is bounded; when full, new jobs are dropped and counted.
+class TruthWorker {
+ public:
+  using Callback = std::function<void(const TruthJob&, double truth)>;
+
+  explicit TruthWorker(Callback callback, size_t queue_capacity = 1024);
+  ~TruthWorker();
+
+  TruthWorker(const TruthWorker&) = delete;
+  TruthWorker& operator=(const TruthWorker&) = delete;
+
+  // False when the queue is full or the worker is stopped (job dropped).
+  bool Enqueue(TruthJob job);
+
+  // Blocks until every job enqueued so far has been executed and its
+  // callback returned. Tests and benches use this to make the asynchronous
+  // loop deterministic: enqueue, Drain(), assert.
+  void Drain();
+
+  // Stops the thread after the current job; further Enqueues are dropped.
+  void Stop();
+
+  TruthWorkerStats Stats() const;
+
+ private:
+  void Loop();
+
+  Callback callback_;
+  const size_t queue_capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals the worker.
+  std::condition_variable idle_cv_;   // signals Drain waiters.
+  std::deque<TruthJob> queue_;
+  bool in_flight_ = false;
+  bool stopping_ = false;
+  TruthWorkerStats stats_;
+
+  std::thread thread_;
+};
+
+}  // namespace arecel::feedback
+
+#endif  // ARECEL_FEEDBACK_TRUTH_WORKER_H_

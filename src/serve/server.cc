@@ -40,6 +40,10 @@ ServeOptions ServeOptionsFromEnv() {
   options.dispatch_threads =
       static_cast<int>(EnvDouble("ARECEL_SERVE_THREADS", 0));
   options.robust = robust::RobustOptionsFromEnv();
+  options.feedback_enabled = EnvDouble("ARECEL_FEEDBACK", 0.0) > 0;
+  const double queue = EnvDouble("ARECEL_FEEDBACK_QUEUE", 1024.0);
+  options.feedback_queue = queue <= 0 ? 1 : static_cast<size_t>(queue);
+  options.feedback = feedback::FeedbackOptionsFromEnv();
   return options;
 }
 
@@ -50,6 +54,9 @@ EstimatorServer::EstimatorServer(ServeOptions options)
       cache_enabled_(options_.cache_enabled) {
   if (options_.dispatch_threads <= 0)
     options_.dispatch_threads = ParallelWorkerCount();
+  if (options_.feedback_enabled)
+    feedback_ = std::make_unique<feedback::FeedbackHub>(
+        options_.feedback, options_.feedback_queue);
 }
 
 void EstimatorServer::RegisterDataset(const std::string& name, Table table) {
@@ -130,9 +137,19 @@ EstimateResponse EstimatorServer::EstimateWithModel(
     if (cache_.Lookup(key, &cached)) {
       response.ok = true;
       response.cache_hit = true;
+      // The cache stores the *base* estimate; corrections apply after
+      // lookup so the hit path and the miss path learn and serve the same
+      // way. A cache hit is still real traffic — it enqueues a truth job
+      // (the latent gap this layer used to have: hits bypassed learning).
       response.selectivity = cached;
+      if (feedback_ != nullptr) {
+        EnqueueFeedback(dataset, estimator, model, query, cached,
+                        /*from_cache_hit=*/true);
+        response.selectivity = feedback_->Correct(
+            dataset, estimator, query, cached, model->trained_rows);
+      }
       response.cardinality =
-          cached * static_cast<double>(model->trained_rows);
+          response.selectivity * static_cast<double>(model->trained_rows);
       response.latency_ms = timer.ElapsedMillis();
       RecordLatency(dataset, estimator, response.latency_ms);
       return response;
@@ -152,9 +169,15 @@ EstimateResponse EstimatorServer::EstimateWithModel(
       selectivity = std::min(selectivity, 1.0);
       response.ok = true;
       response.selectivity = selectivity;
-      response.cardinality =
-          selectivity * static_cast<double>(model->trained_rows);
       if (use_cache) cache_.Insert(key, selectivity);
+      if (feedback_ != nullptr) {
+        EnqueueFeedback(dataset, estimator, model, query, selectivity,
+                        /*from_cache_hit=*/false);
+        response.selectivity = feedback_->Correct(
+            dataset, estimator, query, selectivity, model->trained_rows);
+      }
+      response.cardinality =
+          response.selectivity * static_cast<double>(model->trained_rows);
     }
   }
   response.latency_ms = timer.ElapsedMillis();
@@ -241,8 +264,56 @@ uint64_t EstimatorServer::Update(const std::string& dataset, uint64_t seed) {
   // out via LRU — they can never serve a wrong answer because the version
   // is part of the key.)
   cache_.InvalidatePrefix(DatasetKeyPrefix(dataset));
+  // Residuals learned over the pre-update data are stale the same way the
+  // cache entries were: drop everything tagged with an older version.
+  // In-flight truth jobs that raced the bump carry the old version and are
+  // likewise discarded by the next invalidation-or-never consulted, since
+  // Correct() reads models that just lost those entries.
+  if (feedback_ != nullptr) feedback_->InvalidateDataset(dataset, version);
   manager_.RefreshModelsAsync(dataset);
   return version;
+}
+
+void EstimatorServer::EnqueueFeedback(
+    const std::string& dataset, const std::string& estimator,
+    const std::shared_ptr<const ServedModel>& model, const Query& query,
+    double base_selectivity, bool from_cache_hit) {
+  feedback::TruthJob job;
+  job.dataset = dataset;
+  job.estimator = estimator;
+  job.query = query;
+  job.base_selectivity = base_selectivity;
+  job.snapshot = manager_.TableSnapshot(dataset);
+  job.version = model->data_version;
+  job.from_cache_hit = from_cache_hit;
+  // Self-adapting estimators take the truth directly; everything else
+  // learns a hub residual that Correct() applies on the way out.
+  if (dynamic_cast<FeedbackSink*>(model->estimator.get()) != nullptr) {
+    const bool needs_lock = !model->thread_safe;
+    // A sink changes its own answers when it learns, so the cached base
+    // estimate for this exact query is stale the moment its truth lands —
+    // drop it and let the next repeat re-infer. (Hub-corrected estimators
+    // don't need this: their cached base stays valid and Correct() applies
+    // the fresh residual after lookup.) Safe to touch cache_ from the
+    // worker thread: the hub joins its worker before cache_ is destroyed.
+    std::string cache_key;
+    if (cache_.capacity_bytes() > 0)
+      cache_key =
+          EstimateCacheKey(dataset, estimator, model->data_version, query);
+    job.deliver = [this, model, needs_lock,
+                   cache_key](const feedback::TruthJob& done, double truth) {
+      auto* sink = dynamic_cast<FeedbackSink*>(model->estimator.get());
+      if (sink == nullptr) return;
+      if (needs_lock) {
+        std::lock_guard<std::mutex> lock(model->inference_mutex);
+        sink->ObserveTruth(done.query, truth);
+      } else {
+        sink->ObserveTruth(done.query, truth);
+      }
+      if (!cache_key.empty()) cache_.InvalidatePrefix(cache_key);
+    };
+  }
+  feedback_->EnqueueTruth(std::move(job));
 }
 
 void EstimatorServer::RecordLatency(const std::string& dataset,
@@ -270,6 +341,8 @@ ServerStats EstimatorServer::Stats() const {
   stats.updates = updates_.load();
   stats.cache = cache_.Stats();
   stats.manager = manager_.counters();
+  stats.feedback_enabled = feedback_ != nullptr;
+  if (feedback_ != nullptr) stats.feedback = feedback_->Stats();
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.latencies.reserve(latencies_.size());
   for (const auto& [key, window] : latencies_) {

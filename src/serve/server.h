@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "feedback/hub.h"
 #include "robustness/failure.h"
 #include "robustness/runner.h"
 #include "serve/cache.h"
@@ -22,7 +23,12 @@ namespace arecel::serve {
 //                          0 disables the cache entirely)
 //   ARECEL_SERVE_THREADS   batch dispatch width (default: the scan
 //                          engine's worker count)
-// plus the robustness knobs RobustOptionsFromEnv already reads —
+//   ARECEL_FEEDBACK        non-zero enables the online query-feedback loop
+//                          (default off: serving behavior is bit-identical
+//                          to the pre-feedback server unless opted in)
+//   ARECEL_FEEDBACK_QUEUE  truth-worker queue capacity (default 1024)
+// plus the ARECEL_FEEDBACK_* store knobs FeedbackOptionsFromEnv reads and
+// the robustness knobs RobustOptionsFromEnv already reads —
 // ARECEL_QUERY_DEADLINE arms the per-request watchdog.
 struct ServeOptions {
   size_t cache_bytes = 64ull << 20;
@@ -37,6 +43,15 @@ struct ServeOptions {
 
   // The paper's §5.1 dynamic-update append fraction (20%).
   double update_fraction = 0.2;
+
+  // Online query-feedback loop (src/feedback/, DESIGN.md §11). Off by
+  // default; when enabled every served estimate is asynchronously labeled
+  // with its exact selectivity and the truth feeds either the estimator
+  // itself (FeedbackSink models) or a per-(dataset, estimator) residual
+  // correction applied to future answers.
+  bool feedback_enabled = false;
+  size_t feedback_queue = 1024;
+  feedback::FeedbackOptions feedback;
 
   ModelManagerOptions manager;
 };
@@ -77,6 +92,8 @@ struct ServerStats {
   uint64_t updates = 0;
   CacheStats cache;
   ManagerCounters manager;
+  bool feedback_enabled = false;
+  feedback::FeedbackHubStats feedback;
   std::vector<ModelLatencyStats> latencies;
 };
 
@@ -132,6 +149,14 @@ class EstimatorServer {
   bool cache_enabled() const { return cache_enabled_.load(); }
   void ClearCache() { cache_.Clear(); }
 
+  // The online feedback loop; null unless options.feedback_enabled. Tests
+  // and benches call DrainFeedback() to make the asynchronous truth path
+  // deterministic before asserting on corrected estimates.
+  feedback::FeedbackHub* feedback() { return feedback_.get(); }
+  void DrainFeedback() {
+    if (feedback_ != nullptr) feedback_->Drain();
+  }
+
   ServerStats Stats() const;
 
   ModelManager& manager() { return manager_; }
@@ -160,10 +185,19 @@ class EstimatorServer {
   void RecordLatency(const std::string& dataset, const std::string& estimator,
                      double ms);
 
+  // Queues the served query for asynchronous exact labeling (no-op when the
+  // loop is disabled). `base_selectivity` is the pre-correction estimate.
+  void EnqueueFeedback(const std::string& dataset,
+                       const std::string& estimator,
+                       const std::shared_ptr<const ServedModel>& model,
+                       const Query& query, double base_selectivity,
+                       bool from_cache_hit);
+
   ServeOptions options_;
   ModelManager manager_;
   EstimateCache cache_;
   std::atomic<bool> cache_enabled_;
+  std::unique_ptr<feedback::FeedbackHub> feedback_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_{0};

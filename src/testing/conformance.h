@@ -14,7 +14,10 @@ namespace arecel {
 // The estimator conformance suite: every name in AllRegistryNames() is run
 // against the same pinned fixture and the full set of metamorphic
 // invariants (bounds, tightening monotonicity, full-domain no-op,
-// fixed-seed determinism, save/load round-trip). This is the behavioral
+// fixed-seed determinism, save/load round-trip, plus the three feedback
+// invariants — monotonicity under repeated truths, prequential
+// replay-not-worse, dynamic convergence — which apply to FeedbackSink
+// estimators and report skipped for the rest). This is the behavioral
 // contract future perf PRs — batching, caching, sharding — must preserve;
 // tests/conformance_test.cc turns each report into a tier-1 gate.
 

@@ -2,12 +2,14 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "core/registry.h"
+#include "estimators/extensions/feedback.h"
 
 namespace arecel {
 
@@ -143,6 +145,174 @@ Workload BuildGoldenEvalWorkload(const ConformanceFixture& fixture,
                                  const GoldenConfig& config) {
   return GenerateWorkload(fixture.table, config.eval_queries,
                           config.eval_seed);
+}
+
+FeedbackGoldenCurve ComputeFeedbackGoldenCurve(const ConformanceFixture& fixture,
+                                               const GoldenConfig& config) {
+  const FeedbackGoldenConfig& fb = config.feedback;
+  FeedbackGoldenCurve curve;
+  curve.estimator = "feedback-corrected";
+  curve.dataset = fixture.table.name();
+  curve.seed = config.fixture.seed;
+  curve.replay_queries = fb.replay_queries;
+
+  const Workload replay =
+      GenerateWorkload(fixture.table, fb.replay_queries, fb.replay_seed);
+  const size_t rows = fixture.table.num_rows();
+
+  // Cold start: no training workload, so phase 0 measures the uncorrected
+  // base and the later phases show the loop converging — the warm-start path
+  // is already covered by the per-estimator feedback_corrected baseline.
+  TrainContext context;
+  context.training_workload = nullptr;
+  context.seed = config.fixture.seed;
+
+  auto corrected = MakeEstimator(curve.estimator);
+  corrected->Train(fixture.table, context);
+  auto* decorator = dynamic_cast<FeedbackCorrectedEstimator*>(corrected.get());
+  auto* sink = dynamic_cast<FeedbackSink*>(corrected.get());
+  curve.base = decorator != nullptr ? decorator->base().Name() : "postgres";
+
+  // Prequential replay: score each query with what the loop has learned so
+  // far, then feed it the executed truth.
+  std::vector<double> qerrors;
+  qerrors.reserve(replay.size());
+  for (size_t i = 0; i < replay.size(); ++i) {
+    bool invalid = false;
+    qerrors.push_back(
+        ScoreEstimate(corrected->EstimateSelectivity(replay.queries[i]), rows,
+                      replay.Cardinality(i, rows), &invalid));
+    if (sink != nullptr)
+      sink->ObserveTruth(replay.queries[i], replay.selectivities[i]);
+  }
+  const size_t phases = fb.phases > 0 ? fb.phases : 1;
+  const size_t phase_len = replay.size() / phases;
+  for (size_t p = 0; p < phases; ++p) {
+    const auto begin = qerrors.begin() + static_cast<ptrdiff_t>(p * phase_len);
+    const auto end = p + 1 == phases
+                         ? qerrors.end()
+                         : begin + static_cast<ptrdiff_t>(phase_len);
+    curve.phase_medians.push_back(
+        Percentile(std::vector<double>(begin, end), 50.0));
+  }
+
+  auto base = MakeEstimator(curve.base);
+  base->Train(fixture.table, context);
+  curve.base_median =
+      Percentile(ScanQErrors(*base, replay, rows).qerrors, 50.0);
+  return curve;
+}
+
+bool WriteFeedbackGoldenCurve(const FeedbackGoldenCurve& curve,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"estimator\": \"%s\",\n"
+                "  \"base\": \"%s\",\n"
+                "  \"dataset\": \"%s\",\n"
+                "  \"seed\": %llu,\n"
+                "  \"replay_queries\": %llu,\n"
+                "  \"phases\": %llu,\n",
+                curve.estimator.c_str(), curve.base.c_str(),
+                curve.dataset.c_str(),
+                static_cast<unsigned long long>(curve.seed),
+                static_cast<unsigned long long>(curve.replay_queries),
+                static_cast<unsigned long long>(curve.phase_medians.size()));
+  out << buf;
+  for (size_t p = 0; p < curve.phase_medians.size(); ++p) {
+    std::snprintf(buf, sizeof(buf), "  \"phase_%zu\": %.17g,\n", p,
+                  curve.phase_medians[p]);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  \"base_median\": %.17g\n}\n",
+                curve.base_median);
+  out << buf;
+  return out.good();
+}
+
+bool ReadFeedbackGoldenCurve(const std::string& path,
+                             FeedbackGoldenCurve* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string text = contents.str();
+
+  if (!FindValue(text, "estimator", &out->estimator)) return false;
+  if (!FindValue(text, "base", &out->base)) return false;
+  if (!FindValue(text, "dataset", &out->dataset)) return false;
+  double seed = 0, replay_queries = 0, phases = 0;
+  if (!ParseNumber(text, "seed", &seed)) return false;
+  if (!ParseNumber(text, "replay_queries", &replay_queries)) return false;
+  if (!ParseNumber(text, "phases", &phases)) return false;
+  out->seed = static_cast<uint64_t>(seed);
+  out->replay_queries = static_cast<uint64_t>(replay_queries);
+  out->phase_medians.clear();
+  for (size_t p = 0; p < static_cast<size_t>(phases); ++p) {
+    double median = 0;
+    if (!ParseNumber(text, "phase_" + std::to_string(p), &median)) return false;
+    out->phase_medians.push_back(median);
+  }
+  return ParseNumber(text, "base_median", &out->base_median);
+}
+
+GoldenCheckResult CompareFeedbackCurveToGolden(const FeedbackGoldenCurve& actual,
+                                               const FeedbackGoldenCurve& recorded,
+                                               double band) {
+  GoldenCheckResult result;
+  if (band < 1.0 || !std::isfinite(band)) {
+    result.passed = false;
+    result.detail = "tolerance band must be a finite value >= 1";
+    return result;
+  }
+  if (actual.phase_medians.size() != recorded.phase_medians.size()) {
+    result.passed = false;
+    result.detail = "phase count mismatch (measured " +
+                    std::to_string(actual.phase_medians.size()) +
+                    " vs recorded " +
+                    std::to_string(recorded.phase_medians.size()) + ")";
+    return result;
+  }
+  for (size_t p = 0; p < actual.phase_medians.size(); ++p) {
+    const std::string label = "phase_" + std::to_string(p);
+    CheckQuantile(label.c_str(), actual.phase_medians[p],
+                  recorded.phase_medians[p], band, &result);
+  }
+  CheckQuantile("base_median", actual.base_median, recorded.base_median, band,
+                &result);
+  return result;
+}
+
+GoldenCheckResult CheckFeedbackCurveShape(const FeedbackGoldenCurve& curve) {
+  GoldenCheckResult result;
+  char buf[192];
+  if (curve.phase_medians.size() < 2) {
+    result.passed = false;
+    result.detail = "curve needs at least two phases";
+    return result;
+  }
+  const double first = curve.phase_medians.front();
+  const double last = curve.phase_medians.back();
+  if (!(last < first)) {
+    std::snprintf(buf, sizeof(buf),
+                  "no convergence: final phase median %.6g >= first %.6g",
+                  last, first);
+    result.passed = false;
+    result.detail += buf;
+  }
+  if (!(last < curve.base_median)) {
+    std::snprintf(buf, sizeof(buf),
+                  "%sfeedback loop does not beat the %s base: final phase "
+                  "median %.6g >= base %.6g",
+                  result.detail.empty() ? "" : "; ", curve.base.c_str(), last,
+                  curve.base_median);
+    result.passed = false;
+    result.detail += buf;
+  }
+  return result;
 }
 
 GoldenBaseline ComputeGoldenBaseline(const std::string& estimator_name,

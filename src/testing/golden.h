@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "testing/conformance.h"
@@ -26,6 +27,16 @@ struct GoldenBaseline {
   QuantileSummary qerror;
 };
 
+// Pinned replay for the feedback-loop convergence golden (DESIGN.md §11):
+// the feedback-corrected estimator answers `replay_queries` fresh queries
+// prequentially — estimate first, then learn the executed truth — and the
+// per-phase median q-errors form the recorded curve.
+struct FeedbackGoldenConfig {
+  size_t replay_queries = 1000;
+  size_t phases = 5;  // replay_queries is split evenly into this many.
+  uint64_t replay_seed = 9001;
+};
+
 // The pinned golden evaluation setup, shared by the checking test and the
 // regeneration tool so both always measure the same thing. Reuses the
 // conformance fixture inputs plus a held-out evaluation workload.
@@ -36,6 +47,7 @@ struct GoldenConfig {
   // Two-sided multiplicative band: recorded q must satisfy
   // q / band <= actual <= q * band per quantile.
   double band = 1.25;
+  FeedbackGoldenConfig feedback;
 };
 GoldenConfig DefaultGoldenConfig();
 
@@ -70,6 +82,42 @@ GoldenBaseline ComputeGoldenBaseline(const std::string& estimator_name,
 // the training workload).
 Workload BuildGoldenEvalWorkload(const ConformanceFixture& fixture,
                                  const GoldenConfig& config);
+
+// Feedback convergence curve: per-phase median q-errors of the prequential
+// feedback-corrected replay plus the wrapped base estimator's median over
+// the same replay with the loop off. Recorded to tests/golden/feedback.json
+// and gated alongside the per-estimator baselines.
+struct FeedbackGoldenCurve {
+  std::string estimator;  // the adaptive estimator under replay.
+  std::string base;       // the uncorrected baseline it wraps.
+  std::string dataset;
+  uint64_t seed = 0;            // fixture seed.
+  uint64_t replay_queries = 0;  // total replayed; split into phases.
+  std::vector<double> phase_medians;
+  double base_median = 0.0;
+};
+
+// Replays config.feedback over the fixture. Deterministic given config.
+FeedbackGoldenCurve ComputeFeedbackGoldenCurve(const ConformanceFixture& fixture,
+                                               const GoldenConfig& config);
+
+// Same flat-JSON discipline as the per-estimator baselines: phase medians
+// are the keys phase_0..phase_{n-1}.
+bool WriteFeedbackGoldenCurve(const FeedbackGoldenCurve& curve,
+                              const std::string& path);
+bool ReadFeedbackGoldenCurve(const std::string& path, FeedbackGoldenCurve* out);
+
+// Band-compares a measured curve against the recorded one (every phase
+// median plus the base median, same two-sided band as the baselines).
+GoldenCheckResult CompareFeedbackCurveToGolden(const FeedbackGoldenCurve& actual,
+                                               const FeedbackGoldenCurve& recorded,
+                                               double band);
+
+// Structural gates on a measured curve, independent of the recorded file:
+// the curve must converge (last phase median strictly below the first) and
+// the converged loop must beat the uncorrected base median — the paper's §5
+// adaptivity acceptance criterion, enforced on every test run.
+GoldenCheckResult CheckFeedbackCurveShape(const FeedbackGoldenCurve& curve);
 
 }  // namespace arecel
 

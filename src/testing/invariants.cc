@@ -7,8 +7,10 @@
 
 #include "core/model_io.h"
 #include "core/registry.h"
+#include "data/datasets.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/stats.h"
 
 namespace arecel {
 
@@ -262,6 +264,160 @@ InvariantResult CheckSaveLoadRoundTrip(const std::string& name,
                           std::to_string(trained_estimates[i]) + " vs " +
                           std::to_string(replay) + " after round-trip");
     }
+  }
+  return result;
+}
+
+namespace {
+
+// Null when `name` is not adaptive: the feedback invariants probe this on
+// an untrained instance, so non-sink estimators skip without paying a
+// training run.
+bool IsFeedbackSinkName(const std::string& name) {
+  auto estimator = MakeEstimator(name);
+  return dynamic_cast<FeedbackSink*>(estimator.get()) != nullptr;
+}
+
+double QErrorOn(const CardinalityEstimator& estimator, const Query& query,
+                double truth_selectivity, size_t rows) {
+  const double est = estimator.EstimateCardinality(query, rows);
+  return QError(est, truth_selectivity * static_cast<double>(rows));
+}
+
+double MedianQError(const CardinalityEstimator& estimator,
+                    const std::vector<Query>& queries,
+                    const std::vector<double>& truths, size_t rows) {
+  std::vector<double> qerrors;
+  qerrors.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i)
+    qerrors.push_back(QErrorOn(estimator, queries[i], truths[i], rows));
+  return Percentile(qerrors, 50.0);
+}
+
+}  // namespace
+
+InvariantResult CheckFeedbackMonotonicity(const std::string& name,
+                                          const Table& table,
+                                          const Workload& train,
+                                          size_t trials, uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "feedback-monotonicity";
+  result.trials = trials;
+  if (!IsFeedbackSinkName(name)) {
+    result.skipped = true;
+    result.detail = "estimator is not a FeedbackSink";
+    return result;
+  }
+  const std::vector<int> cols = RangeableColumns(table);
+  if (cols.empty()) {
+    result.skipped = true;
+    result.detail = "no range-able column in table";
+    return result;
+  }
+
+  auto estimator = TrainFresh(name, table, train, seed);
+  auto* sink = dynamic_cast<FeedbackSink*>(estimator.get());
+  ARECEL_CHECK(sink != nullptr);
+  const size_t rows = table.num_rows();
+  Rng rng(seed);
+  for (size_t t = 0; t < trials; ++t) {
+    const int col = cols[rng.UniformInt(static_cast<uint64_t>(cols.size()))];
+    const Query query = RandomRangeQuery(table, col, rng);
+    const double truth = ExecuteSelectivity(table, query);
+    const double before = QErrorOn(*estimator, query, truth, rows);
+    for (int r = 0; r < kFeedbackRepeats; ++r)
+      sink->ObserveTruth(query, truth);
+    const double after = QErrorOn(*estimator, query, truth, rows);
+    const double allowed = std::max(kConvergedQError, before * 1.05);
+    if (!(after <= allowed)) {
+      RecordViolation(&result, after - allowed,
+                      "q-error " + std::to_string(before) + " -> " +
+                          std::to_string(after) + " after " +
+                          std::to_string(kFeedbackRepeats) + " truths for " +
+                          QuerySummary(query));
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckFeedbackReplayNotWorse(const std::string& name,
+                                            const Table& table,
+                                            const Workload& train,
+                                            uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "feedback-replay";
+  if (!IsFeedbackSinkName(name)) {
+    result.skipped = true;
+    result.detail = "estimator is not a FeedbackSink";
+    return result;
+  }
+
+  const Workload replay = GenerateWorkload(table, 200, seed + 11);
+  result.trials = replay.size();
+  const size_t rows = table.num_rows();
+
+  auto frozen = TrainFresh(name, table, train, seed);
+  const double frozen_median =
+      MedianQError(*frozen, replay.queries, replay.selectivities, rows);
+
+  auto adaptive = TrainFresh(name, table, train, seed);
+  auto* sink = dynamic_cast<FeedbackSink*>(adaptive.get());
+  ARECEL_CHECK(sink != nullptr);
+  std::vector<double> qerrors;
+  qerrors.reserve(replay.size());
+  for (size_t i = 0; i < replay.size(); ++i) {
+    qerrors.push_back(QErrorOn(*adaptive, replay.queries[i],
+                               replay.selectivities[i], rows));
+    sink->ObserveTruth(replay.queries[i], replay.selectivities[i]);
+  }
+  const double adaptive_median = Percentile(qerrors, 50.0);
+
+  const double allowed = frozen_median * 1.05 + 1e-9;
+  if (!(adaptive_median <= allowed)) {
+    RecordViolation(&result, adaptive_median - allowed,
+                    "prequential median q-error " +
+                        std::to_string(adaptive_median) +
+                        " vs frozen replay " + std::to_string(frozen_median));
+  }
+  return result;
+}
+
+InvariantResult CheckFeedbackDynamicConvergence(const std::string& name,
+                                                const Table& table,
+                                                const Workload& train,
+                                                uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "feedback-dynamic";
+  if (!IsFeedbackSinkName(name)) {
+    result.skipped = true;
+    result.detail = "estimator is not a FeedbackSink";
+    return result;
+  }
+
+  auto estimator = TrainFresh(name, table, train, seed);
+  auto* sink = dynamic_cast<FeedbackSink*>(estimator.get());
+  ARECEL_CHECK(sink != nullptr);
+
+  // §5.1: append 20% correlated rows but do NOT call Update — the model is
+  // deliberately stale, the regime the feedback loop exists to fix.
+  const Table updated = AppendCorrelatedUpdate(table, 0.2, seed + 13);
+  const Workload probes = GenerateWorkload(updated, 120, seed + 17);
+  result.trials = probes.size();
+  const size_t rows = updated.num_rows();
+
+  const double stale_median =
+      MedianQError(*estimator, probes.queries, probes.selectivities, rows);
+  for (size_t i = 0; i < probes.size(); ++i)
+    sink->ObserveTruth(probes.queries[i], probes.selectivities[i]);
+  const double converged_median =
+      MedianQError(*estimator, probes.queries, probes.selectivities, rows);
+
+  const double allowed = stale_median * 1.05 + 1e-9;
+  if (!(converged_median <= allowed)) {
+    RecordViolation(&result, converged_median - allowed,
+                    "median q-error " + std::to_string(stale_median) +
+                        " (stale) -> " + std::to_string(converged_median) +
+                        " after feeding updated-table truths");
   }
   return result;
 }

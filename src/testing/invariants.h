@@ -75,6 +75,40 @@ InvariantResult CheckSaveLoadRoundTrip(const std::string& name,
                                        uint64_t seed,
                                        const std::string& temp_dir);
 
+// ---- Feedback invariants (DESIGN.md §11) ----
+//
+// The three checkers below apply only to estimators implementing
+// FeedbackSink (feedback-knn, feedback-corrected); every other registry
+// name reports skipped=true, which counts as passed — adaptive behavior is
+// a capability, not an obligation.
+
+// Feedback monotonicity: repeatedly observing the exact truth for a query
+// must drive that query's q-error toward 1. After kFeedbackRepeats truths
+// the q-error must be <= max(kConvergedQError, its pre-feedback value).
+inline constexpr int kFeedbackRepeats = 12;
+inline constexpr double kConvergedQError = 1.5;
+InvariantResult CheckFeedbackMonotonicity(const std::string& name,
+                                          const Table& table,
+                                          const Workload& train,
+                                          size_t trials, uint64_t seed);
+
+// Correction-never-worse: a prequential replay (estimate, then learn the
+// truth, query by query) must not leave the median q-error more than 5%
+// above the same estimator replaying without feedback.
+InvariantResult CheckFeedbackReplayNotWorse(const std::string& name,
+                                            const Table& table,
+                                            const Workload& train,
+                                            uint64_t seed);
+
+// Convergence under the §5 dynamic protocol: after a 20% correlated append
+// leaves the model stale (no Update call), feeding executed truths over the
+// updated table must bring the median q-error on those queries back down —
+// at worst 5% above the stale median, in practice far below it.
+InvariantResult CheckFeedbackDynamicConvergence(const std::string& name,
+                                                const Table& table,
+                                                const Workload& train,
+                                                uint64_t seed);
+
 }  // namespace arecel
 
 #endif  // ARECEL_TESTING_INVARIANTS_H_

@@ -1,8 +1,11 @@
 // The estimator conformance gate: every name the registry can construct is
 // held to the metamorphic behavioral contract (bounds, tightening
 // monotonicity, full-domain no-op, fixed-seed determinism, save/load
-// round-trip) on the pinned conformance fixture. A perf PR that corrupts
+// round-trip, and the three feedback invariants for FeedbackSink
+// estimators) on the pinned conformance fixture. A perf PR that corrupts
 // an estimate fails here before any accuracy number moves.
+
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -37,7 +40,7 @@ TEST_P(ConformanceTest, SatisfiesBehavioralContract) {
       RunConformance(GetParam(), *fixture_, *options_);
   EXPECT_TRUE(report.passed()) << report.Summary();
   // Every invariant ran (or was explicitly skipped), none silently missing.
-  ASSERT_EQ(report.results.size(), 5u);
+  ASSERT_EQ(report.results.size(), 8u);
   for (const InvariantResult& r : report.results) {
     EXPECT_TRUE(r.passed()) << report.estimator << ": " << r.invariant
                             << " violated " << r.violations << "/" << r.trials
@@ -53,6 +56,43 @@ INSTANTIATE_TEST_SUITE_P(Registry, ConformanceTest,
                              if (c == '-') c = '_';
                            return name;
                          });
+
+// The serving layer keys its dispatch strategy off ThreadSafeEstimates();
+// this freezes the documented capability map so a new estimator (or a
+// refactor of an old one) must update the set consciously, not silently.
+TEST(ConformanceCapabilityTest, ThreadSafeEstimatesMatchesDocumentedSet) {
+  const std::set<std::string> serialized_inference = {"naru", "bayes",
+                                                      "dqm-d"};
+  for (const std::string& name : AllRegistryNames()) {
+    auto estimator = MakeEstimator(name);
+    const bool expected = serialized_inference.count(name) == 0;
+    EXPECT_EQ(estimator->ThreadSafeEstimates(), expected)
+        << name << " thread-safety capability changed";
+  }
+}
+
+// The feedback invariants must actually exercise the two adaptive
+// estimators (and only report skipped for everything else) — otherwise the
+// sweep could silently skip its way to green.
+TEST(ConformanceCapabilityTest, FeedbackInvariantsApplyToSinksOnly) {
+  const std::set<std::string> sinks = {"feedback-knn", "feedback-corrected"};
+  ConformanceOptions options;
+  options.temp_dir = ::testing::TempDir();
+  const ConformanceFixture fixture = BuildConformanceFixture(options);
+  for (const std::string& name : {std::string("feedback-knn"),
+                                  std::string("feedback-corrected"),
+                                  std::string("postgres")}) {
+    const ConformanceReport report = RunConformance(name, fixture, options);
+    int feedback_results = 0;
+    for (const InvariantResult& r : report.results) {
+      if (r.invariant.rfind("feedback-", 0) != 0) continue;
+      ++feedback_results;
+      EXPECT_EQ(r.skipped, sinks.count(name) == 0)
+          << name << "/" << r.invariant;
+    }
+    EXPECT_EQ(feedback_results, 3) << name;
+  }
+}
 
 TEST(ConformanceFixtureTest, IsDeterministic) {
   ConformanceOptions options;

@@ -6,6 +6,7 @@
 // ARECEL_GOLDEN_DIR is compiled in by tests/CMakeLists.txt and points at
 // the source-tree tests/golden directory.
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
@@ -76,6 +77,73 @@ INSTANTIATE_TEST_SUITE_P(Registry, GoldenBaselineTest,
                              if (c == '-') c = '_';
                            return name;
                          });
+
+// The feedback-loop convergence gate (DESIGN.md §11): replays the pinned
+// 1000-query workload through feedback-corrected prequentially, compares
+// the per-phase medians to tests/golden/feedback.json, and enforces the
+// adaptivity acceptance criterion — the curve converges and the converged
+// loop beats the uncorrected base median — on the freshly measured numbers.
+TEST(FeedbackGoldenTest, ConvergenceCurveMatchesRecordedBaseline) {
+  const GoldenConfig config = DefaultGoldenConfig();
+  const ConformanceFixture fixture = BuildConformanceFixture(config.fixture);
+  const std::string path = std::string(ARECEL_GOLDEN_DIR) + "/feedback.json";
+
+  FeedbackGoldenCurve recorded;
+  ASSERT_TRUE(ReadFeedbackGoldenCurve(path, &recorded))
+      << "missing or unparsable feedback curve " << path
+      << " — run scripts/update_golden.sh to (re)generate";
+  EXPECT_EQ(recorded.estimator, "feedback-corrected");
+  EXPECT_EQ(recorded.seed, config.fixture.seed);
+  ASSERT_EQ(recorded.replay_queries, config.feedback.replay_queries)
+      << "pinned feedback replay changed; regenerate baselines";
+  ASSERT_EQ(recorded.phase_medians.size(), config.feedback.phases);
+
+  const FeedbackGoldenCurve measured =
+      ComputeFeedbackGoldenCurve(fixture, config);
+  EXPECT_EQ(measured.base, recorded.base);
+  const GoldenCheckResult check =
+      CompareFeedbackCurveToGolden(measured, recorded, config.band);
+  EXPECT_TRUE(check.passed)
+      << "feedback curve drifted from golden baseline: " << check.detail
+      << "\n(if intended, regenerate with scripts/update_golden.sh)";
+
+  const GoldenCheckResult shape = CheckFeedbackCurveShape(measured);
+  EXPECT_TRUE(shape.passed) << shape.detail;
+}
+
+TEST(GoldenHarnessTest, FeedbackCurveJsonRoundTrips) {
+  FeedbackGoldenCurve c;
+  c.estimator = "feedback-corrected";
+  c.base = "postgres";
+  c.dataset = "conformance";
+  c.seed = 101;
+  c.replay_queries = 1000;
+  c.phase_medians = {3.5, 2.25, 1.75, 1.5, 1.25};
+  c.base_median = 3.75;
+  const std::string path = ::testing::TempDir() + "/feedback_roundtrip.json";
+  ASSERT_TRUE(WriteFeedbackGoldenCurve(c, path));
+  FeedbackGoldenCurve back;
+  ASSERT_TRUE(ReadFeedbackGoldenCurve(path, &back));
+  EXPECT_EQ(back.estimator, c.estimator);
+  EXPECT_EQ(back.base, c.base);
+  EXPECT_EQ(back.dataset, c.dataset);
+  EXPECT_EQ(back.seed, c.seed);
+  EXPECT_EQ(back.replay_queries, c.replay_queries);
+  ASSERT_EQ(back.phase_medians.size(), c.phase_medians.size());
+  for (size_t p = 0; p < c.phase_medians.size(); ++p)
+    EXPECT_DOUBLE_EQ(back.phase_medians[p], c.phase_medians[p]);
+  EXPECT_DOUBLE_EQ(back.base_median, c.base_median);
+  std::remove(path.c_str());
+
+  // The shape gate fires on a flat curve and on one that loses to the base.
+  EXPECT_TRUE(CheckFeedbackCurveShape(c).passed);
+  FeedbackGoldenCurve flat = c;
+  flat.phase_medians = {2.0, 2.0, 2.0, 2.0, 2.0};
+  EXPECT_FALSE(CheckFeedbackCurveShape(flat).passed);
+  FeedbackGoldenCurve losing = c;
+  losing.base_median = 1.0;
+  EXPECT_FALSE(CheckFeedbackCurveShape(losing).passed);
+}
 
 TEST(GoldenHarnessTest, BaselineJsonRoundTrips) {
   GoldenBaseline b;

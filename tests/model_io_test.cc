@@ -128,7 +128,8 @@ TEST(ModelIoTest, PersistenceSupportMatchesDocumentedSet) {
   // The set documented in core/model_io.h; growing it is welcome, silently
   // shrinking it is not.
   for (const char* name : {"postgres", "mysql", "dbms-a", "sampling",
-                           "mhist", "lw-xgb", "lw-nn"}) {
+                           "mhist", "lw-xgb", "lw-nn", "feedback-knn",
+                           "feedback-corrected"}) {
     auto estimator = MakeEstimator(name);
     TrainContext context;
     context.training_workload = &Shared().train;

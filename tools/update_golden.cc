@@ -81,6 +81,49 @@ int main(int argc, char** argv) {
                   FormatCompact(measured.qerror.max), status});
   }
   std::printf("%s", table.ToString().c_str());
+
+  // The feedback-loop convergence curve rides alongside the per-estimator
+  // baselines: same fixture, same band, one extra file.
+  const FeedbackGoldenCurve curve = ComputeFeedbackGoldenCurve(fixture, config);
+  std::printf("feedback replay: %s over %s, %llu queries in %zu phases\n",
+              curve.estimator.c_str(), curve.base.c_str(),
+              static_cast<unsigned long long>(curve.replay_queries),
+              curve.phase_medians.size());
+  AsciiTable fb_table({"metric", "median q-error"});
+  for (size_t p = 0; p < curve.phase_medians.size(); ++p)
+    fb_table.AddRow({"phase_" + std::to_string(p),
+                     FormatCompact(curve.phase_medians[p])});
+  fb_table.AddRow({"base (" + curve.base + ", loop off)",
+                   FormatCompact(curve.base_median)});
+  std::printf("%s", fb_table.ToString().c_str());
+
+  const GoldenCheckResult shape = CheckFeedbackCurveShape(curve);
+  if (!shape.passed) {
+    std::printf("feedback curve FAILS shape gate: %s\n", shape.detail.c_str());
+    ++failures;
+  }
+  const std::string fb_path = out_dir + "/feedback.json";
+  if (update) {
+    if (!WriteFeedbackGoldenCurve(curve, fb_path)) {
+      std::printf("feedback curve WRITE FAILED: %s\n", fb_path.c_str());
+      ++failures;
+    } else {
+      std::printf("feedback curve written: %s\n", fb_path.c_str());
+    }
+  } else {
+    FeedbackGoldenCurve recorded;
+    if (!ReadFeedbackGoldenCurve(fb_path, &recorded)) {
+      std::printf("feedback curve baseline missing: %s\n", fb_path.c_str());
+      ++failures;
+    } else {
+      const GoldenCheckResult check =
+          CompareFeedbackCurveToGolden(curve, recorded, config.band);
+      std::printf("feedback curve recorded-check: %s\n",
+                  check.passed ? "ok" : ("DRIFTED: " + check.detail).c_str());
+      if (!check.passed) ++failures;
+    }
+  }
+
   if (!update && failures > 0) {
     std::printf("%d baseline(s) missing or drifted; rerun with "
                 "--update-golden to re-record\n",
