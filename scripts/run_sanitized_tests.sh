@@ -44,7 +44,7 @@ if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
     # concurrent inference over shared weights); sweeping sanitized NN
     # training under TSan buys nothing. Include the slow watchdog timeout
     # tests — they are the reason this preset exists.
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback')
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback|Store|Maint')
   else
     filter=(-LE slow)
   fi

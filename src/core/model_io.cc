@@ -17,8 +17,8 @@ bool SupportsPersistence(const CardinalityEstimator& estimator) {
   return estimator.SerializeModel(&probe);
 }
 
-bool SaveEstimator(const CardinalityEstimator& estimator,
-                   const std::string& path) {
+bool SerializeEstimatorBytes(const CardinalityEstimator& estimator,
+                             std::string* bytes) {
   ByteWriter payload;
   if (!estimator.SerializeModel(&payload)) return false;
 
@@ -27,30 +27,83 @@ bool SaveEstimator(const CardinalityEstimator& estimator,
   file.U32(kVersion);
   file.Str(estimator.Name());
   file.Str(payload.buffer());
+  *bytes = file.buffer();
+  return true;
+}
+
+bool SaveEstimator(const CardinalityEstimator& estimator,
+                   const std::string& path) {
+  std::string bytes;
+  if (!SerializeEstimatorBytes(estimator, &bytes)) return false;
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.good()) return false;
-  out.write(file.buffer().data(),
-            static_cast<std::streamsize>(file.buffer().size()));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return out.good();
 }
 
-bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-
-  ByteReader file(contents);
+ModelLoadResult LoadEstimatorBytes(CardinalityEstimator* estimator,
+                                   const std::string& bytes) {
+  ModelLoadResult result;
+  ByteReader file(bytes);
   uint32_t magic = 0, version = 0;
   std::string name, payload;
-  if (!file.U32(&magic) || magic != kModelMagic) return false;
-  if (!file.U32(&version) || version != kVersion) return false;
-  if (!file.Str(&name) || name != estimator->Name()) return false;
-  if (!file.Str(&payload)) return false;
+  if (!file.U32(&magic) || magic != kModelMagic) {
+    result.kind = FailureKind::kCorruptModel;
+    result.detail = "bad model magic";
+    return result;
+  }
+  if (!file.U32(&version) || version != kVersion) {
+    result.kind = FailureKind::kCorruptModel;
+    result.detail = "unsupported model version " + std::to_string(version);
+    return result;
+  }
+  if (!file.Str(&name) || !file.Str(&payload)) {
+    result.kind = FailureKind::kCorruptModel;
+    result.detail = "truncated model frame at byte " +
+                    std::to_string(file.failure_position());
+    return result;
+  }
+  if (name != estimator->Name()) {
+    // A well-formed file for a different estimator: a wiring error, not
+    // corruption — the instance was not touched.
+    result.kind = FailureKind::kPersistenceFailure;
+    result.detail = "estimator kind mismatch: file holds \"" + name +
+                    "\", loading into \"" + estimator->Name() + "\"";
+    return result;
+  }
 
   ByteReader reader(payload);
-  return estimator->DeserializeModel(&reader);
+  if (!estimator->DeserializeModel(&reader)) {
+    // The instance may be partially deserialized — poisoned either way.
+    result.kind = FailureKind::kCorruptModel;
+    result.detail =
+        reader.failed()
+            ? "truncated model payload at byte " +
+                  std::to_string(reader.failure_position()) + " of " +
+                  std::to_string(payload.size())
+            : "model payload failed validation";
+    return result;
+  }
+  return result;
+}
+
+ModelLoadResult LoadEstimatorDetailed(CardinalityEstimator* estimator,
+                                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    ModelLoadResult result;
+    result.kind = FailureKind::kPersistenceFailure;
+    result.detail = "cannot open \"" + path + "\"";
+    return result;
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return LoadEstimatorBytes(estimator, contents);
+}
+
+bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path) {
+  return LoadEstimatorDetailed(estimator, path).ok();
 }
 
 }  // namespace arecel

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/estimator.h"
+#include "robustness/failure.h"
 
 namespace arecel {
 
@@ -16,9 +17,11 @@ namespace arecel {
 // postgres / mysql / dbms-a (per-column statistics), sampling (the
 // materialized sample), mhist (the bucket directory), lw-xgb (featurizer
 // statistics + boosted trees), lw-nn (featurizer statistics + dense-layer
-// weights), feedback-knn / feedback-corrected (the online feedback store,
-// plus the wrapped base model for the latter). SaveEstimator returns false
-// for estimators without support.
+// weights), mscn (column ranges + materialized sample + the three module
+// MLPs), naru (column binnings + the autoregressive backbone, both ResMADE
+// and Transformer), feedback-knn / feedback-corrected (the online feedback
+// store, plus the wrapped base model for the latter). SaveEstimator returns
+// false for estimators without support.
 
 bool SaveEstimator(const CardinalityEstimator& estimator,
                    const std::string& path);
@@ -34,6 +37,37 @@ bool SupportsPersistence(const CardinalityEstimator& estimator);
 // `estimator` must be a default-constructed instance of the same kind
 // (same Name()) that was saved; returns false on mismatch or corruption.
 bool LoadEstimator(CardinalityEstimator* estimator, const std::string& path);
+
+// ---- Typed byte-level interface (the model store's payload format) ----
+
+// Outcome of a typed load. kCorruptModel means the bytes failed validation
+// — truncated stream, bad magic, impossible topology — and the estimator
+// instance may hold PARTIALLY deserialized state: callers must discard the
+// instance (build a fresh one) rather than serve or retrain it.
+// kPersistenceFailure covers non-corruption refusals (missing file,
+// estimator-kind mismatch, no persistence support).
+struct ModelLoadResult {
+  FailureKind kind = FailureKind::kNone;
+  std::string detail;
+
+  bool ok() const { return kind == FailureKind::kNone; }
+};
+
+// Serializes `estimator` into the framed in-memory form SaveEstimator
+// writes to disk (magic + version + name + payload). Returns false when the
+// estimator does not support persistence.
+bool SerializeEstimatorBytes(const CardinalityEstimator& estimator,
+                             std::string* bytes);
+
+// Typed counterpart of LoadEstimator over in-memory bytes; the model store
+// (src/store/) loads recovered generations through this.
+ModelLoadResult LoadEstimatorBytes(CardinalityEstimator* estimator,
+                                   const std::string& bytes);
+
+// Typed load from a file: kPersistenceFailure when the file is unreadable,
+// otherwise LoadEstimatorBytes on its contents.
+ModelLoadResult LoadEstimatorDetailed(CardinalityEstimator* estimator,
+                                      const std::string& path);
 
 }  // namespace arecel
 

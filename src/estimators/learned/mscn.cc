@@ -227,6 +227,101 @@ double MscnEstimator::EstimateSelectivity(const Query& query) const {
   return std::clamp(std::exp(static_cast<double>(z)), 0.0, 1.0);
 }
 
+bool MscnEstimator::SerializeModel(ByteWriter* writer) const {
+  if (out_mlp_ == nullptr) return false;
+  writer->U64(num_cols_);
+  writer->Doubles(col_min_);
+  writer->Doubles(col_max_);
+  writer->U64(options_.hidden_units);
+  writer->U64(options_.sample_size);
+  writer->U32(options_.use_sample_bitmap ? 1u : 0u);
+  writer->U64(trained_rows_);
+  writer->Str(sample_.name());
+  writer->U64(sample_.num_cols());
+  for (size_t c = 0; c < sample_.num_cols(); ++c) {
+    const Column& column = sample_.column(c);
+    writer->Str(column.name);
+    writer->U32(column.categorical ? 1u : 0u);
+    writer->Doubles(column.values);
+  }
+  SerializeMlp(*pred_mlp_, writer);
+  SerializeMlp(*sample_mlp_, writer);
+  SerializeMlp(*out_mlp_, writer);
+  return true;
+}
+
+bool MscnEstimator::DeserializeModel(ByteReader* reader) {
+  uint64_t cols = 0, hidden = 0, sample_size = 0, rows = 0;
+  uint32_t use_bitmap = 0;
+  std::vector<double> col_min, col_max;
+  if (!reader->U64(&cols) || cols == 0 || cols > (1u << 16) ||
+      !reader->Doubles(&col_min) || !reader->Doubles(&col_max) ||
+      col_min.size() != cols || col_max.size() != cols ||
+      !reader->U64(&hidden) || hidden == 0 || hidden > (1u << 20) ||
+      !reader->U64(&sample_size) || sample_size == 0 ||
+      sample_size > (1u << 24) || !reader->U32(&use_bitmap) ||
+      !reader->U64(&rows)) {
+    return false;
+  }
+
+  std::string sample_name;
+  uint64_t sample_cols = 0;
+  if (!reader->Str(&sample_name) || !reader->U64(&sample_cols) ||
+      sample_cols != cols) {
+    return false;
+  }
+  Table sample(sample_name);
+  size_t sample_rows = 0;
+  for (uint64_t c = 0; c < sample_cols; ++c) {
+    std::string col_name;
+    uint32_t categorical = 0;
+    std::vector<double> values;
+    if (!reader->Str(&col_name) || !reader->U32(&categorical) ||
+        !reader->Doubles(&values)) {
+      return false;
+    }
+    if (c == 0) {
+      sample_rows = values.size();
+    } else if (values.size() != sample_rows) {
+      return false;  // ragged sample columns: corrupt stream.
+    }
+    sample.AddColumn(std::move(col_name), std::move(values),
+                     categorical != 0);
+  }
+  sample.Finalize();
+
+  std::unique_ptr<Mlp> pred_mlp, sample_mlp, out_mlp;
+  if (!DeserializeMlp(reader, &pred_mlp) ||
+      !DeserializeMlp(reader, &sample_mlp) ||
+      !DeserializeMlp(reader, &out_mlp)) {
+    return false;
+  }
+  // Topology must agree with the recorded feature shapes, or Forward would
+  // read out of bounds.
+  if (pred_mlp->layers().front().in_features() != cols + 4 ||
+      pred_mlp->layers().back().out_features() != hidden ||
+      sample_mlp->layers().front().in_features() != sample_size ||
+      sample_mlp->layers().back().out_features() != hidden ||
+      out_mlp->layers().front().in_features() != 2 * hidden ||
+      out_mlp->layers().back().out_features() != 1) {
+    return false;
+  }
+
+  num_cols_ = cols;
+  col_min_ = std::move(col_min);
+  col_max_ = std::move(col_max);
+  options_.hidden_units = hidden;
+  options_.sample_size = sample_size;
+  options_.use_sample_bitmap = use_bitmap != 0;
+  trained_rows_ = rows;
+  sample_ = std::move(sample);
+  pred_mlp_ = std::move(pred_mlp);
+  sample_mlp_ = std::move(sample_mlp);
+  out_mlp_ = std::move(out_mlp);
+  final_loss_ = 0.0;
+  return true;
+}
+
 size_t MscnEstimator::SizeBytes() const {
   size_t params = 0;
   if (pred_mlp_) {

@@ -50,6 +50,13 @@ class MscnEstimator : public CardinalityEstimator {
 
   double final_loss() const { return final_loss_; }
 
+  // Model persistence: column ranges, the materialized sample (raw column
+  // values; domains/codes are rebuilt by Table::Finalize), and the three
+  // module MLPs. Adam moments are not saved; an Update() after a load
+  // restarts them from zero.
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
  private:
   // Per-predicate feature rows: (num predicates after decomposition) x
   // pred_dim. Interval predicates decompose into >= lo and <= hi atoms.

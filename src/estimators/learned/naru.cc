@@ -149,6 +149,50 @@ double NaruEstimator::EstimateSelectivity(const Query& query) const {
   return std::clamp(total / static_cast<double>(samples), 0.0, 1.0);
 }
 
+bool NaruEstimator::SerializeModel(ByteWriter* writer) const {
+  if (model_ == nullptr) return false;
+  writer->U64(binnings_.size());
+  for (const ColumnBinning& binning : binnings_) {
+    writer->Doubles(binning.bin_min);
+    writer->Doubles(binning.bin_max);
+  }
+  writer->U32(static_cast<uint32_t>(options_.sample_count));
+  writer->U32(options_.pin_sampling_seed ? 1u : 0u);
+  model_->Serialize(writer);
+  return true;
+}
+
+bool NaruEstimator::DeserializeModel(ByteReader* reader) {
+  uint64_t cols = 0;
+  if (!reader->U64(&cols) || cols == 0 || cols > (1u << 16)) return false;
+  std::vector<ColumnBinning> binnings(cols);
+  for (ColumnBinning& binning : binnings) {
+    if (!reader->Doubles(&binning.bin_min) ||
+        !reader->Doubles(&binning.bin_max) || binning.bin_min.empty() ||
+        binning.bin_min.size() != binning.bin_max.size()) {
+      return false;
+    }
+  }
+  uint32_t sample_count = 0, pin_seed = 0;
+  if (!reader->U32(&sample_count) || !reader->U32(&pin_seed) ||
+      sample_count == 0 || sample_count > (1u << 20)) {
+    return false;
+  }
+  std::unique_ptr<AutoregressiveModel> model =
+      DeserializeAutoregressiveModel(reader);
+  if (model == nullptr || model->num_columns() != cols) return false;
+  for (size_t c = 0; c < cols; ++c) {
+    if (model->vocab_size(c) != binnings[c].num_bins()) return false;
+  }
+  binnings_ = std::move(binnings);
+  model_ = std::move(model);
+  options_.sample_count = static_cast<int>(sample_count);
+  options_.pin_sampling_seed = pin_seed != 0;
+  estimate_counter_ = 0;
+  final_loss_ = 0.0;
+  return true;
+}
+
 size_t NaruEstimator::SizeBytes() const {
   size_t binning_bytes = 0;
   for (const auto& binning : binnings_)

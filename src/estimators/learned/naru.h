@@ -63,6 +63,14 @@ class NaruEstimator : public CardinalityEstimator {
   // Progressive sampling advances estimate_counter_ per call.
   bool ThreadSafeEstimates() const override { return false; }
 
+  // Model persistence: column binnings + the autoregressive backbone
+  // (either family, via AutoregressiveModel::Serialize) + the inference
+  // knobs that shape estimates (sample_count, pin_sampling_seed). The
+  // per-instance estimate counter restarts at zero, matching a fresh
+  // instance — round-trip comparisons must be sequence-aligned.
+  bool SerializeModel(ByteWriter* writer) const override;
+  bool DeserializeModel(ByteReader* reader) override;
+
   double final_loss() const { return final_loss_; }
   const AutoregressiveModel* model() const { return model_.get(); }
 

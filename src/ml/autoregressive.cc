@@ -1,11 +1,30 @@
 #include "ml/autoregressive.h"
 
 #include "ml/made.h"
+#include "ml/nn.h"
 #include "ml/transformer.h"
 
 namespace arecel {
 
 namespace {
+
+// Backbone tags in the serialized form. Values are part of the on-disk
+// model format — append, never renumber.
+constexpr uint32_t kResMadeTag = 1;
+constexpr uint32_t kTransformerTag = 2;
+
+// Caps that bound what a corrupt length prefix can allocate while staying
+// far above any real configuration.
+constexpr uint64_t kMaxColumns = 1u << 16;
+constexpr uint64_t kMaxHidden = 1u << 20;
+constexpr uint64_t kMaxBlocks = 64;
+
+bool ValidVocabSizes(const std::vector<int>& vocabs) {
+  if (vocabs.empty() || vocabs.size() > kMaxColumns) return false;
+  for (int v : vocabs)
+    if (v < 1 || static_cast<uint64_t>(v) > kMaxHidden) return false;
+  return true;
+}
 
 // Adapter exposing ResMade through the AutoregressiveModel interface: it
 // owns the bit encoding that ResMade's masked layers consume.
@@ -44,6 +63,21 @@ class ResMadeModel : public AutoregressiveModel {
 
   size_t ParamCount() const override { return made_.ParamCount(); }
 
+  void Serialize(ByteWriter* writer) const override {
+    writer->U32(kResMadeTag);
+    writer->Ints(made_.vocab_sizes());
+    writer->U64(made_.hidden_units());
+    writer->U32(static_cast<uint32_t>(made_.num_blocks()));
+    for (const DenseLayer& layer : made_.layers())
+      SerializeDenseLayerParams(layer, writer);
+  }
+
+  bool DeserializeParams(ByteReader* reader) {
+    for (DenseLayer& layer : made_.mutable_layers())
+      if (!DeserializeDenseLayerParams(reader, &layer)) return false;
+    return true;
+  }
+
  private:
   ResMade made_;
   Matrix input_;  // scratch for training batches.
@@ -60,6 +94,50 @@ std::unique_ptr<AutoregressiveModel> MakeTransformerModel(
     std::vector<int> vocab_sizes, const TransformerBackboneOptions& options) {
   return std::make_unique<AutoregressiveTransformer>(std::move(vocab_sizes),
                                                      options);
+}
+
+std::unique_ptr<AutoregressiveModel> DeserializeAutoregressiveModel(
+    ByteReader* reader) {
+  uint32_t tag = 0;
+  if (!reader->U32(&tag)) return nullptr;
+  if (tag == kResMadeTag) {
+    std::vector<int> vocabs;
+    uint64_t hidden = 0;
+    uint32_t blocks = 0;
+    if (!reader->Ints(&vocabs) || !reader->U64(&hidden) ||
+        !reader->U32(&blocks) || !ValidVocabSizes(vocabs) || hidden < 1 ||
+        hidden > kMaxHidden || blocks > kMaxBlocks) {
+      return nullptr;
+    }
+    ResMadeBackboneOptions options;
+    options.hidden_units = hidden;
+    options.num_blocks = static_cast<int>(blocks);
+    options.seed = 0;  // every initialized parameter is overwritten below.
+    auto model = std::make_unique<ResMadeModel>(std::move(vocabs), options);
+    if (!model->DeserializeParams(reader)) return nullptr;
+    return model;
+  }
+  if (tag == kTransformerTag) {
+    std::vector<int> vocabs;
+    uint64_t d_model = 0, ffn_hidden = 0;
+    uint32_t blocks = 0;
+    if (!reader->Ints(&vocabs) || !reader->U64(&d_model) ||
+        !reader->U64(&ffn_hidden) || !reader->U32(&blocks) ||
+        !ValidVocabSizes(vocabs) || d_model < 1 || d_model > kMaxHidden ||
+        ffn_hidden < 1 || ffn_hidden > kMaxHidden || blocks > kMaxBlocks) {
+      return nullptr;
+    }
+    TransformerBackboneOptions options;
+    options.d_model = d_model;
+    options.ffn_hidden = ffn_hidden;
+    options.num_blocks = static_cast<int>(blocks);
+    options.seed = 0;
+    auto model = std::make_unique<AutoregressiveTransformer>(
+        std::move(vocabs), options);
+    if (!model->DeserializeParams(reader)) return nullptr;
+    return model;
+  }
+  return nullptr;  // unknown backbone tag.
 }
 
 }  // namespace arecel

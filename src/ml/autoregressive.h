@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "util/archive.h"
 
 namespace arecel {
 
@@ -34,7 +35,18 @@ class AutoregressiveModel {
                             size_t col, Matrix* logits) const = 0;
 
   virtual size_t ParamCount() const = 0;
+
+  // Persistence (core/model_io.h): writes a backbone tag + structural
+  // options + every trainable parameter. Adam moments are training-only
+  // state and are not saved; an Update() after a load restarts them.
+  virtual void Serialize(ByteWriter* writer) const = 0;
 };
+
+// Reconstructs a serialized backbone (either family, dispatched on the
+// tag). Returns nullptr on a truncated stream or an impossible shape —
+// callers must treat that as a corrupt model, not a fresh one.
+std::unique_ptr<AutoregressiveModel> DeserializeAutoregressiveModel(
+    ByteReader* reader);
 
 // Factory helpers.
 struct ResMadeBackboneOptions {

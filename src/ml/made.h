@@ -70,6 +70,16 @@ class ResMade {
 
   size_t ParamCount() const;
 
+  // Structure + parameter access for persistence (ml/autoregressive.cc):
+  // masks are rebuilt deterministically from (vocab_sizes, hidden_units,
+  // num_blocks), so a saved model is reconstructed by re-running the
+  // constructor at the recorded shape and overwriting every weight/bias.
+  const std::vector<int>& vocab_sizes() const { return vocab_sizes_; }
+  size_t hidden_units() const { return layers_[0].out_features(); }
+  int num_blocks() const { return static_cast<int>(layers_.size()) - 2; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() { return layers_; }
+
  private:
   void ForwardInternal(const Matrix& input, Matrix* logits,
                        bool training) const;

@@ -168,4 +168,71 @@ void SoftmaxRows(Matrix* m, size_t begin_col, size_t end_col) {
   }
 }
 
+void SerializeDenseLayerParams(const DenseLayer& layer, ByteWriter* writer) {
+  writer->U64(layer.in_features());
+  writer->U64(layer.out_features());
+  const Matrix& weights = layer.weights();
+  writer->Floats(
+      std::vector<float>(weights.data(), weights.data() + weights.size()));
+  writer->Floats(layer.bias());
+}
+
+bool DeserializeDenseLayerParams(ByteReader* reader, DenseLayer* layer) {
+  uint64_t in = 0, out = 0;
+  std::vector<float> weights, bias;
+  if (!reader->U64(&in) || !reader->U64(&out) || !reader->Floats(&weights) ||
+      !reader->Floats(&bias)) {
+    return false;
+  }
+  if (in != layer->in_features() || out != layer->out_features() ||
+      weights.size() != in * out || bias.size() != out) {
+    return false;
+  }
+  std::copy(weights.begin(), weights.end(), layer->mutable_weights().data());
+  layer->mutable_bias() = bias;
+  return true;
+}
+
+void SerializeMlp(const Mlp& mlp, ByteWriter* writer) {
+  const std::vector<DenseLayer>& layers = mlp.layers();
+  writer->U64(layers.size());
+  for (const DenseLayer& layer : layers)
+    SerializeDenseLayerParams(layer, writer);
+}
+
+bool DeserializeMlp(ByteReader* reader, std::unique_ptr<Mlp>* mlp) {
+  uint64_t layer_count = 0;
+  if (!reader->U64(&layer_count) || layer_count == 0 || layer_count > 64)
+    return false;
+  // Two passes: shapes + params first (validating chaining), then rebuild
+  // the MLP at that topology and overwrite every parameter (the initializer
+  // Rng is irrelevant — nothing of it survives the overwrite).
+  std::vector<size_t> sizes;
+  std::vector<std::vector<float>> weights(layer_count), biases(layer_count);
+  for (uint64_t i = 0; i < layer_count; ++i) {
+    uint64_t in = 0, out = 0;
+    if (!reader->U64(&in) || !reader->U64(&out) ||
+        !reader->Floats(&weights[i]) || !reader->Floats(&biases[i])) {
+      return false;
+    }
+    if (weights[i].size() != in * out || biases[i].size() != out)
+      return false;
+    if (i == 0) {
+      sizes.push_back(in);
+    } else if (in != sizes.back()) {
+      return false;
+    }
+    sizes.push_back(out);
+  }
+  Rng init_rng(0);
+  *mlp = std::make_unique<Mlp>(sizes, init_rng);
+  std::vector<DenseLayer>& layers = (*mlp)->layers();
+  for (uint64_t i = 0; i < layer_count; ++i) {
+    std::copy(weights[i].begin(), weights[i].end(),
+              layers[i].mutable_weights().data());
+    layers[i].mutable_bias() = biases[i];
+  }
+  return true;
+}
+
 }  // namespace arecel

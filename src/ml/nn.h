@@ -2,9 +2,11 @@
 #define ARECEL_ML_NN_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "ml/matrix.h"
+#include "util/archive.h"
 #include "util/random.h"
 
 namespace arecel {
@@ -115,6 +117,24 @@ class Mlp {
 
 // Softmax over the columns of each row segment [begin, end). In-place.
 void SoftmaxRows(Matrix* m, size_t begin_col, size_t end_col);
+
+// Model-persistence helpers (core/model_io.h, src/store/): topology +
+// weights + biases of an MLP. Adam moments are training-only state and are
+// not saved — an Update() after a load restarts them from zero, the same
+// contract LW-NN documents.
+void SerializeMlp(const Mlp& mlp, ByteWriter* writer);
+
+// One layer's weight matrix + bias vector (shape-prefixed). Deserialize
+// requires `layer` to already have the matching shape (the caller rebuilds
+// the network structure first); returns false on truncation or mismatch.
+void SerializeDenseLayerParams(const DenseLayer& layer, ByteWriter* writer);
+bool DeserializeDenseLayerParams(ByteReader* reader, DenseLayer* layer);
+
+// Rebuilds `*mlp` at the serialized topology with every parameter
+// overwritten. Validates layer chaining (out of layer i == in of layer
+// i+1) and per-layer weight/bias sizes; returns false (leaving *mlp in an
+// unspecified state) on a truncated or inconsistent stream.
+bool DeserializeMlp(ByteReader* reader, std::unique_ptr<Mlp>* mlp);
 
 }  // namespace arecel
 

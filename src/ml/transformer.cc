@@ -425,4 +425,65 @@ size_t AutoregressiveTransformer::ParamCount() const {
   return total;
 }
 
+namespace {
+
+void WriteParam(const Matrix& value, ByteWriter* writer) {
+  writer->U64(value.rows());
+  writer->U64(value.cols());
+  writer->Floats(
+      std::vector<float>(value.data(), value.data() + value.size()));
+}
+
+bool ReadParam(ByteReader* reader, Matrix* value) {
+  uint64_t rows = 0, cols = 0;
+  std::vector<float> data;
+  if (!reader->U64(&rows) || !reader->U64(&cols) || !reader->Floats(&data))
+    return false;
+  if (rows != value->rows() || cols != value->cols() ||
+      data.size() != value->size()) {
+    return false;
+  }
+  std::copy(data.begin(), data.end(), value->data());
+  return true;
+}
+
+}  // namespace
+
+void AutoregressiveTransformer::Serialize(ByteWriter* writer) const {
+  // Tag value 2 = Transformer backbone; must agree with the deserializing
+  // factory in ml/autoregressive.cc.
+  writer->U32(2);
+  writer->Ints(vocab_sizes_);
+  writer->U64(d_model_);
+  writer->U64(ffn_hidden_);
+  writer->U32(static_cast<uint32_t>(blocks_.size()));
+  WriteParam(sos_.value, writer);
+  WriteParam(positions_.value, writer);
+  for (const Param& embedding : embeddings_) WriteParam(embedding.value, writer);
+  for (const Block& block : blocks_) {
+    for (const Param* p : {&block.wq, &block.wk, &block.wv, &block.wo,
+                           &block.w1, &block.b1, &block.w2, &block.b2})
+      WriteParam(p->value, writer);
+  }
+  for (const Param& w : out_weights_) WriteParam(w.value, writer);
+  for (const Param& b : out_biases_) WriteParam(b.value, writer);
+}
+
+bool AutoregressiveTransformer::DeserializeParams(ByteReader* reader) {
+  if (!ReadParam(reader, &sos_.value) || !ReadParam(reader, &positions_.value))
+    return false;
+  for (Param& embedding : embeddings_)
+    if (!ReadParam(reader, &embedding.value)) return false;
+  for (Block& block : blocks_) {
+    for (Param* p : {&block.wq, &block.wk, &block.wv, &block.wo, &block.w1,
+                     &block.b1, &block.w2, &block.b2})
+      if (!ReadParam(reader, &p->value)) return false;
+  }
+  for (Param& w : out_weights_)
+    if (!ReadParam(reader, &w.value)) return false;
+  for (Param& b : out_biases_)
+    if (!ReadParam(reader, &b.value)) return false;
+  return true;
+}
+
 }  // namespace arecel

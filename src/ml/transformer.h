@@ -37,6 +37,12 @@ class AutoregressiveTransformer : public AutoregressiveModel {
 
   size_t ParamCount() const override;
 
+  void Serialize(ByteWriter* writer) const override;
+  // Overwrites every parameter from the stream; shapes must match this
+  // instance's construction (the deserializing factory rebuilds it from the
+  // recorded structural options first). False on truncation or mismatch.
+  bool DeserializeParams(ByteReader* reader);
+
  private:
   // A weight matrix (or bias vector via 1 x n) with its gradient and Adam
   // state.

@@ -20,6 +20,8 @@ const char* FailureKindName(FailureKind kind) {
       return "kNonFiniteEstimate";
     case FailureKind::kPersistenceFailure:
       return "kPersistenceFailure";
+    case FailureKind::kCorruptModel:
+      return "kCorruptModel";
     case FailureKind::kCellTimeout:
       return "kCellTimeout";
     case FailureKind::kCellThrew:

@@ -21,6 +21,10 @@ enum class FailureKind {
   kEstimateThrew,      // EstimateSelectivity() raised an exception.
   kNonFiniteEstimate,  // NaN/Inf or negative selectivity at the boundary.
   kPersistenceFailure, // model or journal save/load failed.
+  kCorruptModel,       // persisted model bytes failed validation (truncated
+                       // stream, checksum mismatch, impossible topology);
+                       // the estimator instance that saw them is poisoned
+                       // and must be discarded, never served or retried.
   kCellTimeout,        // a generic bench cell exceeded its deadline.
   kCellThrew,          // a generic bench cell raised an exception.
 };

@@ -7,6 +7,7 @@
 #include "core/model_io.h"
 #include "core/registry.h"
 #include "data/datasets.h"
+#include "store/model_store.h"
 #include "util/timer.h"
 #include "workload/generator.h"
 
@@ -98,7 +99,7 @@ bool ModelManager::Snapshot(const std::string& dataset,
 std::shared_ptr<const ServedModel> ModelManager::BuildModel(
     const std::string& dataset, const std::string& estimator,
     const std::shared_ptr<const Table>& table, uint64_t version,
-    bool is_refresh, std::string* error) {
+    bool is_refresh, std::string* error, const CancellationToken* cancel) {
   const uint64_t seed = TrainSeedForVersion(options_.train_seed, version);
   auto model = std::make_shared<ServedModel>();
   model->data_version = version;
@@ -114,12 +115,47 @@ std::shared_ptr<const ServedModel> ModelManager::BuildModel(
     return nullptr;
   }
 
-  // Version-0 cold path: prefer a persisted model over training.
+  // Version-0 cold path: prefer a persisted model over training. The store
+  // (when configured) supersedes the flat model_dir: its Get runs the
+  // checksum-verified recovery chain, so the bytes handed back are the last
+  // committed generation, never a torn or bit-rotted record.
+  bool loaded = false;
   const std::string path = options_.model_dir.empty()
                                ? std::string()
                                : ModelPath(dataset, estimator);
-  if (!is_refresh && version == 0 && !path.empty() && FileExists(path) &&
-      LoadEstimator(instance.get(), path)) {
+  if (!is_refresh && version == 0) {
+    if (options_.store != nullptr) {
+      std::string bytes;
+      if (options_.store->Get(dataset, estimator, &bytes)) {
+        const ModelLoadResult result =
+            LoadEstimatorBytes(instance.get(), bytes);
+        if (result.ok()) {
+          loaded = true;
+        } else {
+          // The instance may hold partially deserialized state — poisoned.
+          // Discard it and fall through to a clean cold train.
+          {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            if (result.kind == FailureKind::kCorruptModel)
+              ++counters_.corrupt_loads;
+          }
+          try {
+            instance = options_.factory(estimator);
+          } catch (const std::exception& e) {
+            if (error != nullptr)
+              *error = std::string("estimator construction failed: ") +
+                       e.what();
+            return nullptr;
+          }
+        }
+      }
+    } else if (!path.empty() && FileExists(path) &&
+               LoadEstimator(instance.get(), path)) {
+      loaded = true;
+    }
+  }
+
+  if (loaded) {
     model->estimator = std::move(instance);
     model->source = "loaded";
     {
@@ -130,6 +166,7 @@ std::shared_ptr<const ServedModel> ModelManager::BuildModel(
     try {
       TrainContext context;
       context.seed = seed;
+      context.cancellation = cancel;
       Workload training;
       if (instance->IsQueryDriven()) {
         training =
@@ -156,20 +193,96 @@ std::shared_ptr<const ServedModel> ModelManager::BuildModel(
       else
         ++counters_.cold_trains;
     }
-    // Save the freshly trained base model so the next process can skip
-    // training. The counting probe keeps the capability check cheap for
-    // estimators that refuse persistence.
-    if (!is_refresh && version == 0 && !path.empty() &&
-        SupportsPersistence(*model->estimator) &&
-        SaveEstimator(*model->estimator, path)) {
-      std::lock_guard<std::mutex> lock(counters_mutex_);
-      ++counters_.model_saves;
+    if (options_.store == nullptr) {
+      // Legacy flat-file path: save the freshly trained base model inline
+      // so the next process can skip training. The counting probe keeps
+      // the capability check cheap for estimators that refuse persistence.
+      if (!is_refresh && version == 0 && !path.empty() &&
+          SupportsPersistence(*model->estimator) &&
+          SaveEstimator(*model->estimator, path)) {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.model_saves;
+      }
     }
   }
 
   model->thread_safe = model->estimator->ThreadSafeEstimates();
   model->train_seconds = timer.ElapsedSeconds();
+
+  // Store-backed deployments move write-back off the serving thread: queue
+  // the trained model; the MaintenanceWorker serializes and commits it with
+  // bounded retries. Refreshes enqueue too, so the store tracks the newest
+  // trained state across data versions.
+  if (!loaded && options_.store != nullptr &&
+      SupportsPersistence(*model->estimator)) {
+    {
+      std::lock_guard<std::mutex> lock(saves_mutex_);
+      pending_saves_.push_back(PendingSave{dataset, estimator, model});
+    }
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.saves_enqueued;
+  }
   return model;
+}
+
+bool ModelManager::RefreshModelNow(const std::string& dataset,
+                                   const std::string& estimator,
+                                   const CancellationToken* cancel,
+                                   std::string* error) {
+  std::shared_ptr<const Table> table;
+  uint64_t version = 0;
+  if (!Snapshot(dataset, &table, &version, error)) return false;
+
+  const std::string key = ModelKey(dataset, estimator);
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto it = models_.find(key);
+    if (it == models_.end() || !it->second.ready || it->second.refreshing ||
+        it->second.model->data_version >= version) {
+      if (error != nullptr) *error = "nothing to refresh";
+      return false;
+    }
+    it->second.refreshing = true;
+    ++active_refreshes_;
+  }
+
+  std::shared_ptr<const ServedModel> fresh = BuildModel(
+      dataset, estimator, table, version, /*is_refresh=*/true, error, cancel);
+  const bool ok = fresh != nullptr;
+  {
+    std::lock_guard<std::mutex> lock(models_mutex_);
+    auto it = models_.find(key);
+    if (it != models_.end()) {
+      it->second.refreshing = false;
+      if (ok) it->second.model = std::move(fresh);
+    }
+    --active_refreshes_;
+  }
+  refresh_cv_.notify_all();
+  return ok;
+}
+
+std::vector<PendingSave> ModelManager::TakePendingSaves() {
+  std::lock_guard<std::mutex> lock(saves_mutex_);
+  std::vector<PendingSave> taken;
+  taken.swap(pending_saves_);
+  return taken;
+}
+
+std::vector<LoadedModelInfo> ModelManager::LoadedModels() const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  std::vector<LoadedModelInfo> infos;
+  for (const auto& [key, entry] : models_) {
+    if (!entry.ready) continue;
+    const size_t sep = key.find('\x1f');
+    LoadedModelInfo info;
+    info.dataset = key.substr(0, sep);
+    info.estimator = key.substr(sep + 1);
+    info.data_version = entry.model->data_version;
+    info.refreshing = entry.refreshing;
+    infos.push_back(std::move(info));
+  }
+  return infos;
 }
 
 std::shared_ptr<const ServedModel> ModelManager::GetModel(

@@ -15,6 +15,10 @@
 #include "core/estimator.h"
 #include "data/table.h"
 
+namespace arecel::store {
+class ModelStore;
+}  // namespace arecel::store
+
 namespace arecel::serve {
 
 using ServeEstimatorFactory =
@@ -27,6 +31,15 @@ struct ModelManagerOptions {
   // counting probe, core/model_io.h) are saved back so the next process
   // skips training entirely.
   std::string model_dir;
+
+  // Crash-safe versioned model store (src/store/). When set it supersedes
+  // model_dir: cold loads read the last committed generation through the
+  // store's checksum-verified recovery path (restart = warm start), and
+  // save-backs are queued for the MaintenanceWorker instead of running
+  // inline on the serving thread. A payload the store serves but the
+  // deserializer rejects as corrupt poisons only that instance: the manager
+  // discards it, counts a corrupt_load, and cold-trains.
+  std::shared_ptr<arecel::store::ModelStore> store;
 
   // Labelled workload size for query-driven methods trained on first use.
   size_t train_query_count = 2000;
@@ -69,6 +82,25 @@ struct ManagerCounters {
   uint64_t single_flight_waits = 0;  // requests that waited on a cold load.
   uint64_t train_failures = 0;
   uint64_t evictions = 0;
+  uint64_t corrupt_loads = 0;    // store payloads rejected as corrupt.
+  uint64_t saves_enqueued = 0;   // save-backs queued for the worker.
+};
+
+// A trained model awaiting write-back to the store. The worker serializes
+// it (under the inference mutex when the estimator's inference mutates
+// state) and commits it as a new generation.
+struct PendingSave {
+  std::string dataset;
+  std::string estimator;
+  std::shared_ptr<const ServedModel> model;
+};
+
+// Loaded-model inventory row for the maintenance worker's staleness scan.
+struct LoadedModelInfo {
+  std::string dataset;
+  std::string estimator;
+  uint64_t data_version = 0;
+  bool refreshing = false;
 };
 
 // Owns the dataset snapshots and the trained estimators behind the serving
@@ -124,6 +156,27 @@ class ModelManager {
   // Blocks until no background refresh is in flight.
   void WaitForRefreshes();
 
+  // Synchronous single-model refresh for the maintenance worker: retrains
+  // (dataset, estimator) at the current data version on the calling thread
+  // and atomically swaps it in. Returns false — without touching the
+  // serving entry — when the model is not loaded, already refreshing,
+  // already fresh, or the retrain failed (stale model keeps serving).
+  // `cancel` is threaded into TrainContext so a watchdog (RunGuarded) can
+  // cut a hung retrain loose cooperatively.
+  bool RefreshModelNow(const std::string& dataset,
+                       const std::string& estimator,
+                       const CancellationToken* cancel = nullptr,
+                       std::string* error = nullptr);
+
+  // Drains the save-back queue (trained models waiting for the maintenance
+  // worker to persist them). Models enqueue after successful cold trains
+  // and refreshes when a store is configured and the estimator supports
+  // persistence.
+  std::vector<PendingSave> TakePendingSaves();
+
+  // Snapshot of the ready serving entries, for the worker's staleness scan.
+  std::vector<LoadedModelInfo> LoadedModels() const;
+
   // Drops a model entry (e.g. after a per-request deadline abandoned a
   // worker inside a non-thread-safe model). The next GetModel retrains.
   void Evict(const std::string& dataset, const std::string& estimator);
@@ -159,7 +212,8 @@ class ModelManager {
   std::shared_ptr<const ServedModel> BuildModel(
       const std::string& dataset, const std::string& estimator,
       const std::shared_ptr<const Table>& table, uint64_t version,
-      bool is_refresh, std::string* error);
+      bool is_refresh, std::string* error,
+      const CancellationToken* cancel = nullptr);
 
   ModelManagerOptions options_;
 
@@ -176,6 +230,9 @@ class ModelManager {
 
   mutable std::mutex counters_mutex_;
   ManagerCounters counters_;
+
+  mutable std::mutex saves_mutex_;
+  std::vector<PendingSave> pending_saves_;
 };
 
 }  // namespace arecel::serve

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "robustness/guard.h"
+#include "store/maintenance_worker.h"
+#include "store/model_store.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -44,6 +46,10 @@ ServeOptions ServeOptionsFromEnv() {
   const double queue = EnvDouble("ARECEL_FEEDBACK_QUEUE", 1024.0);
   options.feedback_queue = queue <= 0 ? 1 : static_cast<size_t>(queue);
   options.feedback = feedback::FeedbackOptionsFromEnv();
+  store::StoreOptions store_options = store::StoreOptions::FromEnv();
+  if (!store_options.root_dir.empty())
+    options.manager.store =
+        std::make_shared<store::ModelStore>(std::move(store_options));
   return options;
 }
 
@@ -57,6 +63,21 @@ EstimatorServer::EstimatorServer(ServeOptions options)
   if (options_.feedback_enabled)
     feedback_ = std::make_unique<feedback::FeedbackHub>(
         options_.feedback, options_.feedback_queue);
+  if (options_.manager.store != nullptr) {
+    // Non-owning alias: manager_ is a value member and maintenance_ is
+    // declared after it, so the worker is always stopped and destroyed
+    // before the manager it points at.
+    std::shared_ptr<ModelManager> manager_alias(&manager_,
+                                                [](ModelManager*) {});
+    maintenance_ = std::make_unique<store::MaintenanceWorker>(
+        std::move(manager_alias), options_.manager.store,
+        store::MaintenanceOptions::FromEnv());
+    maintenance_->Start();
+  }
+}
+
+EstimatorServer::~EstimatorServer() {
+  if (maintenance_ != nullptr) maintenance_->Stop();
 }
 
 void EstimatorServer::RegisterDataset(const std::string& name, Table table) {
@@ -343,6 +364,8 @@ ServerStats EstimatorServer::Stats() const {
   stats.manager = manager_.counters();
   stats.feedback_enabled = feedback_ != nullptr;
   if (feedback_ != nullptr) stats.feedback = feedback_->Stats();
+  stats.store_enabled = options_.manager.store != nullptr;
+  if (stats.store_enabled) stats.store = options_.manager.store->stats();
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.latencies.reserve(latencies_.size());
   for (const auto& [key, window] : latencies_) {

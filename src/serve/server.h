@@ -14,7 +14,12 @@
 #include "robustness/runner.h"
 #include "serve/cache.h"
 #include "serve/model_manager.h"
+#include "store/model_store.h"
 #include "workload/query.h"
+
+namespace arecel::store {
+class MaintenanceWorker;
+}  // namespace arecel::store
 
 namespace arecel::serve {
 
@@ -27,6 +32,13 @@ namespace arecel::serve {
 //                          (default off: serving behavior is bit-identical
 //                          to the pre-feedback server unless opted in)
 //   ARECEL_FEEDBACK_QUEUE  truth-worker queue capacity (default 1024)
+//   ARECEL_STORE_DIR       enables the crash-safe versioned model store
+//                          (src/store/, DESIGN.md §12): cold loads become
+//                          warm starts through checksum-verified recovery,
+//                          and an embedded MaintenanceWorker owns staleness
+//                          refresh + write-back off the serving threads
+//                          (ARECEL_STORE_MAX_GENERATIONS,
+//                          ARECEL_MAINT_INTERVAL_MS)
 // plus the ARECEL_FEEDBACK_* store knobs FeedbackOptionsFromEnv reads and
 // the robustness knobs RobustOptionsFromEnv already reads —
 // ARECEL_QUERY_DEADLINE arms the per-request watchdog.
@@ -95,6 +107,8 @@ struct ServerStats {
   bool feedback_enabled = false;
   feedback::FeedbackHubStats feedback;
   std::vector<ModelLatencyStats> latencies;
+  bool store_enabled = false;
+  store::StoreStats store;  // zero-valued unless store_enabled.
 };
 
 // In-process cardinality-estimation server: the long-lived path the bench
@@ -118,6 +132,7 @@ class EstimatorServer {
  public:
   explicit EstimatorServer(ServeOptions options);
   EstimatorServer() : EstimatorServer(ServeOptionsFromEnv()) {}
+  ~EstimatorServer();  // stops the maintenance worker before the manager.
 
   // Registers a dataset snapshot at data version 0.
   void RegisterDataset(const std::string& name, Table table);
@@ -162,6 +177,10 @@ class EstimatorServer {
   ModelManager& manager() { return manager_; }
   const ServeOptions& options() const { return options_; }
 
+  // The embedded maintenance worker; null unless a model store is
+  // configured. Tests call TickNow() through this for determinism.
+  store::MaintenanceWorker* maintenance() { return maintenance_.get(); }
+
  private:
   struct LatencyWindow {
     std::vector<double> values;  // ring buffer once full.
@@ -198,6 +217,9 @@ class EstimatorServer {
   EstimateCache cache_;
   std::atomic<bool> cache_enabled_;
   std::unique_ptr<feedback::FeedbackHub> feedback_;
+  // Declared after manager_: destroyed (and Stop()ped) first, so the
+  // worker's non-owning manager alias never dangles.
+  std::unique_ptr<store::MaintenanceWorker> maintenance_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_{0};

@@ -1,0 +1,110 @@
+#include "store/store_faults.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arecel::store {
+
+namespace {
+
+std::vector<std::string> Split(const std::string& text, char a, char b) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == a || c == b) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+bool ParseKind(const std::string& token, StoreFaultKind* kind) {
+  if (token == "store-torn-write") *kind = StoreFaultKind::kTornWrite;
+  else if (token == "store-bitflip") *kind = StoreFaultKind::kBitflip;
+  else if (token == "store-enospc") *kind = StoreFaultKind::kEnospc;
+  else if (token == "store-rename-fail") *kind = StoreFaultKind::kRenameFail;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+const char* StoreFaultKindName(StoreFaultKind kind) {
+  switch (kind) {
+    case StoreFaultKind::kTornWrite:
+      return "store-torn-write";
+    case StoreFaultKind::kBitflip:
+      return "store-bitflip";
+    case StoreFaultKind::kEnospc:
+      return "store-enospc";
+    case StoreFaultKind::kRenameFail:
+      return "store-rename-fail";
+  }
+  return "store-unknown";
+}
+
+bool ParseStoreFaultPlan(const std::string& text,
+                         std::vector<StoreFaultSpec>* plan,
+                         std::string* error) {
+  plan->clear();
+  for (const std::string& item : Split(text, ';', ',')) {
+    if (item.empty()) continue;
+    const std::vector<std::string> fields = Split(item, ':', ':');
+    StoreFaultSpec spec;
+    if (!ParseKind(fields[0], &spec.kind)) continue;  // an estimator spec.
+    for (size_t f = 1; f < fields.size(); ++f) {
+      const std::string& field = fields[f];
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        *error = "store fault expected key=value, got '" + field + "'";
+        return false;
+      }
+      const std::string key = field.substr(0, eq);
+      const int value = std::atoi(field.c_str() + eq + 1);
+      if (key == "after") spec.after_ops = value;
+      else if (key == "times") spec.times = value;
+      else {
+        *error = "unknown store fault field '" + key + "'";
+        return false;
+      }
+    }
+    plan->push_back(spec);
+  }
+  return true;
+}
+
+std::vector<StoreFaultSpec> StoreFaultPlanFromEnv() {
+  const char* env = std::getenv("ARECEL_FAULT_INJECT");
+  if (env == nullptr || env[0] == '\0') return {};
+  std::vector<StoreFaultSpec> plan;
+  std::string error;
+  if (!ParseStoreFaultPlan(env, &plan, &error)) {
+    std::fprintf(stderr, "ARECEL_FAULT_INJECT: %s\n", error.c_str());
+    std::abort();
+  }
+  return plan;
+}
+
+StoreFaultInjector::StoreFaultInjector(std::vector<StoreFaultSpec> plan)
+    : plan_(std::move(plan)), ops_(plan_.size()), fired_(plan_.size()) {
+  for (auto& op : ops_) op.store(0);
+  for (auto& f : fired_) f.store(0);
+}
+
+bool StoreFaultInjector::Fire(StoreFaultKind kind) {
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    const StoreFaultSpec& spec = plan_[i];
+    if (spec.kind != kind) continue;
+    const int op = ops_[i].fetch_add(1);
+    if (op < spec.after_ops) continue;
+    if (spec.times >= 0 && fired_[i].fetch_add(1) >= spec.times) continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace arecel::store

@@ -1,0 +1,89 @@
+#ifndef ARECEL_STORE_STORE_FAULTS_H_
+#define ARECEL_STORE_STORE_FAULTS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace arecel::store {
+
+// Filesystem fault injection for the model store — the write-path analogue
+// of the estimator FaultInjector (src/robustness/fault_injector.h). Every
+// recovery path the store implements (torn write, bit-rot, ENOSPC,
+// rename failure) is exercisable from tests and benches by scheduling the
+// corresponding fault, so crash-safety is a tested property, not a hope.
+//
+// ARECEL_FAULT_INJECT accepts store fault tokens alongside the estimator
+// specs, separated by `;` or `,`:
+//
+//   store-torn-write    a gen-file write stops partway (header + a payload
+//                       prefix land on disk, no footer) and the commit
+//                       aborts — the crash-mid-write shape.
+//   store-bitflip       the write completes and commits, then one payload
+//                       byte is flipped on disk — the bit-rot shape,
+//                       caught by CRC on the next open.
+//   store-enospc        a write reports failure partway through (partial
+//                       temp file left behind), as ENOSPC does.
+//   store-rename-fail   the atomic rename step fails; the temp file stays,
+//                       the committed state is unchanged.
+//
+// Optional `key=value` suffixes select when the fault fires, counted over
+// the store's filesystem operations of the matching kind:
+//   after=N   fire on ops with index >= N (default 0).
+//   times=N   fire at most N times (default 1; -1 = forever).
+// e.g. ARECEL_FAULT_INJECT=store-torn-write:after=1:times=1
+
+enum class StoreFaultKind {
+  kTornWrite,
+  kBitflip,
+  kEnospc,
+  kRenameFail,
+};
+
+const char* StoreFaultKindName(StoreFaultKind kind);
+
+struct StoreFaultSpec {
+  StoreFaultKind kind = StoreFaultKind::kTornWrite;
+  int after_ops = 0;
+  int times = 1;
+};
+
+// Parses the store-* tokens out of a fault-plan string, ignoring estimator
+// specs (which the robustness parser owns). Returns false and sets `error`
+// on a malformed store token. An empty string parses to an empty plan.
+bool ParseStoreFaultPlan(const std::string& text,
+                         std::vector<StoreFaultSpec>* plan,
+                         std::string* error);
+
+// Store fault plan from ARECEL_FAULT_INJECT (empty when unset). Aborts on
+// a malformed store token — a typo'd injection silently running clean
+// would defeat the test.
+std::vector<StoreFaultSpec> StoreFaultPlanFromEnv();
+
+// Armed fault schedule consulted by the store at each filesystem
+// operation. Thread-safe: op counters are atomics, so a maintenance worker
+// and a serving thread can hit the store concurrently under injection.
+class StoreFaultInjector {
+ public:
+  explicit StoreFaultInjector(std::vector<StoreFaultSpec> plan);
+
+  bool empty() const { return plan_.empty(); }
+
+  // Should the next write of `kind`-matching stage fire a fault? Each call
+  // advances the per-kind op counter. kTornWrite and kEnospc match write
+  // ops, kRenameFail matches rename ops, kBitflip matches post-commit
+  // corruption points.
+  bool Fire(StoreFaultKind kind);
+
+ private:
+  std::vector<StoreFaultSpec> plan_;
+  // Per-spec operation and fire counters (sized in the constructor, never
+  // resized — atomics are not movable).
+  std::vector<std::atomic<int>> ops_;
+  std::vector<std::atomic<int>> fired_;
+};
+
+}  // namespace arecel::store
+
+#endif  // ARECEL_STORE_STORE_FAULTS_H_

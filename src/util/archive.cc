@@ -42,8 +42,16 @@ void ByteWriter::Ints(const std::vector<int>& v) {
   Raw(v.data(), v.size() * sizeof(int));
 }
 
+bool ByteReader::Fail() {
+  if (!failed_) {
+    failed_ = true;
+    failure_position_ = position_;
+  }
+  return false;
+}
+
 bool ByteReader::Raw(void* data, size_t bytes) {
-  if (position_ + bytes > buffer_.size()) return false;
+  if (failed_ || position_ + bytes > buffer_.size()) return Fail();
   std::memcpy(data, buffer_.data() + position_, bytes);
   position_ += bytes;
   return true;
@@ -51,28 +59,32 @@ bool ByteReader::Raw(void* data, size_t bytes) {
 
 bool ByteReader::Str(std::string* s) {
   uint64_t size = 0;
-  if (!U64(&size) || size > kMaxElements) return false;
+  if (!U64(&size)) return false;
+  if (size > kMaxElements) return Fail();
   s->resize(size);
   return Raw(s->data(), size);
 }
 
 bool ByteReader::Floats(std::vector<float>* v) {
   uint64_t size = 0;
-  if (!U64(&size) || size > kMaxElements) return false;
+  if (!U64(&size)) return false;
+  if (size > kMaxElements) return Fail();
   v->resize(size);
   return Raw(v->data(), size * sizeof(float));
 }
 
 bool ByteReader::Doubles(std::vector<double>* v) {
   uint64_t size = 0;
-  if (!U64(&size) || size > kMaxElements) return false;
+  if (!U64(&size)) return false;
+  if (size > kMaxElements) return Fail();
   v->resize(size);
   return Raw(v->data(), size * sizeof(double));
 }
 
 bool ByteReader::Ints(std::vector<int>* v) {
   uint64_t size = 0;
-  if (!U64(&size) || size > kMaxElements) return false;
+  if (!U64(&size)) return false;
+  if (size > kMaxElements) return Fail();
   v->resize(size);
   return Raw(v->data(), size * sizeof(int));
 }

@@ -62,10 +62,24 @@ class ByteReader {
 
   bool AtEnd() const { return position_ == buffer_.size(); }
 
+  // Sticky truncation flag: once any read ran past the end of the buffer
+  // (or a length prefix claimed an implausible element count), every later
+  // read also fails and failed() stays true. Model deserializers bail on
+  // the first false return, but the flag lets LoadEstimator distinguish a
+  // *truncated/corrupt* stream (typed as FailureKind::kCorruptModel) from
+  // a well-formed stream a deserializer rejected on semantic grounds.
+  bool failed() const { return failed_; }
+  // Byte offset of the first failed read (buffer size bounds it); only
+  // meaningful when failed().
+  size_t failure_position() const { return failure_position_; }
+
  private:
   bool Raw(void* data, size_t bytes);
+  bool Fail();
   const std::string& buffer_;
   size_t position_ = 0;
+  bool failed_ = false;
+  size_t failure_position_ = 0;
 };
 
 }  // namespace arecel

@@ -1,0 +1,57 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace arecel {
+
+namespace {
+
+// Slice-by-8 lookup tables, built once at first use. Table [0] is the
+// classic byte-at-a-time table for the reflected Castagnoli polynomial;
+// tables [1..7] extend it so eight input bytes fold in per step.
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const auto* tables = [] {
+    auto* t = new std::array<std::array<uint32_t, 256>, 8>();
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      (*t)[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = (*t)[0][i];
+      for (size_t slice = 1; slice < 8; ++slice) {
+        crc = (*t)[0][crc & 0xffu] ^ (crc >> 8);
+        (*t)[slice][i] = crc;
+      }
+    }
+    return t;
+  }();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& t = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 8) {
+    // Fold the current CRC into the first four bytes, then consume eight
+    // bytes through the eight slice tables in one step.
+    const uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                                static_cast<uint32_t>(p[1]) << 8 |
+                                static_cast<uint32_t>(p[2]) << 16 |
+                                static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][low & 0xffu] ^ t[6][(low >> 8) & 0xffu] ^
+          t[5][(low >> 16) & 0xffu] ^ t[4][low >> 24] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace arecel

@@ -1,0 +1,37 @@
+#ifndef ARECEL_UTIL_CRC32C_H_
+#define ARECEL_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace arecel {
+
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every model-store record and manifest (src/store/).
+// Castagnoli is the standard storage-integrity choice (iSCSI, ext4, LevelDB)
+// because its error-detection properties on burst errors beat CRC-32's;
+// software slice-by-8 keeps it fast without ISA-specific instructions.
+
+// CRC of `size` bytes starting at `data`, continuing from `seed` (pass 0 to
+// start a fresh checksum; chain calls by passing the previous result).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const std::string& bytes, uint32_t seed = 0) {
+  return Crc32c(bytes.data(), bytes.size(), seed);
+}
+
+// Masked form (the LevelDB trick): storing a CRC of data that itself
+// embeds CRCs makes accidental collisions likelier; the store writes the
+// masked value on disk and unmasks on read.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace arecel
+
+#endif  // ARECEL_UTIL_CRC32C_H_

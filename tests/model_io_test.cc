@@ -124,12 +124,19 @@ INSTANTIATE_TEST_SUITE_P(Registry, ModelRoundTripTest,
                            return name;
                          });
 
+// The persistable set documented in core/model_io.h; growing it is
+// welcome, silently shrinking it is not. Shared with the truncation
+// regression below.
+const std::vector<std::string>& DocumentedPersistableSet() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "postgres", "mysql",        "dbms-a", "sampling",
+      "mhist",    "lw-xgb",       "lw-nn",  "mscn",
+      "naru",     "feedback-knn", "feedback-corrected"};
+  return *names;
+}
+
 TEST(ModelIoTest, PersistenceSupportMatchesDocumentedSet) {
-  // The set documented in core/model_io.h; growing it is welcome, silently
-  // shrinking it is not.
-  for (const char* name : {"postgres", "mysql", "dbms-a", "sampling",
-                           "mhist", "lw-xgb", "lw-nn", "feedback-knn",
-                           "feedback-corrected"}) {
+  for (const std::string& name : DocumentedPersistableSet()) {
     auto estimator = MakeEstimator(name);
     TrainContext context;
     context.training_workload = &Shared().train;
@@ -139,8 +146,47 @@ TEST(ModelIoTest, PersistenceSupportMatchesDocumentedSet) {
 }
 
 TEST(ModelIoTest, UnsupportedEstimatorReturnsFalse) {
-  auto naru = MakeEstimator("naru");  // no persistence implemented.
-  EXPECT_FALSE(SaveEstimator(*naru, TempPath("naru.bin")));
+  auto quicksel = MakeEstimator("quicksel");  // no persistence implemented.
+  TrainContext context;
+  context.training_workload = &Shared().train;
+  quicksel->Train(Shared().table, context);
+  EXPECT_FALSE(SupportsPersistence(*quicksel));
+  EXPECT_FALSE(SaveEstimator(*quicksel, TempPath("quicksel.bin")));
+}
+
+// Feeding a truncated or garbage byte stream to every persistable
+// estimator must come back typed as kCorruptModel — never a crash, and
+// never the kPersistenceFailure that a clean kind-mismatch reports. This is
+// the contract the model store's recovery path builds on: a record whose
+// CRC passes but whose payload the deserializer rejects still poisons only
+// that instance.
+TEST(ModelIoTest, TruncatedBytesTypedAsCorruptForEveryPersistable) {
+  for (const std::string& name : DocumentedPersistableSet()) {
+    auto trained = MakeEstimator(name);
+    TrainContext context;
+    context.training_workload = &Shared().train;
+    trained->Train(Shared().table, context);
+
+    std::string bytes;
+    ASSERT_TRUE(SerializeEstimatorBytes(*trained, &bytes)) << name;
+
+    // Truncate at several depths: inside the frame header, inside the
+    // payload's leading structure, and just shy of the end.
+    for (const size_t cut :
+         {size_t{3}, bytes.size() / 4, bytes.size() - 1}) {
+      auto fresh = MakeEstimator(name);
+      const ModelLoadResult result =
+          LoadEstimatorBytes(fresh.get(), bytes.substr(0, cut));
+      EXPECT_EQ(result.kind, FailureKind::kCorruptModel)
+          << name << " cut at " << cut << ": " << result.detail;
+    }
+
+    // Garbage payload of plausible length.
+    auto fresh = MakeEstimator(name);
+    const ModelLoadResult garbage = LoadEstimatorBytes(
+        fresh.get(), std::string(bytes.size(), '\x5a'));
+    EXPECT_EQ(garbage.kind, FailureKind::kCorruptModel) << name;
+  }
 }
 
 TEST(ModelIoTest, KindMismatchRejected) {

@@ -5,9 +5,12 @@
 // (scripts/run_sanitized_tests.sh matches these suites by the "Serve" in
 // their names).
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,6 +23,8 @@
 #include "serve/cache.h"
 #include "serve/model_manager.h"
 #include "serve/server.h"
+#include "store/maintenance_worker.h"
+#include "store/model_store.h"
 #include "workload/generator.h"
 
 namespace arecel::serve {
@@ -444,6 +449,56 @@ TEST(ServeConcurrencyTest, ConcurrentEstimateBatchAndUpdateSmoke) {
   EXPECT_EQ(stats.estimate_errors, 0u);
   EXPECT_EQ(stats.updates, 2u);
   EXPECT_EQ(stats.manager.refresh_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end store wiring: a server constructed with a model store gets an
+// embedded maintenance worker, write-back lands in the store, and a second
+// server over the same directory warm-starts from disk instead of training.
+
+TEST(ServeStoreWiringTest, WarmRestartThroughConfiguredStore) {
+  const std::string dir = ::testing::TempDir() + "arecel_serve_store_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  const Query query = MakeQuery({{0, 2.0, 20.0}});
+  {
+    ServeOptions options;
+    store::StoreOptions store_options;
+    store_options.root_dir = dir;
+    options.manager.store =
+        std::make_shared<store::ModelStore>(store_options);
+    EstimatorServer server(options);
+    ASSERT_NE(server.maintenance(), nullptr);
+    server.RegisterDataset("t", SmallTable());
+
+    const EstimateResponse response = server.Estimate("t", "postgres", query);
+    ASSERT_TRUE(response.ok);
+    server.maintenance()->TickNow();  // drain the cold train's save-back.
+
+    const ServerStats stats = server.Stats();
+    ASSERT_TRUE(stats.store_enabled);
+    EXPECT_GE(stats.store.commits, 1u);
+    EXPECT_GE(stats.manager.saves_enqueued, 1u);
+    EXPECT_EQ(stats.manager.corrupt_loads, 0u);
+  }
+  {
+    ServeOptions options;
+    store::StoreOptions store_options;
+    store_options.root_dir = dir;
+    options.manager.store =
+        std::make_shared<store::ModelStore>(store_options);
+    EstimatorServer server(options);
+    server.RegisterDataset("t", SmallTable());
+
+    const EstimateResponse response = server.Estimate("t", "postgres", query);
+    ASSERT_TRUE(response.ok);
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.manager.cold_trains, 0u);
+    EXPECT_GE(stats.manager.persisted_loads, 1u);
+    EXPECT_GE(stats.store.hits, 1u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -122,6 +122,20 @@ void PrintStats(const arecel::serve::ServerStats& stats) {
               (unsigned long long)stats.manager.refresh_failures,
               (unsigned long long)stats.manager.single_flight_waits,
               (unsigned long long)stats.manager.evictions);
+  if (stats.store_enabled)
+    std::printf("store:   puts=%llu commits=%llu commit_failures=%llu "
+                "hits=%llu misses=%llu recoveries=%llu quarantined=%llu "
+                "torn=%llu checksum=%llu corrupt_loads=%llu\n",
+                (unsigned long long)stats.store.puts,
+                (unsigned long long)stats.store.commits,
+                (unsigned long long)stats.store.commit_failures,
+                (unsigned long long)stats.store.hits,
+                (unsigned long long)stats.store.misses,
+                (unsigned long long)stats.store.recoveries,
+                (unsigned long long)stats.store.quarantined_generations,
+                (unsigned long long)stats.store.torn_writes_detected,
+                (unsigned long long)stats.store.checksum_failures,
+                (unsigned long long)stats.manager.corrupt_loads);
   for (const auto& lat : stats.latencies)
     std::printf("latency: %-24s n=%llu p50=%.3fms p90=%.3fms p99=%.3fms "
                 "max=%.3fms\n",
