@@ -27,6 +27,20 @@
 //   ARECEL_ML_BENCH_NARU_EPOCHS  naru training epochs         (default 4)
 //   ARECEL_ML_BENCH_LWNN_EPOCHS  lw-nn training epochs        (default 10)
 //   ARECEL_ML_BENCH_OUT          output path (default <repo>/BENCH_ml.json)
+//
+// Flags: --out <path> (or --out=<path>) overrides the output path and wins
+// over ARECEL_ML_BENCH_OUT; the bench_ml_smoke CTest target uses it so a
+// smoke run can never clobber the checked-in baseline.
+//
+// The quant tier (ARECEL_ML_KERNEL=quant, ml/packed.h) is measured in two
+// extra layers: a packed/quant dense-forward grid, and a quantized Naru
+// estimate batch gated on end-to-end q-error divergence vs the fp32 fast
+// path (quantization is lossy by design, so the gate is a q-error budget,
+// not a float tolerance). The packed fp32 path runs the same FMA chains as
+// the unpacked fast kernel — bit-identical on full 16-column tiles — but
+// the unpacked kernel's final sub-8-column scalar tail rounds mul+add
+// where the packed lane fuses, so packed-vs-fast is gated with the same
+// float tolerance class as reference-vs-fast.
 
 #include <algorithm>
 #include <cmath>
@@ -44,6 +58,7 @@
 #include "ml/kmeans.h"
 #include "ml/made.h"
 #include "ml/matrix.h"
+#include "ml/packed.h"
 #include "ml/rdc.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -160,6 +175,68 @@ MicroCell MeasureMicroCell(const char* op, size_t m, size_t k, size_t n) {
   return cell;
 }
 
+// ---- packed / quant dense-forward grid ------------------------------------
+
+// One DenseForward shape measured across the three serving tiers: the fast
+// fp32 kernel over row-major weights, the packed-B fp32 kernel, and the int8
+// quant kernel (ml/packed.h). The packed fp32 tier runs the same per-column
+// FMA chains in k order as the unpacked fast tier — bit-identical wherever
+// the unpacked kernel vectorizes — but the unpacked kernel's sub-8-column
+// scalar tail rounds mul+add where the packed lane fuses, so the gate is
+// kMicroTolerance (the reference-vs-fast rounding class), not equality. The
+// quant tier is lossy by construction; the grid reports its max abs output
+// error for visibility, and the end-to-end acceptance gate lives in the naru
+// q-error section below.
+struct PackedCell {
+  size_t m = 0, k = 0, n = 0;
+  double fast_seconds = 0.0;    // unpacked fast DenseForward.
+  double packed_seconds = 0.0;  // packed-B fp32 PackedDenseForward.
+  double quant_seconds = 0.0;   // int8 PackedDenseForward (quant backend).
+  double packed_max_abs = 0.0;
+  double quant_max_abs = 0.0;
+
+  double packed_speedup() const {
+    return packed_seconds > 0.0 ? fast_seconds / packed_seconds : 0.0;
+  }
+  double quant_speedup() const {
+    return quant_seconds > 0.0 ? fast_seconds / quant_seconds : 0.0;
+  }
+};
+
+PackedCell MeasurePackedCell(size_t m, size_t k, size_t n) {
+  PackedCell cell;
+  cell.m = m;
+  cell.k = k;
+  cell.n = n;
+  Rng rng(123);
+  Matrix input, weights;
+  input.Resize(m, k);
+  weights.Resize(k, n);
+  FillRandom(&input, rng);
+  FillRandom(&weights, rng);
+  std::vector<float> bias(n);
+  for (auto& v : bias) v = static_cast<float>(rng.Uniform(-1, 1));
+  PackedDenseWeights packed;
+  packed.Build(weights);
+
+  Matrix out_fast, out_packed, out_quant;
+  ScopedMlKernelBackend fast_scope(MlKernelBackend::kFast);
+  cell.fast_seconds = TimePerCall(
+      [&] { DenseForward(input, weights, bias.data(), true, &out_fast); });
+  cell.packed_seconds = TimePerCall([&] {
+    PackedDenseForward(input, packed, bias.data(), true, &out_packed);
+  });
+  {
+    ScopedMlKernelBackend quant_scope(MlKernelBackend::kQuant);
+    cell.quant_seconds = TimePerCall([&] {
+      PackedDenseForward(input, packed, bias.data(), true, &out_quant);
+    });
+  }
+  cell.packed_max_abs = MaxAbsDiff(out_fast, out_packed);
+  cell.quant_max_abs = MaxAbsDiff(out_fast, out_quant);
+  return cell;
+}
+
 // ---- end-to-end sections --------------------------------------------------
 
 struct Section {
@@ -241,6 +318,43 @@ Section BenchResMadeTrain(size_t steps, size_t batch) {
   return section;
 }
 
+// Serving-tier comparison over the same trained Naru model: the model is
+// packed (PackForServing), then the identical estimate batch is re-timed
+// through the packed-B fp32 path and the int8 quant path. Packed fp32
+// estimates may drift from unpacked-fast estimates only by the usual
+// rounding-order effect (the sub-8-column scalar tail; a flipped sample
+// path moves a query's 128-path mean by O(1/128)), so they share the naru
+// section's divergence tolerance. The quant tier is gated on end-to-end
+// estimate drift measured as per-query q-error factors
+// max(e_q/e_f, e_f/e_q) — selectivities floored at half a row so a
+// near-empty query cannot blow up the ratio — against documented median and
+// p99 budgets (DESIGN.md §10).
+constexpr double kQuantQerrMedianBudget = 1.10;
+constexpr double kQuantQerrP99Budget = 1.50;
+
+struct NaruQuantSection {
+  double fast_seconds = 0.0;    // unpacked fp32 fast (the baseline column).
+  double packed_seconds = 0.0;  // packed-B fp32 serving path.
+  double quant_seconds = 0.0;   // int8 quant serving path.
+  double packed_divergence = 0.0;  // max abs estimate diff packed vs fast.
+  double packed_tolerance = 0.0;   // the naru section's tolerance.
+  double qerr_median = 0.0;
+  double qerr_p99 = 0.0;
+  double qerr_median_budget = kQuantQerrMedianBudget;
+  double qerr_p99_budget = kQuantQerrP99Budget;
+
+  double packed_speedup() const {
+    return packed_seconds > 0.0 ? fast_seconds / packed_seconds : 0.0;
+  }
+  double quant_speedup() const {
+    return quant_seconds > 0.0 ? fast_seconds / quant_seconds : 0.0;
+  }
+  bool ok() const {
+    return packed_divergence <= packed_tolerance &&
+           qerr_median <= qerr_median_budget && qerr_p99 <= qerr_p99_budget;
+  }
+};
+
 // A Naru progressive-sampling estimate batch: the trained model answers
 // `num_queries` range queries, each drawing 128 sample paths column by
 // column through ForwardColumnLogits (the sliced inference path). The model
@@ -248,8 +362,8 @@ Section BenchResMadeTrain(size_t steps, size_t batch) {
 // run the identical estimate batch. Tolerance is looser than the pure
 // matmul bound because a ~1e-5 probability perturbation can flip a sampled
 // path, shifting that query's 128-path mean by O(1/128).
-Section BenchNaruInference(const Table& table, size_t num_queries,
-                           int epochs) {
+Section BenchNaruInference(const Table& table, size_t num_queries, int epochs,
+                           NaruQuantSection* quant) {
   Section section;
   section.name = "naru_inference";
   section.detail = "queries=" + std::to_string(num_queries) +
@@ -287,6 +401,43 @@ Section BenchNaruInference(const Table& table, size_t num_queries,
     section.divergence =
         std::max(section.divergence, std::abs(est_ref[i] - est_fast[i]));
   section.tolerance = 2e-2;
+
+  // Serving tiers: pack the trained model, then re-run the identical batch
+  // through the packed fp32 and int8 quant paths.
+  naru.PackForServing();
+  quant->fast_seconds = section.fast_seconds;
+  std::vector<double> est_packed(queries.size()), est_quant(queries.size());
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kFast);
+    Timer timer;
+    for (size_t i = 0; i < queries.size(); ++i)
+      est_packed[i] = naru.EstimateSelectivity(queries[i]);
+    quant->packed_seconds = timer.ElapsedSeconds();
+  }
+  {
+    ScopedMlKernelBackend scoped(MlKernelBackend::kQuant);
+    Timer timer;
+    for (size_t i = 0; i < queries.size(); ++i)
+      est_quant[i] = naru.EstimateSelectivity(queries[i]);
+    quant->quant_seconds = timer.ElapsedSeconds();
+  }
+  quant->packed_tolerance = section.tolerance;
+  for (size_t i = 0; i < queries.size(); ++i)
+    quant->packed_divergence = std::max(
+        quant->packed_divergence, std::abs(est_packed[i] - est_fast[i]));
+  const double floor =
+      0.5 / static_cast<double>(std::max<size_t>(1, table.num_rows()));
+  std::vector<double> qerrs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double f = std::max(est_fast[i], floor);
+    const double q = std::max(est_quant[i], floor);
+    qerrs[i] = std::max(f / q, q / f);
+  }
+  std::sort(qerrs.begin(), qerrs.end());
+  quant->qerr_median = qerrs[qerrs.size() / 2];
+  quant->qerr_p99 = qerrs[std::min(
+      qerrs.size() - 1,
+      static_cast<size_t>(0.99 * static_cast<double>(qerrs.size())))];
   return section;
 }
 
@@ -352,7 +503,7 @@ struct OtherTiming {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool run_micro = EnvSize("ARECEL_ML_BENCH_MICRO", 1) != 0;
   const bool run_other = EnvSize("ARECEL_ML_BENCH_OTHER", 1) != 0;
   const size_t steps = EnvSize("ARECEL_ML_BENCH_STEPS", 30);
@@ -366,9 +517,23 @@ int main() {
   std::string out_path = ARECEL_REPO_ROOT "/BENCH_ml.json";
   if (const char* env_out = std::getenv("ARECEL_ML_BENCH_OUT"))
     out_path = env_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_micro_ml [--out <path>]\n");
+      return 2;
+    }
+  }
 
+  const std::string cpu_flags = MlCpuFeatureFlags();
   std::printf("== bench_micro_ml: fast vs. reference ML kernels ==\n");
-  std::printf("simd=%s workers=%d\n\n", MlKernelSimdName(),
+  std::printf("backend=%s simd=%s cpu=%s workers=%d\n\n",
+              MlKernelBackendName(ActiveMlKernelBackend()), MlKernelSimdName(),
+              cpu_flags.empty() ? "-" : cpu_flags.c_str(),
               ParallelWorkerCount());
 
   bool all_within = true;
@@ -398,6 +563,33 @@ int main() {
     std::printf("\n");
   }
 
+  // ---- packed / quant dense-forward grid ----------------------------------
+  std::vector<PackedCell> packed_grid;
+  if (run_micro) {
+    std::printf("%-12s %5s %5s %5s %10s %10s %10s %8s %8s %10s %10s\n",
+                "packed", "m", "k", "n", "fast_s", "packed_s", "quant_s",
+                "pspeed", "qspeed", "packed_err", "quant_err");
+    const size_t shapes[][3] = {
+        {256, 256, 256},  // square, cache-resident
+        {512, 64, 64},    // tall-skinny hidden layer
+        {128, 64, 1024},  // wide logits head: the packed-B headline shape
+        {1, 64, 1024},    // single-sample serving logits
+        {511, 67, 33},    // deliberately tile- and lane-unaligned
+    };
+    for (const auto& s : shapes) {
+      PackedCell cell = MeasurePackedCell(s[0], s[1], s[2]);
+      all_within = all_within && cell.packed_max_abs <= kMicroTolerance;
+      std::printf(
+          "%-12s %5zu %5zu %5zu %10.6f %10.6f %10.6f %7.1fx %7.1fx %10.2e "
+          "%10.2e\n",
+          "DenseForward", cell.m, cell.k, cell.n, cell.fast_seconds,
+          cell.packed_seconds, cell.quant_seconds, cell.packed_speedup(),
+          cell.quant_speedup(), cell.packed_max_abs, cell.quant_max_abs);
+      packed_grid.push_back(cell);
+    }
+    std::printf("\n");
+  }
+
   // ---- end-to-end sections ------------------------------------------------
   std::printf("%-16s %12s %12s %9s %10s %8s %-4s\n", "section", "ref_s",
               "fast_s", "speedup", "div", "tol", "ok");
@@ -410,13 +602,28 @@ int main() {
   std::vector<Section> sections;
   sections.push_back(BenchResMadeTrain(steps, batch));
   PrintSection(sections.back());
-  sections.push_back(BenchNaruInference(table, queries, naru_epochs));
+  NaruQuantSection naru_quant;
+  sections.push_back(BenchNaruInference(table, queries, naru_epochs,
+                                        &naru_quant));
   PrintSection(sections.back());
   const Workload workload = GenerateWorkload(table, 400, /*seed=*/21);
   sections.push_back(BenchLwNnTrain(table, workload, lwnn_epochs));
   PrintSection(sections.back());
   for (const Section& s : sections) all_within = all_within && s.within_tolerance();
   std::printf("\n");
+
+  // ---- quant serving tier (end-to-end gate) -------------------------------
+  std::printf("naru serving tiers: fast=%.4fs packed=%.4fs (%.2fx, "
+              "div=%.2e) quant=%.4fs (%.2fx)\n",
+              naru_quant.fast_seconds, naru_quant.packed_seconds,
+              naru_quant.packed_speedup(), naru_quant.packed_divergence,
+              naru_quant.quant_seconds, naru_quant.quant_speedup());
+  std::printf("quant q-error vs fp32 fast: median=%.4f (budget %.2f) "
+              "p99=%.4f (budget %.2f) %s\n\n",
+              naru_quant.qerr_median, naru_quant.qerr_median_budget,
+              naru_quant.qerr_p99, naru_quant.qerr_p99_budget,
+              naru_quant.ok() ? "ok" : "FAIL");
+  all_within = all_within && naru_quant.ok();
 
   // ---- non-matrix substrate (single backend, continuity timings) ----------
   std::vector<OtherTiming> other;
@@ -471,7 +678,10 @@ int main() {
     return 1;
   }
   std::fprintf(out, "{\n  \"bench\": \"bench_micro_ml\",\n");
+  std::fprintf(out, "  \"backend\": \"%s\",\n",
+               MlKernelBackendName(ActiveMlKernelBackend()));
   std::fprintf(out, "  \"simd\": \"%s\",\n", MlKernelSimdName());
+  std::fprintf(out, "  \"cpu\": \"%s\",\n", cpu_flags.c_str());
   std::fprintf(out, "  \"workers\": %d,\n", ParallelWorkerCount());
   auto print_section = [&](const Section& s) {
     std::fprintf(out,
@@ -487,6 +697,21 @@ int main() {
   print_section(sections[0]);
   std::fprintf(out, ",\n    \"naru_inference\": ");
   print_section(sections[1]);
+  std::fprintf(out,
+               ",\n    \"naru_inference_quant\": {\"fast_seconds\": %.6f, "
+               "\"packed_seconds\": %.6f, \"quant_seconds\": %.6f, "
+               "\"packed_speedup\": %.3f, \"quant_speedup\": %.3f, "
+               "\"packed_divergence\": %.3e, \"packed_tolerance\": %.1e, "
+               "\"qerr_median\": %.4f, "
+               "\"qerr_p99\": %.4f, \"qerr_median_budget\": %.2f, "
+               "\"qerr_p99_budget\": %.2f, \"ok\": %s}",
+               naru_quant.fast_seconds, naru_quant.packed_seconds,
+               naru_quant.quant_seconds, naru_quant.packed_speedup(),
+               naru_quant.quant_speedup(), naru_quant.packed_divergence,
+               naru_quant.packed_tolerance,
+               naru_quant.qerr_median, naru_quant.qerr_p99,
+               naru_quant.qerr_median_budget, naru_quant.qerr_p99_budget,
+               naru_quant.ok() ? "true" : "false");
   std::fprintf(out, "\n  },\n");
   std::fprintf(out, "  \"sections\": [");
   for (size_t i = 0; i < sections.size(); ++i) {
@@ -506,6 +731,20 @@ int main() {
                  c.fast_seconds, c.speedup(), c.gflops_fast(), c.divergence);
   }
   std::fprintf(out, "\n  ],\n");
+  std::fprintf(out, "  \"packed_grid\": [");
+  for (size_t i = 0; i < packed_grid.size(); ++i) {
+    const PackedCell& c = packed_grid[i];
+    std::fprintf(out,
+                 "%s\n    {\"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                 "\"fast_seconds\": %.6f, \"packed_seconds\": %.6f, "
+                 "\"quant_seconds\": %.6f, \"packed_speedup\": %.3f, "
+                 "\"quant_speedup\": %.3f, \"packed_max_abs\": %.3e, "
+                 "\"quant_max_abs\": %.3e}",
+                 i == 0 ? "" : ",", c.m, c.k, c.n, c.fast_seconds,
+                 c.packed_seconds, c.quant_seconds, c.packed_speedup(),
+                 c.quant_speedup(), c.packed_max_abs, c.quant_max_abs);
+  }
+  std::fprintf(out, "\n  ],\n");
   std::fprintf(out, "  \"other\": [");
   for (size_t i = 0; i < other.size(); ++i)
     std::fprintf(out, "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}",
@@ -516,8 +755,8 @@ int main() {
 
   if (!all_within) {
     std::fprintf(stderr,
-                 "FAILED: fast-backend output diverged from the reference "
-                 "backend beyond tolerance\n");
+                 "FAILED: a divergence gate tripped (fast-vs-reference "
+                 "tolerance, packed bit-identity, or quant q-error budget)\n");
     return 1;
   }
   return 0;

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Runs the ML-substrate test suites (matrix, dense layers/MLP, ResMADE,
-# Transformer, and the kernel differential suite) under BOTH kernel
-# backends: ARECEL_ML_KERNEL=reference (the historical scalar loops) and
-# ARECEL_ML_KERNEL=fast (SIMD, cache-blocked, fused — the default). Any PR
-# touching src/ml/ should pass this before relying on the full tier-1 gate;
-# a test that passes under one backend and fails under the other almost
-# always means a hidden dependency on summation order (see the
-# accumulation-order caveat in ml/kernels.h).
+# Transformer, the kernel differential suite, and the packed/quant
+# inference-form suite) under ALL THREE kernel backends:
+# ARECEL_ML_KERNEL=reference (the historical scalar loops), fast (SIMD,
+# cache-blocked, fused — the default), and quant (int8 packed-B serving
+# tier; identical to fast wherever no layer holds a pack). Any PR touching
+# src/ml/ should pass this before relying on the full tier-1 gate; a test
+# that passes under one backend and fails under another almost always means
+# a hidden dependency on summation order (see the accumulation-order caveat
+# in ml/kernels.h).
+#
+# On machines with AVX512-VNNI the quant sweep runs twice — once with the
+# dpbusd accumulation and once with ARECEL_ML_VNNI=0 forcing the
+# maddubs form — because the micro-dispatch between them is cached
+# per-process and therefore cannot be swept from inside a test binary.
+# The two runs must agree bit for bit (ml/kernels_avx512.cc).
 #
 # Extra args are forwarded to ctest, e.g.:
 #   scripts/run_ml_backend_tests.sh --verbose
@@ -20,10 +28,15 @@ if [ ! -d "$build_dir" ]; then
 fi
 cmake --build "$build_dir" -j "${ARECEL_BUILD_JOBS:-$(nproc)}"
 
-suites='Matrix|DenseLayer|Mlp|SoftmaxRows|ResMade|Transformer|MlKernels'
-for backend in reference fast; do
+suites='Matrix|DenseLayer|Mlp|SoftmaxRows|ResMade|Transformer|MlKernels|Packed|Quant'
+for backend in reference fast quant; do
   echo "== ARECEL_ML_KERNEL=$backend =="
   ARECEL_ML_KERNEL=$backend ctest --test-dir "$build_dir" \
     --output-on-failure -R "$suites" "$@"
 done
-echo "ML suites pass under both kernel backends."
+if grep -q avx512_vnni /proc/cpuinfo 2>/dev/null; then
+  echo "== ARECEL_ML_KERNEL=quant ARECEL_ML_VNNI=0 (maddubs fallback) =="
+  ARECEL_ML_KERNEL=quant ARECEL_ML_VNNI=0 ctest --test-dir "$build_dir" \
+    --output-on-failure -R "$suites" "$@"
+fi
+echo "ML suites pass under all kernel backends."

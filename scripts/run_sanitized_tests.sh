@@ -44,7 +44,9 @@ if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
     # concurrent inference over shared weights); sweeping sanitized NN
     # training under TSan buys nothing. Include the slow watchdog timeout
     # tests — they are the reason this preset exists.
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback|Store|Maint')
+    # Packed|Quant: the quant serving path's thread_local activation
+    # scratch and parallel-over-rows int8 dispatch (ml/kernels.cc).
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback|Store|Maint|Packed|Quant')
   else
     filter=(-LE slow)
   fi

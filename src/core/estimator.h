@@ -87,6 +87,14 @@ class CardinalityEstimator {
   // fanning it out.
   virtual bool ThreadSafeEstimates() const { return true; }
 
+  // Builds inference-optimized weight forms (packed/quantized, ml/packed.h)
+  // for estimators with a neural backbone; a no-op for everything else.
+  // Called by the serving layer (ModelManager) after a cold load or refresh,
+  // before the model is published — never during training, so training
+  // numerics and goldens are unaffected. Must not run concurrently with
+  // EstimateSelectivity; Train/Update/DeserializeModel drop the packs.
+  virtual void PackForServing() {}
+
   // Optional model persistence (core/model_io.h): estimators that support
   // it can be trained once and served from a saved model file by another
   // process. Defaults report "unsupported".

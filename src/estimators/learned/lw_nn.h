@@ -34,6 +34,10 @@ class LwNnEstimator : public CardinalityEstimator {
   void Update(const Table& table, const UpdateContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  // Packs the regression MLP for inference (ml/packed.h).
+  void PackForServing() override {
+    if (model_ != nullptr) model_->PackForInference();
+  }
 
   // Model persistence: featurizer statistics + dense-layer topology,
   // weights, and biases (Adam moments are training-only state and are not

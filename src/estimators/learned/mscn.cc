@@ -219,6 +219,12 @@ void MscnEstimator::Update(const Table& table, const UpdateContext& context) {
               /*reuse_model=*/true);
 }
 
+void MscnEstimator::PackForServing() {
+  if (pred_mlp_ != nullptr) pred_mlp_->PackForInference();
+  if (sample_mlp_ != nullptr) sample_mlp_->PackForInference();
+  if (out_mlp_ != nullptr) out_mlp_->PackForInference();
+}
+
 double MscnEstimator::EstimateSelectivity(const Query& query) const {
   ARECEL_CHECK_MSG(out_mlp_ != nullptr, "Train() must run first");
   auto* self = const_cast<MscnEstimator*>(this);

@@ -47,6 +47,8 @@ class MscnEstimator : public CardinalityEstimator {
   void Update(const Table& table, const UpdateContext& context) override;
   double EstimateSelectivity(const Query& query) const override;
   size_t SizeBytes() const override;
+  // Packs all three module MLPs for inference (ml/packed.h).
+  void PackForServing() override;
 
   double final_loss() const { return final_loss_; }
 

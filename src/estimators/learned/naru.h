@@ -62,6 +62,11 @@ class NaruEstimator : public CardinalityEstimator {
   size_t SizeBytes() const override;
   // Progressive sampling advances estimate_counter_ per call.
   bool ThreadSafeEstimates() const override { return false; }
+  // Packs the backbone's dense layers — the MADE logits layer slices are
+  // the headline packed-kernel consumer (ml/packed.h).
+  void PackForServing() override {
+    if (model_ != nullptr) model_->PackForInference();
+  }
 
   // Model persistence: column binnings + the autoregressive backbone
   // (either family, via AutoregressiveModel::Serialize) + the inference

@@ -63,6 +63,8 @@ class ResMadeModel : public AutoregressiveModel {
 
   size_t ParamCount() const override { return made_.ParamCount(); }
 
+  void PackForInference() override { made_.PackForInference(); }
+
   void Serialize(ByteWriter* writer) const override {
     writer->U32(kResMadeTag);
     writer->Ints(made_.vocab_sizes());

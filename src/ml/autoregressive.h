@@ -36,6 +36,12 @@ class AutoregressiveModel {
 
   virtual size_t ParamCount() const = 0;
 
+  // Builds the packed/quantized inference-weight forms (ml/packed.h) of the
+  // backbone's dense layers, if the instantiation supports them. Call only
+  // on a model that has finished training and is not concurrently serving
+  // ColumnLogits; further TrainStep calls drop the packs. Default: no-op.
+  virtual void PackForInference() {}
+
   // Persistence (core/model_io.h): writes a backbone tag + structural
   // options + every trainable parameter. Adam moments are training-only
   // state and are not saved; an Update() after a load restarts them.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ml/kernels_simd.h"
+#include "ml/packed.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -33,28 +34,122 @@ std::atomic<int> g_backend{-1};  // -1 = not yet resolved from env.
 [[noreturn]] void DieInvalidBackend(const char* value) {
   std::fprintf(stderr,
                "ARECEL_ML_KERNEL='%s' is not a kernel backend "
-               "(want 'reference' or 'fast')\n",
+               "(want 'reference', 'fast' or 'quant')\n",
                value);
   std::exit(2);
 }
 
-const mlk::KernelOps& FastOps() {
-  static const mlk::KernelOps& ops = []() -> const mlk::KernelOps& {
-    const mlk::KernelOps* avx2 = mlk::Avx2KernelOps();
-#if defined(__x86_64__) || defined(__i386__)
-    if (avx2 != nullptr && __builtin_cpu_supports("avx2") &&
-        __builtin_cpu_supports("fma")) {
-      return *avx2;
-    }
-#else
-    (void)avx2;
-#endif
-    return mlk::PortableKernelOps();
-  }();
-  return ops;
+[[noreturn]] void DieInvalidSimd(const char* value) {
+  std::fprintf(stderr,
+               "ARECEL_ML_SIMD='%s' is not an available SIMD tier on this "
+               "machine/binary (want one of:",
+               value);
+  for (const char* name : AvailableMlKernelIsas())
+    std::fprintf(stderr, " '%s'", name);
+  std::fprintf(stderr, ")\n");
+  std::exit(2);
 }
 
+// True when the running CPU can execute the AVX2+FMA / AVX-512 tiers. The
+// build-time half of the check lives in the per-TU Avx*KernelOps() stubs.
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw");
+#else
+  return false;
+#endif
+}
+
+// ISA tier aliases accepted by ARECEL_ML_SIMD / SetMlKernelIsa. Returns
+// nullptr when the named tier is unknown, not compiled in, or the CPU
+// lacks it.
+const mlk::KernelOps* OpsByName(const char* name) {
+  if (std::strcmp(name, "portable") == 0) return &mlk::PortableKernelOps();
+  if (std::strcmp(name, "avx2") == 0 || std::strcmp(name, "avx2-fma") == 0) {
+    const mlk::KernelOps* ops = mlk::Avx2KernelOps();
+    return (ops != nullptr && CpuHasAvx2Fma()) ? ops : nullptr;
+  }
+  if (std::strcmp(name, "avx512") == 0) {
+    const mlk::KernelOps* ops = mlk::Avx512KernelOps();
+    return (ops != nullptr && CpuHasAvx512()) ? ops : nullptr;
+  }
+  return nullptr;
+}
+
+const mlk::KernelOps* ResolveDefaultOps() {
+  const char* env = std::getenv("ARECEL_ML_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const mlk::KernelOps* ops = OpsByName(env);
+    if (ops == nullptr) DieInvalidSimd(env);
+    return ops;
+  }
+  // Widest tier the binary AND the CPU support wins.
+  if (const mlk::KernelOps* ops = OpsByName("avx512")) return ops;
+  if (const mlk::KernelOps* ops = OpsByName("avx2")) return ops;
+  return &mlk::PortableKernelOps();
+}
+
+// nullptr = not yet resolved. Relaxed ordering suffices: every tier's table
+// is a constant, and resolving twice is idempotent.
+std::atomic<const mlk::KernelOps*> g_ops{nullptr};
+
 }  // namespace
+
+namespace mlk {
+
+const KernelOps& ActiveKernelOps() {
+  const KernelOps* ops = g_ops.load(std::memory_order_relaxed);
+  if (ops == nullptr) {
+    ops = ResolveDefaultOps();
+    g_ops.store(ops, std::memory_order_relaxed);
+  }
+  return *ops;
+}
+
+}  // namespace mlk
+
+bool SetMlKernelIsa(const char* name) {
+  const mlk::KernelOps* ops = OpsByName(name);
+  if (ops == nullptr) return false;
+  g_ops.store(ops, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<const char*> AvailableMlKernelIsas() {
+  std::vector<const char*> names = {"portable"};
+  if (OpsByName("avx2") != nullptr) names.push_back("avx2");
+  if (OpsByName("avx512") != nullptr) names.push_back("avx512");
+  return names;
+}
+
+std::string MlCpuFeatureFlags() {
+  std::string flags;
+#if defined(__x86_64__) || defined(__i386__)
+  const auto append = [&flags](bool supported, const char* name) {
+    if (!supported) return;
+    if (!flags.empty()) flags += ',';
+    flags += name;
+  };
+  append(__builtin_cpu_supports("avx2"), "avx2");
+  append(__builtin_cpu_supports("fma"), "fma");
+  append(__builtin_cpu_supports("avx512f"), "avx512f");
+  append(__builtin_cpu_supports("avx512bw"), "avx512bw");
+  // Not a dispatch tier of its own, but the quant kernels pick dpbusd
+  // accumulation when present — bench headers need it to explain int8
+  // throughput differences across machines.
+  append(__builtin_cpu_supports("avx512vnni"), "avx512vnni");
+#endif
+  return flags;
+}
 
 bool ParseMlKernelBackend(const char* name, MlKernelBackend* out) {
   if (name == nullptr) return false;
@@ -66,7 +161,20 @@ bool ParseMlKernelBackend(const char* name, MlKernelBackend* out) {
     *out = MlKernelBackend::kFast;
     return true;
   }
+  if (std::strcmp(name, "quant") == 0) {
+    *out = MlKernelBackend::kQuant;
+    return true;
+  }
   return false;
+}
+
+const char* MlKernelBackendName(MlKernelBackend backend) {
+  switch (backend) {
+    case MlKernelBackend::kReference: return "reference";
+    case MlKernelBackend::kFast: return "fast";
+    case MlKernelBackend::kQuant: return "quant";
+  }
+  return "unknown";
 }
 
 MlKernelBackend ActiveMlKernelBackend() {
@@ -86,7 +194,7 @@ void SetMlKernelBackend(MlKernelBackend backend) {
   g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
 }
 
-const char* MlKernelSimdName() { return FastOps().name; }
+const char* MlKernelSimdName() { return mlk::ActiveKernelOps().name; }
 
 // ---------------------------------------------------------------------------
 // Portable fast kernels: branch-free blocked loops the compiler can
@@ -148,10 +256,93 @@ void AccumOuterPortable(const float* a, size_t lda, const float* b,
   }
 }
 
+void PackedDenseRowsPortable(const float* a, size_t lda, const float* bp,
+                             size_t k, size_t n, const float* bias, bool relu,
+                             float* out, size_t ldo, size_t i_lo, size_t i_hi,
+                             size_t col_begin, size_t cols) {
+  const size_t col_end = col_begin + cols;
+  const size_t t0 = col_begin / kPackTileCols;
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    const float* a_row = a + i * lda;
+    float* out_row = out + i * ldo;
+    for (size_t t = t0; t * kPackTileCols < col_end; ++t) {
+      const float* tp = bp + t * kPackTileCols * k;
+      const size_t jbase = t * kPackTileCols;
+      // Full 16-wide accumulator even on edge tiles; only the covered
+      // columns are copied out below. One FMA chain per column in k order —
+      // the cross-tier bit-identity contract (ml/kernels_simd.h).
+      float acc[kPackTileCols];
+      for (size_t c = 0; c < kPackTileCols; ++c) {
+        const size_t j = jbase + c;
+        acc[c] = (bias != nullptr && j < n) ? bias[j] : 0.0f;
+      }
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        const float* b_row = tp + kk * kPackTileCols;
+        for (size_t c = 0; c < kPackTileCols; ++c) acc[c] += av * b_row[c];
+      }
+      const size_t c_lo = jbase < col_begin ? col_begin - jbase : 0;
+      const size_t c_hi =
+          col_end - jbase < kPackTileCols ? col_end - jbase : kPackTileCols;
+      for (size_t c = c_lo; c < c_hi; ++c) {
+        float v = acc[c];
+        if (relu && v < 0.0f) v = 0.0f;
+        out_row[jbase + c - col_begin] = v;
+      }
+    }
+  }
+}
+
+void QuantDenseRowsPortable(const uint8_t* aq, size_t lda_q,
+                            const float* a_scales, const int32_t* a_zps,
+                            const int8_t* bq, size_t k_pad, size_t n_pad,
+                            const float* w_scales, const int32_t* w_col_sums,
+                            const float* bias, bool relu, float* out,
+                            size_t ldo, size_t i_lo, size_t i_hi,
+                            size_t col_begin, size_t cols) {
+  (void)n_pad;
+  const size_t col_end = col_begin + cols;
+  const size_t t0 = col_begin / kPackTileCols;
+  for (size_t i = i_lo; i < i_hi; ++i) {
+    const uint8_t* a_row = aq + i * lda_q;
+    float* out_row = out + i * ldo;
+    for (size_t t = t0; t * kPackTileCols < col_end; ++t) {
+      const int8_t* tp = bq + t * kPackTileCols * k_pad;
+      const size_t jbase = t * kPackTileCols;
+      int32_t acc[kPackTileCols] = {0};
+      for (size_t kg = 0; kg < k_pad; kg += kQuantKGroup) {
+        const int8_t* group = tp + kg * kPackTileCols;
+        for (size_t c = 0; c < kPackTileCols; ++c) {
+          const int8_t* wb = group + c * kQuantKGroup;
+          int32_t sum = 0;
+          for (size_t u = 0; u < kQuantKGroup; ++u)
+            sum += static_cast<int32_t>(a_row[kg + u]) *
+                   static_cast<int32_t>(wb[u]);
+          acc[c] += sum;
+        }
+      }
+      const size_t c_lo = jbase < col_begin ? col_begin - jbase : 0;
+      const size_t c_hi =
+          col_end - jbase < kPackTileCols ? col_end - jbase : kPackTileCols;
+      for (size_t c = c_lo; c < c_hi; ++c) {
+        const size_t j = jbase + c;
+        out_row[j - col_begin] =
+            QuantEpilogue(acc[c], a_zps[i], w_col_sums[j], a_scales[i],
+                          w_scales[j], bias != nullptr ? bias[j] : 0.0f, relu);
+      }
+    }
+  }
+}
+
 constexpr KernelOps kPortableOps = {
     DenseRowsPortable,
     DotRowsPortable,
     AccumOuterPortable,
+    PackedDenseRowsPortable,
+    QuantDenseRowsPortable,
+    // Defined in ml/packed.cc, whose compile flags let the range reduction
+    // auto-vectorize at the baseline ISA.
+    QuantizeRowsPortable,
     "portable",
 };
 
@@ -269,7 +460,7 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
     });
     return;
   }
-  const mlk::KernelOps& ops = FastOps();
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
   RunRows(m, k, n, [&](size_t lo, size_t hi) {
     ops.dense_rows(a.data(), k, b.data(), n, /*bias=*/nullptr,
                    /*relu=*/false, out->data(), n, lo, hi, k, n);
@@ -286,7 +477,7 @@ void MatMulBT(const Matrix& a, const Matrix& b, Matrix* out) {
     });
     return;
   }
-  const mlk::KernelOps& ops = FastOps();
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
   RunRows(m, k, n, [&](size_t lo, size_t hi) {
     ops.dot_rows(a.data(), k, b.data(), k, out->data(), n, lo, hi, k, n);
   });
@@ -310,7 +501,7 @@ void MatMulATAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
                             });
     return;
   }
-  const mlk::KernelOps& ops = FastOps();
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
   AccumulateOverSharedDim(
       k, m, n, out, [&](Matrix* dst, size_t lo, size_t hi) {
         ops.accum_outer(a.data(), m, b.data(), n, dst->data(), n, lo, hi, m,
@@ -342,7 +533,7 @@ void DenseForward(const Matrix& input, const Matrix& weights,
     if (relu) ReluInPlace(out);
     return;
   }
-  const mlk::KernelOps& ops = FastOps();
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
   RunRows(m, k, n, [&](size_t lo, size_t hi) {
     ops.dense_rows(input.data(), k, weights.data(), n, bias, relu,
                    out->data(), n, lo, hi, k, n);
@@ -373,12 +564,68 @@ void DenseForwardSlice(const Matrix& input, const Matrix& weights,
     }
     return;
   }
-  const mlk::KernelOps& ops = FastOps();
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
   RunRows(m, k, cols, [&](size_t lo, size_t hi) {
     ops.dense_rows(input.data(), k, weights.data() + col_begin,
                    weights.cols(), bias != nullptr ? bias + col_begin : nullptr,
                    /*relu=*/false, out->data(), cols, lo, hi, k, cols);
   });
+}
+
+namespace {
+
+// Shared core of the packed forwards (ml/packed.h). Quant runs the int8
+// kernels over freshly quantized activations; every other backend runs the
+// packed fp32 kernels — including kReference, whose layer-level callers gate
+// on the backend before reaching here, so a direct call (tests) still has
+// defined behavior.
+void PackedForwardImpl(const Matrix& input, const PackedDenseWeights& packed,
+                       const float* bias, bool relu, size_t col_begin,
+                       size_t cols, Matrix* out) {
+  ARECEL_CHECK(packed.has);
+  const size_t m = input.rows(), k = input.cols();
+  ARECEL_CHECK(k == packed.fp32.rows());
+  ARECEL_CHECK(col_begin + cols <= packed.fp32.cols());
+  out->Resize(m, cols);
+  const mlk::KernelOps& ops = mlk::ActiveKernelOps();
+  if (ActiveMlKernelBackend() == MlKernelBackend::kQuant) {
+    const QuantizedDense& q = packed.q8;
+    // Serving calls this per layer per batch; thread_local scratch keeps the
+    // activation-quantization buffers warm instead of reallocating each call.
+    // Workers inside RunRows only read these, so sharing the caller's
+    // buffers across the chunked dispatch is safe.
+    thread_local std::vector<uint8_t> aq;
+    thread_local std::vector<float> a_scales;
+    thread_local std::vector<int32_t> a_zps;
+    QuantizeActivations(input, q.padded_rows(), &aq, &a_scales, &a_zps);
+    RunRows(m, k, cols, [&](size_t lo, size_t hi) {
+      ops.quant_dense_rows(aq.data(), q.padded_rows(), a_scales.data(),
+                           a_zps.data(), q.data(), q.padded_rows(),
+                           q.padded_cols(), q.scales(), q.col_sums(), bias,
+                           relu, out->data(), cols, lo, hi, col_begin, cols);
+    });
+    return;
+  }
+  RunRows(m, k, cols, [&](size_t lo, size_t hi) {
+    ops.packed_dense_rows(input.data(), k, packed.fp32.data(), k,
+                          packed.fp32.cols(), bias, relu, out->data(), cols,
+                          lo, hi, col_begin, cols);
+  });
+}
+
+}  // namespace
+
+void PackedDenseForward(const Matrix& input, const PackedDenseWeights& packed,
+                        const float* bias, bool relu, Matrix* out) {
+  PackedForwardImpl(input, packed, bias, relu, /*col_begin=*/0,
+                    packed.fp32.cols(), out);
+}
+
+void PackedDenseForwardSlice(const Matrix& input,
+                             const PackedDenseWeights& packed,
+                             const float* bias, size_t col_begin, size_t cols,
+                             Matrix* out) {
+  PackedForwardImpl(input, packed, bias, /*relu=*/false, col_begin, cols, out);
 }
 
 void DenseBackward(const Matrix& input, const Matrix& preact, bool relu,

@@ -2,6 +2,8 @@
 #define ARECEL_ML_KERNELS_H_
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "ml/matrix.h"
 
@@ -15,32 +17,62 @@ namespace arecel {
 //    (tests/ml_kernels_test.cc) and the "reference_seconds" column of
 //    bench_micro_ml / BENCH_ml.json.
 //  * kFast — cache-blocked, branch-free kernels with SIMD inner loops
-//    (AVX2+FMA when the binary and CPU support it, compiler-vectorized
-//    portable loops otherwise) plus fused dense+bias+activation epilogues.
+//    (AVX-512 or AVX2+FMA when the binary and CPU support them,
+//    compiler-vectorized portable loops otherwise) plus fused
+//    dense+bias+activation epilogues.
+//  * kQuant — inference-only int8 serving tier. Identical to kFast for
+//    every training/backward/matmul op; dense FORWARD calls through layers
+//    that hold a packed weight cache (ml/packed.h, built by
+//    PackForInference) run symmetric per-column int8 compute with a fused
+//    dequant epilogue instead of fp32. Layers without a pack — every
+//    training path — stay fp32, so the tier is opt-in per estimator.
 //
-// Selection: `ARECEL_ML_KERNEL=reference|fast` (default fast), read once on
-// first use; SetMlKernelBackend / ScopedMlKernelBackend override it at
-// runtime for tests and benches.
+// Selection: `ARECEL_ML_KERNEL=reference|fast|quant` (default fast), read
+// once on first use; SetMlKernelBackend / ScopedMlKernelBackend override it
+// at runtime for tests and benches.
 //
-// Accumulation-order caveat: the two backends sum in different orders
-// (FMA contraction, per-lane partial sums, register tiling), so outputs
-// agree only to float rounding — tolerances are documented in
-// tests/ml_kernels_test.cc. Switching backends mid-training changes the
-// trajectory the same way a different BLAS would; goldens are frozen
-// against the fast backend.
-enum class MlKernelBackend { kReference, kFast };
+// Accumulation-order caveat: the reference and fast backends sum in
+// different orders (FMA contraction, per-lane partial sums, register
+// tiling), so outputs agree only to float rounding — tolerances are
+// documented in tests/ml_kernels_test.cc. The quant backend is lossy by
+// construction (int8 weights + 7-bit activations); its divergence is gated
+// end-to-end with q-error budgets in bench_micro_ml, not float tolerances.
+// Switching backends mid-training changes the trajectory the same way a
+// different BLAS would; goldens are frozen against the fast backend.
+enum class MlKernelBackend { kReference, kFast, kQuant };
 
 // The active backend (env-derived until overridden). Exits with code 2 on
 // an invalid ARECEL_ML_KERNEL value, mirroring ARECEL_FALLBACK validation.
 MlKernelBackend ActiveMlKernelBackend();
 void SetMlKernelBackend(MlKernelBackend backend);
 
-// Parses "reference" / "fast". Returns false on anything else.
+// Parses "reference" / "fast" / "quant". Returns false on anything else.
 bool ParseMlKernelBackend(const char* name, MlKernelBackend* out);
 
-// ISA tag of the fast path as resolved on this machine/binary:
-// "avx2-fma" or "portable". Independent of the active backend.
+// Stable name of a backend ("reference" / "fast" / "quant"), for stats and
+// bench headers.
+const char* MlKernelBackendName(MlKernelBackend backend);
+
+// ISA tag of the fast/quant path as resolved on this machine/binary:
+// "avx512", "avx2-fma" or "portable". Independent of the active backend.
+// Resolution prefers the widest tier the binary AND the CPU support;
+// `ARECEL_ML_SIMD=avx512|avx2|portable` pins a tier (exit 2 if the named
+// tier is not available — misconfigured pinning should be loud, matching
+// ARECEL_ML_KERNEL validation).
 const char* MlKernelSimdName();
+
+// Re-points the fast/quant dispatch at a named tier ("portable", "avx2",
+// "avx512"). Returns false — leaving dispatch unchanged — when that tier is
+// not compiled in or the CPU lacks it. For tests/benches sweeping tiers.
+bool SetMlKernelIsa(const char* name);
+
+// Names of every tier available on this machine/binary, widest last.
+std::vector<const char*> AvailableMlKernelIsas();
+
+// Runtime CPUID summary of the SIMD features the kernels dispatch on, e.g.
+// "avx2,fma,avx512f,avx512bw" (empty on non-x86). Recorded in BENCH_ml.json
+// headers and ServerStats so cross-machine comparisons are interpretable.
+std::string MlCpuFeatureFlags();
 
 // RAII backend override for tests and benches.
 class ScopedMlKernelBackend {
@@ -55,6 +87,27 @@ class ScopedMlKernelBackend {
 
  private:
   MlKernelBackend saved_;
+};
+
+// RAII ISA-tier override for tests and benches sweeping the dispatch
+// (e.g. the packed/quant differential suite). If the named tier is
+// unavailable, ok() is false and dispatch is left untouched.
+class ScopedMlKernelIsa {
+ public:
+  explicit ScopedMlKernelIsa(const char* name) : saved_(MlKernelSimdName()) {
+    ok_ = SetMlKernelIsa(name);
+  }
+  ~ScopedMlKernelIsa() {
+    if (ok_) SetMlKernelIsa(saved_);
+  }
+  ScopedMlKernelIsa(const ScopedMlKernelIsa&) = delete;
+  ScopedMlKernelIsa& operator=(const ScopedMlKernelIsa&) = delete;
+
+  bool ok() const { return ok_; }
+
+ private:
+  const char* saved_;
+  bool ok_ = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -2,22 +2,34 @@
 #define ARECEL_ML_KERNELS_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace arecel {
 namespace mlk {
 
-// Raw-pointer single-threaded kernel table behind the `fast` ML backend
-// (ml/kernels.h). Two implementations exist: a portable one (plain loops
-// the compiler auto-vectorizes at the baseline ISA) and an AVX2+FMA one
-// compiled in its own translation unit with -mavx2 -mfma and selected at
-// runtime via CPUID. All kernels operate on row-major buffers with an
-// explicit leading dimension (row stride in floats), so callers can slice
-// column windows out of wider matrices (e.g. one column's logit segment of
-// the MADE output layer).
+// Raw-pointer single-threaded kernel table behind the `fast` / `quant` ML
+// backends (ml/kernels.h). Three implementations exist: a portable one
+// (plain loops the compiler auto-vectorizes at the baseline ISA), an
+// AVX2+FMA one, and an AVX-512 one (F+BW), each compiled in its own
+// translation unit with its own ISA flags and selected at runtime via
+// CPUID (override: ARECEL_ML_SIMD). All fp32 kernels operate on row-major
+// buffers with an explicit leading dimension (row stride in floats), so
+// callers can slice column windows out of wider matrices (e.g. one
+// column's logit segment of the MADE output layer).
 //
 // Row-range signatures (i_lo/i_hi, k_lo/k_hi) let the dispatch layer in
 // ml/kernels.cc parallelize over disjoint chunks without the kernels
 // knowing about the thread pool.
+//
+// Numeric contract across tiers: dense_rows, accum_outer,
+// packed_dense_rows keep one FMA chain per output element in k order —
+// lane-independent arithmetic, so the AVX2 and AVX-512 tiers produce
+// bit-identical results (vector width only changes how lanes are grouped).
+// dot_rows reduces across lanes (hadd tree), so the AVX-512 tier reuses
+// the AVX2 algorithm verbatim to keep the fast backend's numerics stable
+// under dispatch. quant_dense_rows accumulates in exact int32, and every
+// tier's dequantization epilogue performs QuantEpilogue's float sequence
+// (scalar or lane-wise), so it is bit-identical across all tiers.
 struct KernelOps {
   // out[i][j] = act(sum_k a[i][k] * b[k][j] + bias[j]) for i in
   // [i_lo, i_hi), j in [0, n). `bias` may be null (treated as zero);
@@ -41,16 +53,102 @@ struct KernelOps {
                       float* out, size_t ldo, size_t k_lo, size_t k_hi,
                       size_t m, size_t n);
 
-  // Human-readable ISA tag ("avx2-fma", "portable") for bench output.
+  // Packed-B dense forward (ml/packed.h layout): `bp` is the tile-packed
+  // buffer of the FULL (k x n) weight matrix, n padded to a multiple of 16.
+  // Computes out rows [i_lo, i_hi) for ABSOLUTE weight columns
+  // [col_begin, col_begin + cols), written at out column 0. `bias` points
+  // at the full unpadded bias vector (length n, may be null); `n` is the
+  // unpadded column count (bias loads near n must not read past it).
+  void (*packed_dense_rows)(const float* a, size_t lda, const float* bp,
+                            size_t k, size_t n, const float* bias, bool relu,
+                            float* out, size_t ldo, size_t i_lo, size_t i_hi,
+                            size_t col_begin, size_t cols);
+
+  // Int8 dense forward over pre-quantized operands (ml/packed.h layout).
+  // `aq` holds per-row u8 activations ([0,127], lda_q = k_pad bytes per
+  // row, pad bytes zero) with per-row scales / zero points; `bq` is the
+  // k-grouped tile-packed int8 weight buffer with per-column scales and
+  // column sums (padded to n_pad columns). Same column-window semantics as
+  // packed_dense_rows; the dequant + bias + relu epilogue runs per column.
+  void (*quant_dense_rows)(const uint8_t* aq, size_t lda_q,
+                           const float* a_scales, const int32_t* a_zps,
+                           const int8_t* bq, size_t k_pad, size_t n_pad,
+                           const float* w_scales, const int32_t* w_col_sums,
+                           const float* bias, bool relu, float* out,
+                           size_t ldo, size_t i_lo, size_t i_hi,
+                           size_t col_begin, size_t cols);
+
+  // Per-row u8 activation quantization (ml/packed.h scheme) for rows
+  // [i_lo, i_hi) of `a`: k payload codes plus zeroed pad bytes up to lda_q
+  // per row into `aq`, one scale / zero point per row. Every tier performs
+  // the identical elementwise float sequence (min/max range including 0,
+  // reciprocal-scale multiply, separate zero-point add, clamp, truncate) —
+  // fp min/max reductions are exactly associative for the finite values
+  // activations take, and lane width never changes per-element rounding, so
+  // codes are bit-identical across tiers. This is the serving-path hot loop
+  // that amortizes worst on narrow column slices (MADE logit segments), so
+  // the SIMD tiers matter: quantization is O(m*k) against an int8 GEMM of
+  // O(m*k*n/width).
+  void (*quantize_rows)(const float* a, size_t lda, size_t k, uint8_t* aq,
+                        size_t lda_q, float* a_scales, int32_t* a_zps,
+                        size_t i_lo, size_t i_hi);
+
+  // Human-readable ISA tag ("avx512", "avx2-fma", "portable").
   const char* name;
 };
+
+// Dequantization epilogue shared by every quant_dense_rows tier: the int32
+// accumulator is exact, so the float sequence here — one multiply by the
+// pre-multiplied scale, then one separate add of bias — fully determines
+// the output. The SIMD tiers vectorize this exact sequence lane-wise
+// (cvtepi32, mul, add; never a fused multiply-add), which keeps quantized
+// outputs bit-identical across portable / AVX2 / AVX-512. Note that
+// splitting mul and add into two statements (or two intrinsics) does NOT
+// by itself stop GCC's default -ffp-contract=fast from fusing them — it
+// contracts across statements and across _mm*_mul/add intrinsics alike —
+// so the implementations place an explicit register barrier between the
+// two operations (see below and the SIMD TUs).
+inline float QuantEpilogue(int32_t acc, int32_t zp, int32_t col_sum,
+                           float a_scale, float w_scale, float bias,
+                           bool relu) {
+  float dq = static_cast<float>(acc - zp * col_sum) * (a_scale * w_scale);
+#if defined(__FMA__) || defined(__AVX512F__)
+  // GCC's default -ffp-contract=fast fuses `dq + bias` into an FMA in any
+  // TU whose ISA has one — the AVX2/AVX-512 kernel TUs' edge-tile paths
+  // inline this function under -mfma/-mavx512f — which would change the
+  // last-bit rounding versus the portable tier and break the cross-tier
+  // bit-identity contract. Forcing dq through a register makes the
+  // multiply's rounding observable, so contraction across it is illegal.
+  // Compiled out at the baseline ISA, where no FMA instruction exists and
+  // the plain expression can auto-vectorize freely.
+  asm("" : "+x"(dq));
+#endif
+  const float v = dq + bias;
+  return (relu && v < 0.0f) ? 0.0f : v;
+}
+
+// The baseline-ISA quantize_rows implementation. Lives in ml/packed.cc,
+// which is compiled with fp-min/max reassociation enabled so the range
+// reduction auto-vectorizes even at the baseline ISA; the portable kernel
+// table points here, and the SIMD tiers replicate its exact arithmetic
+// with intrinsics.
+void QuantizeRowsPortable(const float* a, size_t lda, size_t k, uint8_t* aq,
+                          size_t lda_q, float* a_scales, int32_t* a_zps,
+                          size_t i_lo, size_t i_hi);
 
 // The AVX2+FMA table, or nullptr when the translation unit was not built
 // with AVX2 support (non-x86 target or compiler without -mavx2).
 const KernelOps* Avx2KernelOps();
 
+// The AVX-512 (F+BW) table, or nullptr when unavailable at build time.
+const KernelOps* Avx512KernelOps();
+
 // The portable fallback; always available.
 const KernelOps& PortableKernelOps();
+
+// The runtime-resolved tier (CPUID + ARECEL_ML_SIMD override; see
+// ml/kernels.h). Shared by ml/kernels.cc and ml/packed.cc.
+const KernelOps& ActiveKernelOps();
 
 }  // namespace mlk
 }  // namespace arecel

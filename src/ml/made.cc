@@ -153,11 +153,14 @@ void ResMade::ForwardColumnLogits(const Matrix& input, size_t col,
     layers_[l].Forward(current, &block_out);
     AddInPlace(&current, block_out);
   }
-  // Sliced output matmul over this column's logit segment only.
-  const DenseLayer& out = layers_[last];
-  DenseForwardSlice(current, out.weights(), out.bias().data(),
-                    out_offsets_[col],
-                    static_cast<size_t>(vocab_sizes_[col]), logits);
+  // Sliced output matmul over this column's logit segment only; uses the
+  // packed form of the logits layer when one was built (PackForInference).
+  layers_[last].ForwardSlice(current, out_offsets_[col],
+                             static_cast<size_t>(vocab_sizes_[col]), logits);
+}
+
+void ResMade::PackForInference() {
+  for (DenseLayer& layer : layers_) layer.PackForInference();
 }
 
 float ResMade::TrainStep(const Matrix& input,

@@ -59,6 +59,12 @@ class ResMade {
   void ForwardColumnLogits(const Matrix& input, size_t col,
                            Matrix* logits) const;
 
+  // Builds the packed/quantized inference forms of every layer (ml/packed.h)
+  // — the wide logits layer is the headline winner, its slices being the
+  // strided-B walk the tile-packed form eliminates. Training or raw weight
+  // mutation drops the packs layer-by-layer.
+  void PackForInference();
+
   // One SGD/Adam step on a batch. `targets` holds batch*num_columns codes
   // (row-major). Returns the mean per-row negative log-likelihood (nats).
   float TrainStep(const Matrix& input, const std::vector<int32_t>& targets,

@@ -37,14 +37,36 @@ void DenseLayer::SetMask(Matrix mask) {
                mask.cols() == weights_.cols());
   mask_ = std::move(mask);
   has_mask_ = true;
+  packed_.Clear();
   for (size_t i = 0; i < weights_.size(); ++i)
     weights_.data()[i] *= mask_.data()[i];
 }
 
 void DenseLayer::Forward(const Matrix& input, Matrix* output) const {
+  if (packed_.has &&
+      ActiveMlKernelBackend() != MlKernelBackend::kReference) {
+    PackedDenseForward(input, packed_, bias_.data(),
+                       activation_ == Activation::kRelu, output);
+    return;
+  }
   DenseForward(input, weights_, bias_.data(),
                activation_ == Activation::kRelu, output);
 }
+
+void DenseLayer::ForwardSlice(const Matrix& input, size_t col_begin,
+                              size_t cols, Matrix* out) const {
+  if (packed_.has &&
+      ActiveMlKernelBackend() != MlKernelBackend::kReference) {
+    PackedDenseForwardSlice(input, packed_, bias_.data(), col_begin, cols,
+                            out);
+    return;
+  }
+  DenseForwardSlice(input, weights_, bias_.data(), col_begin, cols, out);
+}
+
+void DenseLayer::PackForInference() { packed_.Build(weights_); }
+
+void DenseLayer::ClearPacked() { packed_.Clear(); }
 
 void DenseLayer::ForwardTrain(const Matrix& input, Matrix* output) {
   cached_input_ = input;
@@ -65,6 +87,7 @@ void DenseLayer::Backward(const Matrix& output_grad, Matrix* input_grad) {
 }
 
 void DenseLayer::AdamStep(float learning_rate) {
+  packed_.Clear();
   ++adam_step_;
   if (has_mask_) {
     for (size_t i = 0; i < weight_grad_.size(); ++i)
@@ -140,6 +163,10 @@ void Mlp::Backward(const Matrix& output_grad, Matrix* input_grad) {
     layers_[i].Backward(grad, dst);
     if (i != 0) grad = prev_grad;
   }
+}
+
+void Mlp::PackForInference() {
+  for (auto& layer : layers_) layer.PackForInference();
 }
 
 void Mlp::AdamStep(float learning_rate) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "ml/packed.h"
 #include "util/archive.h"
 #include "util/random.h"
 
@@ -40,6 +41,21 @@ class DenseLayer {
   // Inference forward; no caches.
   void Forward(const Matrix& input, Matrix* output) const;
 
+  // Sliced inference head: out = input * W[:, col_begin:col_begin+cols) +
+  // b[col_begin:...), no activation — the MADE logits access pattern.
+  void ForwardSlice(const Matrix& input, size_t col_begin, size_t cols,
+                    Matrix* out) const;
+
+  // Builds the packed fp32 + int8 inference forms of the current weights
+  // (ml/packed.h); Forward/ForwardSlice then use them under every
+  // non-reference backend. Call only on a layer that has finished training
+  // and is not concurrently Forward()ing (the serving layer packs before
+  // publishing a model). Any weight mutation — AdamStep, SetMask,
+  // mutable_weights() — drops the pack, so training numerics never change.
+  void PackForInference();
+  void ClearPacked();
+  bool packed() const { return packed_.has; }
+
   // Training forward: caches input and pre-activation for Backward.
   void ForwardTrain(const Matrix& input, Matrix* output);
 
@@ -56,7 +72,12 @@ class DenseLayer {
   size_t out_features() const { return weights_.cols(); }
   size_t ParamCount() const { return weights_.size() + bias_.size(); }
 
-  Matrix& mutable_weights() { return weights_; }
+  // Non-const weight access invalidates the packed forms: callers get a
+  // handle to mutate, so the derived cache can no longer be trusted.
+  Matrix& mutable_weights() {
+    packed_.Clear();
+    return weights_;
+  }
   const Matrix& weights() const { return weights_; }
   std::vector<float>& mutable_bias() { return bias_; }
   const std::vector<float>& bias() const { return bias_; }
@@ -67,6 +88,9 @@ class DenseLayer {
   std::vector<float> bias_;  // (out).
   bool has_mask_ = false;
   Matrix mask_;
+
+  // Derived inference cache (ml/packed.h); empty until PackForInference.
+  PackedDenseWeights packed_;
 
   // Gradients.
   Matrix weight_grad_;
@@ -95,6 +119,9 @@ class Mlp {
 
   void Forward(const Matrix& input, Matrix* output) const;
   void ForwardTrain(const Matrix& input, Matrix* output);
+
+  // Packs every layer for inference (see DenseLayer::PackForInference).
+  void PackForInference();
 
   // Backprop from dL/d(output). When `input_grad` is non-null it receives
   // dL/d(input) — needed when this MLP is an inner module of a larger

@@ -187,8 +187,14 @@ void AutoregressiveTransformer::ForwardBlocks(
     // kernel call; training must keep the pre-activation for backward, so
     // it caches `pre` first and applies ReLU in place afterwards.
     Matrix pre;
-    DenseForward(after_attention, block.w1.value, block.b1.value.Row(0),
-                 /*relu=*/cache == nullptr, &pre);
+    if (cache == nullptr && l < packed_w1_.size() && packed_w1_[l].has &&
+        ActiveMlKernelBackend() != MlKernelBackend::kReference) {
+      PackedDenseForward(after_attention, packed_w1_[l],
+                         block.b1.value.Row(0), /*relu=*/true, &pre);
+    } else {
+      DenseForward(after_attention, block.w1.value, block.b1.value.Row(0),
+                   /*relu=*/cache == nullptr, &pre);
+    }
     if (cache != nullptr) {
       cache->after_attention = after_attention;
       cache->ffn_pre = pre;
@@ -211,6 +217,7 @@ void AutoregressiveTransformer::ForwardBlocks(
 float AutoregressiveTransformer::TrainStep(const std::vector<int32_t>& codes,
                                            size_t batch,
                                            float learning_rate) {
+  ClearPacked();  // Adam will mutate every packed source matrix.
   const size_t n = vocab_sizes_.size();
   ARECEL_CHECK(codes.size() >= batch * n);
 
@@ -407,8 +414,28 @@ void AutoregressiveTransformer::ColumnLogits(const std::vector<int32_t>& codes,
   for (size_t b = 0; b < batch; ++b)
     std::copy(h.Row(b * n + col), h.Row(b * n + col) + d_model_,
               h_col.Row(b));
+  if (col < packed_out_.size() && packed_out_[col].has &&
+      ActiveMlKernelBackend() != MlKernelBackend::kReference) {
+    PackedDenseForward(h_col, packed_out_[col], out_biases_[col].value.Row(0),
+                       /*relu=*/false, logits);
+    return;
+  }
   DenseForward(h_col, out_weights_[col].value, out_biases_[col].value.Row(0),
                /*relu=*/false, logits);
+}
+
+void AutoregressiveTransformer::PackForInference() {
+  packed_out_.resize(out_weights_.size());
+  for (size_t j = 0; j < out_weights_.size(); ++j)
+    packed_out_[j].Build(out_weights_[j].value);
+  packed_w1_.resize(blocks_.size());
+  for (size_t l = 0; l < blocks_.size(); ++l)
+    packed_w1_[l].Build(blocks_[l].w1.value);
+}
+
+void AutoregressiveTransformer::ClearPacked() {
+  packed_out_.clear();
+  packed_w1_.clear();
 }
 
 size_t AutoregressiveTransformer::ParamCount() const {
@@ -470,6 +497,7 @@ void AutoregressiveTransformer::Serialize(ByteWriter* writer) const {
 }
 
 bool AutoregressiveTransformer::DeserializeParams(ByteReader* reader) {
+  ClearPacked();
   if (!ReadParam(reader, &sos_.value) || !ReadParam(reader, &positions_.value))
     return false;
   for (Param& embedding : embeddings_)

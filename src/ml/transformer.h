@@ -6,6 +6,7 @@
 
 #include "ml/autoregressive.h"
 #include "ml/matrix.h"
+#include "ml/packed.h"
 #include "util/random.h"
 
 namespace arecel {
@@ -36,6 +37,11 @@ class AutoregressiveTransformer : public AutoregressiveModel {
                     size_t col, Matrix* logits) const override;
 
   size_t ParamCount() const override;
+
+  // Packs the per-column output heads (d x vocab — the widest matmuls on
+  // the ColumnLogits path) and each block's FFN expansion W1 for inference
+  // (ml/packed.h). TrainStep and DeserializeParams drop the packs.
+  void PackForInference() override;
 
   void Serialize(ByteWriter* writer) const override;
   // Overwrites every parameter from the stream; shapes must match this
@@ -87,6 +93,13 @@ class AutoregressiveTransformer : public AutoregressiveModel {
   std::vector<Param> out_weights_;  // per column, (d x vocab).
   std::vector<Param> out_biases_;   // per column, (1 x vocab).
   int adam_step_ = 0;
+
+  void ClearPacked();
+
+  // Derived inference caches (empty until PackForInference): one pack per
+  // output head, one per block FFN W1.
+  std::vector<PackedDenseWeights> packed_out_;
+  std::vector<PackedDenseWeights> packed_w1_;
 };
 
 }  // namespace arecel

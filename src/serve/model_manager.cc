@@ -206,6 +206,18 @@ std::shared_ptr<const ServedModel> ModelManager::BuildModel(
     }
   }
 
+  // Build the packed/quantized inference-weight forms before publication:
+  // the model is still private to this thread here, so packing cannot race
+  // with inference, and every request served from this ServedModel runs on
+  // the packed fast path (fp32 packed agrees with the unpacked fast kernels
+  // to summation-order rounding, the same class as reference-vs-fast;
+  // ml/kernels_simd.h).
+  model->estimator->PackForServing();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.packed_models;
+  }
+
   model->thread_safe = model->estimator->ThreadSafeEstimates();
   model->train_seconds = timer.ElapsedSeconds();
 

@@ -84,6 +84,7 @@ struct ManagerCounters {
   uint64_t evictions = 0;
   uint64_t corrupt_loads = 0;    // store payloads rejected as corrupt.
   uint64_t saves_enqueued = 0;   // save-backs queued for the worker.
+  uint64_t packed_models = 0;    // models packed for serving (PackForServing).
 };
 
 // A trained model awaiting write-back to the store. The worker serializes

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "ml/kernels.h"
 #include "robustness/guard.h"
 #include "store/maintenance_worker.h"
 #include "store/model_store.h"
@@ -366,6 +367,9 @@ ServerStats EstimatorServer::Stats() const {
   if (feedback_ != nullptr) stats.feedback = feedback_->Stats();
   stats.store_enabled = options_.manager.store != nullptr;
   if (stats.store_enabled) stats.store = options_.manager.store->stats();
+  stats.ml_backend = MlKernelBackendName(ActiveMlKernelBackend());
+  stats.ml_simd = MlKernelSimdName();
+  stats.ml_cpu_flags = MlCpuFeatureFlags();
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.latencies.reserve(latencies_.size());
   for (const auto& [key, window] : latencies_) {

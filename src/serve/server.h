@@ -109,6 +109,13 @@ struct ServerStats {
   std::vector<ModelLatencyStats> latencies;
   bool store_enabled = false;
   store::StoreStats store;  // zero-valued unless store_enabled.
+  // ML compute configuration of this process, so cross-machine serving
+  // numbers are interpretable (ml/kernels.h): the active kernel backend
+  // ("reference"/"fast"/"quant"), the resolved SIMD tier ("avx512"/
+  // "avx2-fma"/"portable"), and the raw CPUID feature flags.
+  std::string ml_backend;
+  std::string ml_simd;
+  std::string ml_cpu_flags;
 };
 
 // In-process cardinality-estimation server: the long-lived path the bench

@@ -319,6 +319,8 @@ TEST(MlKernelsTest, BackendParsing) {
   EXPECT_EQ(backend, MlKernelBackend::kReference);
   EXPECT_TRUE(ParseMlKernelBackend("fast", &backend));
   EXPECT_EQ(backend, MlKernelBackend::kFast);
+  EXPECT_TRUE(ParseMlKernelBackend("quant", &backend));
+  EXPECT_EQ(backend, MlKernelBackend::kQuant);
   EXPECT_FALSE(ParseMlKernelBackend("", &backend));
   EXPECT_FALSE(ParseMlKernelBackend("avx2", &backend));
   EXPECT_FALSE(ParseMlKernelBackend("Fast", &backend));
@@ -340,7 +342,33 @@ TEST(MlKernelsTest, ScopedBackendRestores) {
 
 TEST(MlKernelsTest, SimdNameIsKnownTag) {
   const std::string name = MlKernelSimdName();
-  EXPECT_TRUE(name == "avx2-fma" || name == "portable") << name;
+  EXPECT_TRUE(name == "avx512" || name == "avx2-fma" || name == "portable")
+      << name;
+}
+
+TEST(MlKernelsTest, BackendNames) {
+  EXPECT_STREQ(MlKernelBackendName(MlKernelBackend::kReference), "reference");
+  EXPECT_STREQ(MlKernelBackendName(MlKernelBackend::kFast), "fast");
+  EXPECT_STREQ(MlKernelBackendName(MlKernelBackend::kQuant), "quant");
+}
+
+TEST(MlKernelsTest, IsaSweepRestoresAndRejectsUnknown) {
+  const std::string before = MlKernelSimdName();
+  // Every advertised tier must be selectable, report its own tag, and the
+  // scoped override must restore the previous tier on exit.
+  for (const char* isa : AvailableMlKernelIsas()) {
+    ScopedMlKernelIsa scoped(isa);
+    ASSERT_TRUE(scoped.ok()) << isa;
+    const std::string name = MlKernelSimdName();
+    if (std::string(isa) == "avx2") {
+      EXPECT_EQ(name, "avx2-fma");
+    } else {
+      EXPECT_EQ(name, isa);
+    }
+  }
+  EXPECT_EQ(MlKernelSimdName(), before);
+  EXPECT_FALSE(SetMlKernelIsa("sse9"));
+  EXPECT_EQ(MlKernelSimdName(), before);
 }
 
 TEST(MlKernelsTest, MatrixStorageIs64ByteAligned) {

@@ -97,6 +97,10 @@ bool ParsePredicate(const std::string& token, Predicate* out,
 }
 
 void PrintStats(const arecel::serve::ServerStats& stats) {
+  std::printf("ml:      backend=%s simd=%s cpu=%s packed_models=%llu\n",
+              stats.ml_backend.c_str(), stats.ml_simd.c_str(),
+              stats.ml_cpu_flags.empty() ? "-" : stats.ml_cpu_flags.c_str(),
+              (unsigned long long)stats.manager.packed_models);
   std::printf("server:  requests=%llu batches=%llu deadline=%llu "
               "errors=%llu model_failures=%llu updates=%llu\n",
               (unsigned long long)stats.requests,
