@@ -46,7 +46,9 @@ if [ "${ARECEL_SAN_ALL:-0}" != "1" ]; then
     # tests — they are the reason this preset exists.
     # Packed|Quant: the quant serving path's thread_local activation
     # scratch and parallel-over-rows int8 dispatch (ml/kernels.cc).
-    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback|Store|Maint|Packed|Quant')
+    # Join: the join executor's ParallelFor batch labeling (CountBatch /
+    # Label share read-only synopses across worker threads).
+    filter=(-R 'Robust|Guard|Fault|Journal|Cancel|Scan|Serve|Ml|Feedback|Store|Maint|Packed|Quant|Join')
   else
     filter=(-LE slow)
   fi

@@ -6,10 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "data/schema.h"
 #include "data/table.h"
 #include "util/archive.h"
 #include "util/cancellation.h"
 #include "workload/generator.h"
+#include "workload/join_generator.h"
+#include "workload/join_query.h"
 #include "workload/query.h"
 
 namespace arecel {
@@ -53,6 +56,19 @@ struct UpdateContext {
   int epochs = 1;
 
   uint64_t seed = 43;
+};
+
+// What a join-capable estimator may consume at training time: the full
+// schema (data-driven methods read the tables and FK edges) plus a labelled
+// join workload for query-driven methods. Mirrors TrainContext one level up.
+struct JoinTrainContext {
+  // Labelled join queries; selectivities are Cartesian-product ground truth
+  // over the schema. May be null for data-driven methods.
+  const JoinWorkload* training_workload = nullptr;
+
+  double size_budget_fraction = 0.015;
+  uint64_t seed = 42;
+  const CancellationToken* cancellation = nullptr;
 };
 
 // Common interface of all thirteen estimators in the study.
@@ -107,8 +123,29 @@ class CardinalityEstimator {
     return false;
   }
 
+  // ---- Join capability surface (DESIGN.md §13) -------------------------
+  //
+  // Join-capable estimators (postgres-join, sampling-join, mscn-join)
+  // override all three members below; everything else keeps the defaults
+  // and is skipped by join sweeps via the SupportsJoins() probe, mirroring
+  // how SupportsPersistence gates the model-store sweeps.
+
+  // True when TrainJoin / EstimateJoinSelectivity are implemented.
+  virtual bool SupportsJoins() const { return false; }
+
+  // Trains over a multi-table schema. Only valid when SupportsJoins().
+  virtual void TrainJoin(const Schema& schema, const JoinTrainContext& context);
+
+  // Selectivity of a join query against the Cartesian product of its
+  // tables, in [0, 1]. Only valid when SupportsJoins() after TrainJoin.
+  virtual double EstimateJoinSelectivity(const JoinQuery& query) const;
+
   // Estimated cardinality on a table with `rows` rows, clamped to [0, rows].
   double EstimateCardinality(const Query& query, size_t rows) const;
+
+  // Estimated join result cardinality, clamped to [0, rows product].
+  double EstimateJoinCardinality(const Schema& schema,
+                                 const JoinQuery& query) const;
 };
 
 // Optional capability: estimators that learn from executed-query feedback

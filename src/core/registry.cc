@@ -1,6 +1,9 @@
 #include "core/registry.h"
 
 #include "estimators/extensions/feedback.h"
+#include "estimators/join/independence.h"
+#include "estimators/join/join_sampling.h"
+#include "estimators/join/mscn_join.h"
 #include "estimators/learned/deepdb.h"
 #include "estimators/learned/dqm.h"
 #include "estimators/learned/lw_nn.h"
@@ -42,9 +45,16 @@ std::vector<std::string> AllEstimatorNames() {
   return all;
 }
 
+const std::vector<std::string>& JoinEstimatorNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "postgres-join", "sampling-join", "mscn-join"};
+  return *names;
+}
+
 std::vector<std::string> AllRegistryNames() {
   std::vector<std::string> all = AllEstimatorNames();
   for (const auto& name : ExtendedEstimatorNames()) all.push_back(name);
+  for (const auto& name : JoinEstimatorNames()) all.push_back(name);
   return all;
 }
 
@@ -65,6 +75,9 @@ std::unique_ptr<CardinalityEstimator> MakeEstimator(const std::string& name) {
   if (name == "dqm-d") return std::make_unique<DqmDEstimator>();
   if (name == "feedback-knn") return std::make_unique<FeedbackKnnEstimator>();
   if (name == "feedback-corrected") return MakeFeedbackCorrectedEstimator();
+  if (name == "postgres-join") return MakeJoinIndependenceEstimator();
+  if (name == "sampling-join") return MakeJoinSamplingEstimator();
+  if (name == "mscn-join") return MakeMscnJoinEstimator();
   ARECEL_CHECK_MSG(false, name.c_str());
   return nullptr;
 }

@@ -31,6 +31,14 @@ std::vector<std::string> AllRegistryNames();
 // wide tables — see bench_ablation_backbones and EXPERIMENTS.md.
 const std::vector<std::string>& ExtendedEstimatorNames();
 
+// Join-capable estimators (DESIGN.md §13): every name here constructs an
+// estimator whose SupportsJoins() is true — "postgres-join" (per-table
+// statistics under full independence), "sampling-join" (correlated sampling
+// over FK edges), "mscn-join" (full three-module MSCN). They also satisfy
+// the single-table contract, so they appear in AllRegistryNames() and are
+// swept by the conformance suite like everything else.
+const std::vector<std::string>& JoinEstimatorNames();
+
 // Creates an estimator by name with this repository's default "bench
 // profile" hyper-parameters (scaled-down model sizes / epochs; see
 // DESIGN.md §2 substitution 5). Aborts on an unknown name.

@@ -1,0 +1,37 @@
+#ifndef ARECEL_ESTIMATORS_JOIN_JOIN_SUPPORT_H_
+#define ARECEL_ESTIMATORS_JOIN_JOIN_SUPPORT_H_
+
+#include <string>
+
+#include "data/schema.h"
+#include "workload/generator.h"
+#include "workload/join_generator.h"
+
+namespace arecel {
+
+// Bridge for join-capable estimators serving the single-table contract:
+// Train(table, ...) wraps the table into a degenerate one-table schema and
+// routes through TrainJoin; EstimateSelectivity routes through
+// EstimateJoinSelectivity(SingleTableJoinQuery(...)). That keeps every
+// registry-wide single-table sweep (conformance, property, golden) valid
+// for the join estimators without a second code path.
+
+// Name the wrapped table is registered under ("t" when the table is
+// unnamed — Schema requires non-empty names).
+std::string WrappedTableName(const Table& table);
+
+// Copies `table` into a one-table schema under WrappedTableName(table).
+Schema WrapSingleTable(const Table& table);
+
+// Lifts a labelled single-table workload into a JoinWorkload over `table`
+// (single-table selectivity and Cartesian-product selectivity coincide).
+JoinWorkload WrapSingleTableWorkload(const std::string& table,
+                                     const Workload& workload);
+
+// The star center of `schema`: the table sharing an edge with every other
+// table (the only table of a one-table schema). Aborts on non-star graphs.
+std::string StarCenterTable(const Schema& schema);
+
+}  // namespace arecel
+
+#endif  // ARECEL_ESTIMATORS_JOIN_JOIN_SUPPORT_H_

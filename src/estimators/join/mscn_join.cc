@@ -1,0 +1,382 @@
+#include "estimators/join/mscn_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "estimators/join/join_support.h"
+#include "join/join_executor.h"
+#include "ml/loss.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace arecel {
+
+namespace {
+// Same exponent clip as the single-table MSCN: q-error in log space
+// explodes exponentially, so a badly initialized model must not produce
+// inf gradients.
+constexpr double kMaxLogDiff = 8.0;
+}  // namespace
+
+const MscnJoinEstimator::TableInfo* MscnJoinEstimator::FindInfo(
+    const std::string& name) const {
+  for (const TableInfo& info : tables_)
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+int MscnJoinEstimator::TableInfoIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i)
+    if (tables_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+int MscnJoinEstimator::EdgeIndexOf(const JoinEdge& edge) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const ForeignKey& fk = edges_[i];
+    const bool forward = fk.table == edge.left_table &&
+                         fk.column == edge.left_column &&
+                         fk.ref_table == edge.right_table &&
+                         fk.ref_column == edge.right_column;
+    const bool reverse = fk.table == edge.right_table &&
+                         fk.column == edge.right_column &&
+                         fk.ref_table == edge.left_table &&
+                         fk.ref_column == edge.left_column;
+    if (forward || reverse) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Matrix MscnJoinEstimator::TableFeatures(const JoinQuery& query) const {
+  // Row layout: [table one-hot | per-table sample bitmap].
+  const size_t dim = tables_.size() + options_.sample_size;
+  Matrix features(query.tables.size(), dim);
+  for (size_t t = 0; t < query.tables.size(); ++t) {
+    const TableSlice& slice = query.tables[t];
+    const int idx = TableInfoIndex(slice.table);
+    ARECEL_CHECK_MSG(idx >= 0, slice.table.c_str());
+    const TableInfo& info = tables_[static_cast<size_t>(idx)];
+    float* row = features.Row(t);
+    row[idx] = 1.0f;
+    for (size_t r = 0; r < info.sample_rows && r < options_.sample_size;
+         ++r) {
+      bool match = true;
+      for (const Predicate& p : slice.predicates) {
+        const double v = info.sample[static_cast<size_t>(p.column)][r];
+        if (v < p.lo || v > p.hi) {
+          match = false;
+          break;
+        }
+      }
+      row[tables_.size() + r] = match ? 1.0f : 0.0f;
+    }
+  }
+  return features;
+}
+
+Matrix MscnJoinEstimator::JoinFeatures(const JoinQuery& query) const {
+  const size_t dim = std::max<size_t>(1, edges_.size());
+  if (query.joins.empty()) {
+    // Single-table query: one zero row keeps the pooling well-defined.
+    return Matrix(1, dim);
+  }
+  Matrix features(query.joins.size(), dim);
+  for (size_t j = 0; j < query.joins.size(); ++j) {
+    const int e = EdgeIndexOf(query.joins[j]);
+    ARECEL_CHECK_MSG(e >= 0, "join edge not in the trained schema");
+    features.Row(j)[e] = 1.0f;
+  }
+  return features;
+}
+
+Matrix MscnJoinEstimator::PredicateFeatures(const JoinQuery& query) const {
+  // Row layout per atom:
+  // [(table, column) one-hot | is_eq, is_ge, is_le | normalized literal].
+  const size_t dim = total_cols_ + 4;
+  std::vector<std::vector<float>> atoms;
+  for (const TableSlice& slice : query.tables) {
+    const TableInfo* info = FindInfo(slice.table);
+    ARECEL_CHECK_MSG(info != nullptr, slice.table.c_str());
+    for (const Predicate& p : slice.predicates) {
+      const size_t c = static_cast<size_t>(p.column);
+      ARECEL_CHECK(c < info->col_min.size());
+      const size_t slot = info->col_offset + c;
+      const double span =
+          std::max(info->col_max[c] - info->col_min[c], 1e-12);
+      auto normalize = [&](double v) {
+        return static_cast<float>(
+            std::clamp((v - info->col_min[c]) / span, 0.0, 1.0));
+      };
+      if (p.is_equality()) {
+        std::vector<float> atom(dim, 0.0f);
+        atom[slot] = 1.0f;
+        atom[total_cols_] = 1.0f;
+        atom[total_cols_ + 3] = normalize(p.lo);
+        atoms.push_back(std::move(atom));
+        continue;
+      }
+      // Bounds at or beyond the column's trained domain are vacuous —
+      // dropping their atoms makes a full-domain conjunct featurize
+      // identically to its absence, so the full-domain-noop invariant
+      // holds by construction (the sample bitmap is likewise unmoved).
+      if (!std::isinf(p.lo) && p.lo > info->col_min[c]) {
+        std::vector<float> atom(dim, 0.0f);
+        atom[slot] = 1.0f;
+        atom[total_cols_ + 1] = 1.0f;  // >= lo.
+        atom[total_cols_ + 3] = normalize(p.lo);
+        atoms.push_back(std::move(atom));
+      }
+      if (!std::isinf(p.hi) && p.hi < info->col_max[c]) {
+        std::vector<float> atom(dim, 0.0f);
+        atom[slot] = 1.0f;
+        atom[total_cols_ + 2] = 1.0f;  // <= hi.
+        atom[total_cols_ + 3] = normalize(p.hi);
+        atoms.push_back(std::move(atom));
+      }
+    }
+  }
+  if (atoms.empty()) atoms.emplace_back(dim, 0.0f);
+  Matrix features(atoms.size(), dim);
+  for (size_t i = 0; i < atoms.size(); ++i)
+    std::copy(atoms[i].begin(), atoms[i].end(), features.Row(i));
+  return features;
+}
+
+float MscnJoinEstimator::Forward(const Matrix& table_rows,
+                                 const Matrix& join_rows,
+                                 const Matrix& pred_rows, bool train) {
+  const size_t h = options_.hidden_units;
+  auto pool = [h](Mlp* mlp, const Matrix& in, bool train_mode,
+                  std::vector<float>* out) {
+    Matrix embed;
+    if (train_mode) {
+      mlp->ForwardTrain(in, &embed);
+    } else {
+      mlp->Forward(in, &embed);
+    }
+    out->assign(h, 0.0f);
+    for (size_t r = 0; r < embed.rows(); ++r) {
+      const float* row = embed.Row(r);
+      for (size_t j = 0; j < h; ++j) (*out)[j] += row[j];
+    }
+    const float inv = 1.0f / static_cast<float>(embed.rows());
+    for (float& v : *out) v *= inv;
+  };
+
+  std::vector<float> table_pool, join_pool, pred_pool;
+  pool(table_mlp_.get(), table_rows, train, &table_pool);
+  pool(join_mlp_.get(), join_rows, train, &join_pool);
+  pool(pred_mlp_.get(), pred_rows, train, &pred_pool);
+  if (train) {
+    cached_table_rows_ = table_rows.rows();
+    cached_join_rows_ = join_rows.rows();
+    cached_pred_rows_ = pred_rows.rows();
+  }
+
+  Matrix concat(1, 3 * h);
+  std::copy(table_pool.begin(), table_pool.end(), concat.Row(0));
+  std::copy(join_pool.begin(), join_pool.end(), concat.Row(0) + h);
+  std::copy(pred_pool.begin(), pred_pool.end(), concat.Row(0) + 2 * h);
+  Matrix out;
+  if (train) {
+    out_mlp_->ForwardTrain(concat, &out);
+  } else {
+    out_mlp_->Forward(concat, &out);
+  }
+  return out.At(0, 0);
+}
+
+void MscnJoinEstimator::TrainJoin(const Schema& schema,
+                                  const JoinTrainContext& context) {
+  ARECEL_CHECK_MSG(context.training_workload != nullptr &&
+                       context.training_workload->size() > 0,
+                   "mscn-join is query-driven and needs a labelled workload");
+  // Freeze per-table metadata and materialized samples.
+  tables_.clear();
+  edges_ = schema.foreign_keys();
+  total_cols_ = 0;
+  for (const Table& table : schema.tables()) {
+    TableInfo info;
+    info.name = table.name();
+    info.rows = table.num_rows();
+    info.col_offset = total_cols_;
+    info.col_min.resize(table.num_cols());
+    info.col_max.resize(table.num_cols());
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      info.col_min[c] = table.num_rows() > 0 ? table.column(c).min() : 0.0;
+      info.col_max[c] = table.num_rows() > 0 ? table.column(c).max() : 0.0;
+    }
+    info.sample_rows =
+        std::min(table.num_rows(), options_.sample_size);
+    const Table sample =
+        table.num_rows() > 0
+            ? table.SampleRows(info.sample_rows, context.seed + 99)
+            : Table();
+    info.sample.assign(table.num_cols(),
+                       std::vector<double>(info.sample_rows));
+    for (size_t c = 0; c < sample.num_cols(); ++c) {
+      info.sample[c] = sample.column(c).values;
+    }
+    total_cols_ += table.num_cols();
+    tables_.push_back(std::move(info));
+  }
+  FitWorkload(*context.training_workload, options_.epochs, context.seed,
+              /*reuse_model=*/false);
+}
+
+void MscnJoinEstimator::FitWorkload(const JoinWorkload& workload, int epochs,
+                                    uint64_t seed, bool reuse_model) {
+  const size_t h = options_.hidden_units;
+  const size_t table_dim = tables_.size() + options_.sample_size;
+  const size_t join_dim = std::max<size_t>(1, edges_.size());
+  const size_t pred_dim = total_cols_ + 4;
+  if (!reuse_model || out_mlp_ == nullptr) {
+    Rng init(seed);
+    table_mlp_ = std::make_unique<Mlp>(std::vector<size_t>{table_dim, h, h},
+                                       init);
+    join_mlp_ =
+        std::make_unique<Mlp>(std::vector<size_t>{join_dim, h, h}, init);
+    pred_mlp_ =
+        std::make_unique<Mlp>(std::vector<size_t>{pred_dim, h, h}, init);
+    out_mlp_ =
+        std::make_unique<Mlp>(std::vector<size_t>{3 * h, h, 1}, init);
+  }
+
+  const size_t n = workload.size();
+  // Zero-result queries need a finite log label. Half a Cartesian-product
+  // tuple (0.5 / prod rows) is the principled floor but sits 20+ log units
+  // below every realistic selectivity on a star schema, so each zero query
+  // would saturate the kMaxLogDiff clip and drag the whole model down.
+  // Winsorize instead: floor at half the smallest *positive* training
+  // selectivity, which keeps zero labels "just below everything observed"
+  // while bounding the label range the optimizer must span.
+  double min_positive = 1.0;
+  bool any_positive = false;
+  for (const double sel : workload.selectivities) {
+    if (sel > 0.0) {
+      min_positive = std::min(min_positive, sel);
+      any_positive = true;
+    }
+  }
+  std::vector<Matrix> table_rows(n), join_rows(n), pred_rows(n);
+  std::vector<double> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const JoinQuery& q = workload.queries[i];
+    table_rows[i] = TableFeatures(q);
+    join_rows[i] = JoinFeatures(q);
+    pred_rows[i] = PredicateFeatures(q);
+    double denom = 1.0;
+    for (const TableSlice& slice : q.tables) {
+      const TableInfo* info = FindInfo(slice.table);
+      denom *= static_cast<double>(std::max<size_t>(1, info->rows));
+    }
+    const double floor =
+        std::max(0.5 / denom, any_positive ? 0.5 * min_positive : 0.0);
+    labels[i] = std::log(std::max(workload.selectivities[i], floor));
+  }
+
+  Rng rng(seed + 1);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Stepped decay: full rate for the first half, then 1/2 and 1/4 — the
+    // coarse-to-fine schedule that lets the long tail of epochs sharpen
+    // the fit instead of bouncing around the minimum.
+    const float lr = options_.learning_rate *
+                     (epoch >= 3 * epochs / 4 ? 0.25f
+                      : epoch >= epochs / 2  ? 0.5f
+                                             : 1.0f);
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      const size_t end = std::min(n, start + options_.batch_size);
+      for (size_t i = start; i < end; ++i) {
+        const size_t q = order[i];
+        const float z =
+            Forward(table_rows[q], join_rows[q], pred_rows[q], /*train=*/true);
+        const LossValueGrad loss = QErrorLoss(z, labels[q], kMaxLogDiff);
+        epoch_loss += loss.loss;
+        const float dz = static_cast<float>(
+            loss.dloss_dz / static_cast<double>(end - start));
+        Matrix out_grad(1, 1);
+        out_grad.At(0, 0) = dz;
+        Matrix concat_grad;
+        out_mlp_->Backward(out_grad, &concat_grad);
+        // Fan the three concat segments back through their average pools.
+        auto fan = [&](Mlp* mlp, size_t offset, size_t rows) {
+          Matrix grad(rows, h);
+          const float inv = 1.0f / static_cast<float>(rows);
+          for (size_t r = 0; r < rows; ++r)
+            for (size_t j = 0; j < h; ++j)
+              grad.At(r, j) = concat_grad.At(0, offset + j) * inv;
+          mlp->Backward(grad);
+        };
+        fan(table_mlp_.get(), 0, cached_table_rows_);
+        fan(join_mlp_.get(), h, cached_join_rows_);
+        fan(pred_mlp_.get(), 2 * h, cached_pred_rows_);
+      }
+      table_mlp_->AdamStep(lr);
+      join_mlp_->AdamStep(lr);
+      pred_mlp_->AdamStep(lr);
+      out_mlp_->AdamStep(lr);
+    }
+    final_loss_ = epoch_loss / static_cast<double>(n);
+  }
+}
+
+void MscnJoinEstimator::Train(const Table& table, const TrainContext& context) {
+  ARECEL_CHECK_MSG(context.training_workload != nullptr &&
+                       context.training_workload->size() > 0,
+                   "mscn-join is query-driven and needs a labelled workload");
+  single_table_ = WrappedTableName(table);
+  const Schema schema = WrapSingleTable(table);
+  JoinTrainContext join_context;
+  join_context.seed = context.seed;
+  join_context.size_budget_fraction = context.size_budget_fraction;
+  join_context.cancellation = context.cancellation;
+  const JoinWorkload workload =
+      WrapSingleTableWorkload(single_table_, *context.training_workload);
+  join_context.training_workload = &workload;
+  TrainJoin(schema, join_context);
+}
+
+double MscnJoinEstimator::EstimateJoinSelectivity(
+    const JoinQuery& query) const {
+  ARECEL_CHECK_MSG(out_mlp_ != nullptr, "TrainJoin() must run first");
+  auto* self = const_cast<MscnJoinEstimator*>(this);
+  const float z = self->Forward(TableFeatures(query), JoinFeatures(query),
+                                PredicateFeatures(query), /*train=*/false);
+  return std::clamp(std::exp(static_cast<double>(z)), 0.0, 1.0);
+}
+
+double MscnJoinEstimator::EstimateSelectivity(const Query& query) const {
+  ARECEL_CHECK_MSG(!single_table_.empty(), "Train() must run first");
+  return EstimateJoinSelectivity(SingleTableJoinQuery(single_table_, query));
+}
+
+void MscnJoinEstimator::PackForServing() {
+  for (Mlp* mlp :
+       {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(), out_mlp_.get()}) {
+    if (mlp != nullptr) mlp->PackForInference();
+  }
+}
+
+size_t MscnJoinEstimator::SizeBytes() const {
+  size_t params = 0;
+  if (out_mlp_ != nullptr) {
+    params = table_mlp_->ParamCount() + join_mlp_->ParamCount() +
+             pred_mlp_->ParamCount() + out_mlp_->ParamCount();
+  }
+  size_t samples = 0;
+  for (const TableInfo& info : tables_) {
+    samples += info.sample.size() * info.sample_rows * sizeof(double);
+  }
+  return params * sizeof(float) + samples;
+}
+
+std::unique_ptr<CardinalityEstimator> MakeMscnJoinEstimator() {
+  return std::make_unique<MscnJoinEstimator>();
+}
+
+}  // namespace arecel

@@ -1,0 +1,411 @@
+#include "join/join_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <unordered_set>
+
+#include "scan/block_scan.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace arecel::join {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Star decomposition, shared by the hash executor and the nested-loop oracle.
+
+struct BuildSide {
+  const Table* table = nullptr;
+  int table_index = -1;  // into schema.tables(), for synopsis lookup.
+  int probe_column = 0;  // join column on the probe table.
+  int build_column = 0;  // join column on this build table.
+  const std::vector<Predicate>* predicates = nullptr;
+};
+
+struct StarPlan {
+  const Table* probe = nullptr;
+  int probe_index = -1;
+  const std::vector<Predicate>* probe_predicates = nullptr;
+  std::vector<BuildSide> builds;
+};
+
+void CheckSliceColumns(const Table& table, const TableSlice& slice) {
+  for (const Predicate& p : slice.predicates) {
+    ARECEL_CHECK_MSG(p.column >= 0 &&
+                         static_cast<size_t>(p.column) < table.num_cols(),
+                     "join predicate column out of range");
+  }
+}
+
+StarPlan BuildStarPlan(const Schema& schema, const JoinQuery& query) {
+  ARECEL_CHECK_MSG(!query.tables.empty(), "join query has no tables");
+  std::unordered_set<std::string> seen;
+  for (const TableSlice& slice : query.tables) {
+    ARECEL_CHECK_MSG(seen.insert(slice.table).second,
+                     "table repeated in join query");
+    const Table* t = schema.FindTable(slice.table);
+    ARECEL_CHECK_MSG(t != nullptr, slice.table.c_str());
+    CheckSliceColumns(*t, slice);
+  }
+
+  StarPlan plan;
+  if (query.tables.size() == 1) {
+    ARECEL_CHECK_MSG(query.joins.empty(),
+                     "single-table join query must have no edges");
+    plan.probe = &schema.table(query.tables[0].table);
+    plan.probe_index = schema.TableIndex(query.tables[0].table);
+    plan.probe_predicates = &query.tables[0].predicates;
+    return plan;
+  }
+
+  ARECEL_CHECK_MSG(query.joins.size() == query.tables.size() - 1,
+                   "star join requires exactly n-1 edges");
+  // The probe (star center) is the table that every edge touches.
+  std::string center;
+  for (const std::string& candidate :
+       {query.joins[0].left_table, query.joins[0].right_table}) {
+    bool on_all = true;
+    for (const JoinEdge& e : query.joins) {
+      if (e.left_table != candidate && e.right_table != candidate) {
+        on_all = false;
+        break;
+      }
+    }
+    if (on_all) {
+      center = candidate;
+      break;
+    }
+  }
+  ARECEL_CHECK_MSG(!center.empty(), "join graph is not a star");
+  ARECEL_CHECK_MSG(query.FindTable(center) != nullptr,
+                   "star center missing from query tables");
+  plan.probe = &schema.table(center);
+  plan.probe_index = schema.TableIndex(center);
+  plan.probe_predicates = &query.FindTable(center)->predicates;
+
+  std::unordered_set<std::string> covered;
+  for (const JoinEdge& e : query.joins) {
+    const bool center_left = e.left_table == center;
+    BuildSide side;
+    const std::string& other = center_left ? e.right_table : e.left_table;
+    ARECEL_CHECK_MSG(other != center, "self-join edges are unsupported");
+    ARECEL_CHECK_MSG(covered.insert(other).second,
+                     "table joined by more than one edge");
+    const TableSlice* slice = query.FindTable(other);
+    ARECEL_CHECK_MSG(slice != nullptr, other.c_str());
+    side.table = &schema.table(other);
+    side.table_index = schema.TableIndex(other);
+    side.probe_column = center_left ? e.left_column : e.right_column;
+    side.build_column = center_left ? e.right_column : e.left_column;
+    side.predicates = &slice->predicates;
+    ARECEL_CHECK_MSG(
+        side.probe_column >= 0 && static_cast<size_t>(side.probe_column) <
+                                      plan.probe->num_cols(),
+        "join edge column out of range on probe side");
+    ARECEL_CHECK_MSG(
+        side.build_column >= 0 && static_cast<size_t>(side.build_column) <
+                                      side.table->num_cols(),
+        "join edge column out of range on build side");
+    plan.builds.push_back(side);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressing key -> multiplicity table over double join keys.
+
+uint64_t KeyBits(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0, matching operator==.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class KeyCountTable {
+ public:
+  explicit KeyCountTable(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * expected + 1) cap <<= 1;
+    keys_.assign(cap, 0);
+    counts_.assign(cap, 0);  // count 0 == empty slot.
+    mask_ = cap - 1;
+  }
+
+  void Add(double v) {
+    if (std::isnan(v)) return;  // NaN joins with nothing.
+    const uint64_t bits = KeyBits(v);
+    size_t slot = MixBits(bits) & mask_;
+    while (counts_[slot] != 0 && keys_[slot] != bits) {
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = bits;
+    ++counts_[slot];
+    ++size_;
+  }
+
+  size_t Lookup(double v) const {
+    if (std::isnan(v)) return 0;
+    const uint64_t bits = KeyBits(v);
+    size_t slot = MixBits(bits) & mask_;
+    while (counts_[slot] != 0) {
+      if (keys_[slot] == bits) return counts_[slot];
+      slot = (slot + 1) & mask_;
+    }
+    return 0;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<size_t> counts_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // total multiplicity inserted.
+};
+
+// ---------------------------------------------------------------------------
+// Predicate-filtered block iteration (zone maps + selection vectors).
+
+// Fraction of the column's value range a predicate keeps — the ordering
+// heuristic that evaluates the most selective predicate first.
+double DomainFraction(const Table& table, const Predicate& p) {
+  const Column& col = table.column(static_cast<size_t>(p.column));
+  if (col.domain.empty()) return 1.0;
+  const double span = col.max() - col.min();
+  if (!(span > 0.0)) return p.Matches(col.min()) ? 1.0 : 0.0;
+  const double lo = std::max(p.lo, col.min());
+  const double hi = std::min(p.hi, col.max());
+  if (lo > hi) return 0.0;
+  return (hi - lo) / span;
+}
+
+std::vector<Predicate> OrderBySelectivity(const Table& table,
+                                          const std::vector<Predicate>& preds) {
+  std::vector<Predicate> ordered(preds);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&table](const Predicate& a, const Predicate& b) {
+                     return DomainFraction(table, a) <
+                            DomainFraction(table, b);
+                   });
+  return ordered;
+}
+
+enum class BlockFate { kSkip, kEvaluate, kFullMatch };
+
+BlockFate Classify(const scan::TableSynopsis& syn, size_t block,
+                   const std::vector<Predicate>& preds) {
+  bool full = true;
+  for (const Predicate& p : preds) {
+    if (!syn.CanMatch(block, p)) return BlockFate::kSkip;
+    if (!syn.FullyMatches(block, p)) full = false;
+  }
+  return full ? BlockFate::kFullMatch : BlockFate::kEvaluate;
+}
+
+// Calls fn(row) for every row of `table` that satisfies `preds`, using the
+// same zone-map + selection-vector cascade as the block-scan engine.
+template <typename Fn>
+void ForEachMatch(const Table& table, const scan::TableSynopsis& syn,
+                  const std::vector<Predicate>& preds, Fn&& fn) {
+  const size_t rows = table.num_rows();
+  if (rows == 0) return;
+  ARECEL_CHECK(rows <= std::numeric_limits<uint32_t>::max());
+  if (preds.empty()) {
+    for (uint32_t r = 0; r < rows; ++r) fn(r);
+    return;
+  }
+  const std::vector<Predicate> ordered = OrderBySelectivity(table, preds);
+  const size_t block_size = syn.block_size();
+  std::vector<uint32_t> sel(block_size);
+  for (size_t block = 0; block < syn.num_blocks(); ++block) {
+    const uint32_t begin = static_cast<uint32_t>(block * block_size);
+    const uint32_t end = static_cast<uint32_t>(
+        std::min(rows, (block + 1) * block_size));
+    switch (Classify(syn, block, ordered)) {
+      case BlockFate::kSkip:
+        break;
+      case BlockFate::kFullMatch:
+        for (uint32_t r = begin; r < end; ++r) fn(r);
+        break;
+      case BlockFate::kEvaluate: {
+        size_t n = 0;
+        bool first = true;
+        for (const Predicate& p : ordered) {
+          // Fully-matching predicates cannot prune inside this block.
+          if (syn.FullyMatches(block, p)) continue;
+          const double* values =
+              table.column(static_cast<size_t>(p.column)).values.data();
+          if (first) {
+            n = scan::FilterInterval(values, begin, end, p.lo, p.hi,
+                                     sel.data());
+            first = false;
+          } else {
+            n = scan::RefineInterval(values, p.lo, p.hi, sel.data(), n);
+          }
+          if (n == 0) break;
+        }
+        if (first) {  // every predicate fully matched after all.
+          for (uint32_t r = begin; r < end; ++r) fn(r);
+        } else {
+          for (size_t i = 0; i < n; ++i) fn(sel[i]);
+        }
+        break;
+      }
+    }
+  }
+}
+
+size_t HashJoinCount(const Schema& schema, const JoinQuery& query,
+                     const std::vector<scan::TableSynopsis>& synopses) {
+  if (!query.IsSatisfiable()) return 0;
+  const StarPlan plan = BuildStarPlan(schema, query);
+  if (plan.probe->num_rows() == 0) return 0;
+  for (const BuildSide& side : plan.builds) {
+    if (side.table->num_rows() == 0) return 0;
+  }
+
+  // Build one key -> multiplicity table per dimension.
+  std::vector<KeyCountTable> hashes;
+  hashes.reserve(plan.builds.size());
+  for (const BuildSide& side : plan.builds) {
+    KeyCountTable hash(side.table->num_rows());
+    const double* keys =
+        side.table->column(static_cast<size_t>(side.build_column))
+            .values.data();
+    ForEachMatch(*side.table, synopses[static_cast<size_t>(side.table_index)],
+                 *side.predicates, [&](uint32_t r) { hash.Add(keys[r]); });
+    if (hash.size() == 0) return 0;  // a dimension filtered to nothing.
+    hashes.push_back(std::move(hash));
+  }
+
+  // Probe: each surviving row contributes the product of its key
+  // multiplicities across the build tables.
+  std::vector<const double*> probe_keys;
+  probe_keys.reserve(plan.builds.size());
+  for (const BuildSide& side : plan.builds) {
+    probe_keys.push_back(
+        plan.probe->column(static_cast<size_t>(side.probe_column))
+            .values.data());
+  }
+  size_t total = 0;
+  ForEachMatch(*plan.probe, synopses[static_cast<size_t>(plan.probe_index)],
+               *plan.probe_predicates, [&](uint32_t r) {
+                 size_t contribution = 1;
+                 for (size_t b = 0; b < hashes.size(); ++b) {
+                   contribution *= hashes[b].Lookup(probe_keys[b][r]);
+                   if (contribution == 0) return;
+                 }
+                 total += contribution;
+               });
+  return total;
+}
+
+}  // namespace
+
+JoinExecutor::JoinExecutor(const Schema& schema, JoinExecOptions options)
+    : schema_(&schema), options_(options) {
+  ARECEL_CHECK(options_.block_size > 0);
+  synopses_.reserve(schema.num_tables());
+  for (const Table& t : schema.tables()) {
+    synopses_.emplace_back(t, options_.block_size);
+  }
+}
+
+size_t JoinExecutor::Count(const JoinQuery& query) const {
+  return HashJoinCount(*schema_, query, synopses_);
+}
+
+double JoinExecutor::Selectivity(const JoinQuery& query) const {
+  const double denom = RowsProduct(*schema_, query);
+  if (!(denom > 0.0)) return 0.0;
+  return static_cast<double>(Count(query)) / denom;
+}
+
+std::vector<size_t> JoinExecutor::CountBatch(
+    const std::vector<JoinQuery>& queries) const {
+  std::vector<size_t> counts(queries.size(), 0);
+  ParallelFor(0, queries.size(),
+              [&](size_t i) { counts[i] = Count(queries[i]); });
+  return counts;
+}
+
+std::vector<double> JoinExecutor::Label(
+    const std::vector<JoinQuery>& queries) const {
+  std::vector<double> labels(queries.size(), 0.0);
+  ParallelFor(0, queries.size(),
+              [&](size_t i) { labels[i] = Selectivity(queries[i]); });
+  return labels;
+}
+
+double JoinExecutor::RowsProduct(const Schema& schema,
+                                 const JoinQuery& query) {
+  double product = 1.0;
+  for (const TableSlice& slice : query.tables) {
+    product *= static_cast<double>(schema.table(slice.table).num_rows());
+  }
+  return product;
+}
+
+size_t ExecuteJoinCount(const Schema& schema, const JoinQuery& query) {
+  return JoinExecutor(schema).Count(query);
+}
+
+double ExecuteJoinSelectivity(const Schema& schema, const JoinQuery& query) {
+  return JoinExecutor(schema).Selectivity(query);
+}
+
+std::vector<double> LabelJoinQueries(const Schema& schema,
+                                     const std::vector<JoinQuery>& queries) {
+  return JoinExecutor(schema).Label(queries);
+}
+
+size_t ExecuteJoinCountNaive(const Schema& schema, const JoinQuery& query) {
+  if (!query.IsSatisfiable()) return 0;
+  const StarPlan plan = BuildStarPlan(schema, query);
+  auto row_matches = [](const Table& table,
+                        const std::vector<Predicate>& preds, size_t row) {
+    for (const Predicate& p : preds) {
+      if (!p.Matches(
+              table.column(static_cast<size_t>(p.column)).values[row])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  size_t total = 0;
+  for (size_t r = 0; r < plan.probe->num_rows(); ++r) {
+    if (!row_matches(*plan.probe, *plan.probe_predicates, r)) continue;
+    size_t contribution = 1;
+    for (const BuildSide& side : plan.builds) {
+      const double probe_value =
+          plan.probe->column(static_cast<size_t>(side.probe_column))
+              .values[r];
+      size_t matches = 0;
+      for (size_t s = 0; s < side.table->num_rows(); ++s) {
+        const double build_value =
+            side.table->column(static_cast<size_t>(side.build_column))
+                .values[s];
+        if (build_value == probe_value &&
+            row_matches(*side.table, *side.predicates, s)) {
+          ++matches;
+        }
+      }
+      contribution *= matches;
+      if (contribution == 0) break;
+    }
+    total += contribution;
+  }
+  return total;
+}
+
+}  // namespace arecel::join

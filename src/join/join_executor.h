@@ -1,0 +1,75 @@
+#ifndef ARECEL_JOIN_JOIN_EXECUTOR_H_
+#define ARECEL_JOIN_JOIN_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/schema.h"
+#include "scan/synopsis.h"
+#include "workload/join_query.h"
+
+namespace arecel::join {
+
+// Exact ground-truth execution of star join queries (DESIGN.md §13).
+//
+// The executor decomposes a JoinQuery into one probe table (the star's
+// center — the table every join edge touches) and one build side per other
+// table, then runs a textbook build-side hash join:
+//  1. each build table is scanned with its per-table predicates through the
+//     block-scan selection-vector cascade (zone-map pruning included), and
+//     the surviving rows' key values feed an open-addressing hash table of
+//     key -> multiplicity;
+//  2. the probe table is scanned the same way with its own predicates; each
+//     surviving row contributes the product of its key lookups across the
+//     build tables.
+// With PK–FK integrity every multiplicity is 0 or 1, but the executor is
+// deliberately general (duplicate build keys multiply), so the
+// nested-loop reference below is a true differential oracle for fan-out
+// cases too. Counts are exact integers, bit-identical to the reference by
+// construction; tests/join_executor_test.cc enforces that differentially.
+struct JoinExecOptions {
+  size_t block_size = scan::kDefaultBlockSize;
+};
+
+class JoinExecutor {
+ public:
+  // The schema must outlive the executor (synopses point into its tables).
+  explicit JoinExecutor(const Schema& schema, JoinExecOptions options = {});
+
+  // Exact COUNT(*) of `query`. Aborts on malformed queries (unknown
+  // tables, non-star join graphs, out-of-range columns).
+  size_t Count(const JoinQuery& query) const;
+
+  // Count / product of participating table row counts, in [0, 1]; 0 when
+  // any participating table is empty.
+  double Selectivity(const JoinQuery& query) const;
+
+  // Batch labeling, parallelized over queries (each Count is a pure read).
+  std::vector<size_t> CountBatch(const std::vector<JoinQuery>& queries) const;
+  std::vector<double> Label(const std::vector<JoinQuery>& queries) const;
+
+  // Cartesian-product denominator of `query` over `schema`.
+  static double RowsProduct(const Schema& schema, const JoinQuery& query);
+
+ private:
+  const Schema* schema_;
+  JoinExecOptions options_;
+  std::vector<scan::TableSynopsis> synopses_;  // aligned with schema tables.
+};
+
+// One-shot conveniences (no synopsis amortization across queries).
+size_t ExecuteJoinCount(const Schema& schema, const JoinQuery& query);
+double ExecuteJoinSelectivity(const Schema& schema, const JoinQuery& query);
+std::vector<double> LabelJoinQueries(const Schema& schema,
+                                     const std::vector<JoinQuery>& queries);
+
+// Differential oracle: row-at-a-time nested loops over the same star
+// decomposition, with Predicate::Matches as the interval oracle and plain
+// double equality as the join condition. Shares no scan or hash machinery
+// with JoinExecutor — the "naive" side of the differential suite and of
+// bench_join.
+size_t ExecuteJoinCountNaive(const Schema& schema, const JoinQuery& query);
+
+}  // namespace arecel::join
+
+#endif  // ARECEL_JOIN_JOIN_EXECUTOR_H_

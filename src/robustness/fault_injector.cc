@@ -200,6 +200,40 @@ double FaultInjector::EstimateSelectivity(const Query& query) const {
   return base_->EstimateSelectivity(query);
 }
 
+void FaultInjector::TrainJoin(const Schema& schema,
+                              const JoinTrainContext& context) {
+  const int call = train_calls_.fetch_add(1);
+  if (const FaultSpec* fault = Fire(FaultStage::kTrain, call))
+    ApplyTrainFault(*fault, context.cancellation);
+  base_->TrainJoin(schema, context);
+}
+
+double FaultInjector::EstimateJoinSelectivity(const JoinQuery& query) const {
+  const int call = estimate_calls_.fetch_add(1);
+  if (const FaultSpec* fault = Fire(FaultStage::kEstimate, call)) {
+    switch (fault->action) {
+      case FaultAction::kThrow:
+        throw std::runtime_error("injected estimate fault");
+      case FaultAction::kHang:
+        SlicedSleep(fault->hang_cap_seconds, nullptr);
+        throw std::runtime_error("injected estimate hang hit its cap");
+      case FaultAction::kDelay:
+        SlicedSleep(fault->delay_seconds, nullptr);
+        break;  // then answer normally.
+      case FaultAction::kNan:
+        return std::numeric_limits<double>::quiet_NaN();
+      case FaultAction::kInf:
+        return std::numeric_limits<double>::infinity();
+      case FaultAction::kNegative:
+        return -0.5;
+      default:
+        throw std::runtime_error(
+            "fault action not applicable to estimate stage");
+    }
+  }
+  return base_->EstimateJoinSelectivity(query);
+}
+
 bool FaultInjector::SerializeModel(ByteWriter* writer) const {
   const int call = serialize_calls_.fetch_add(1);
   if (const FaultSpec* fault = Fire(FaultStage::kSerialize, call)) {

@@ -76,6 +76,13 @@ class FaultInjector : public CardinalityEstimator {
   bool SerializeModel(ByteWriter* writer) const override;
   bool DeserializeModel(ByteReader* reader) override;
 
+  // Join calls share the train/estimate fault stages and counters, so one
+  // plan drives bench_join's fault cells too.
+  bool SupportsJoins() const override { return base_->SupportsJoins(); }
+  void TrainJoin(const Schema& schema,
+                 const JoinTrainContext& context) override;
+  double EstimateJoinSelectivity(const JoinQuery& query) const override;
+
   int train_calls() const { return train_calls_.load(); }
   int estimate_calls() const { return estimate_calls_.load(); }
 

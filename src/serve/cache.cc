@@ -30,23 +30,92 @@ void AppendBound(std::string* out, double v) {
 // overhead. Exactness does not matter — the knob is "roughly N MB".
 size_t EntryBytes(const std::string& key) { return key.size() + 96; }
 
-}  // namespace
+// Table-set identifier: table count, then each name '\x1f'-terminated (the
+// caller passes them sorted). A single-table Query uses one anonymous
+// table, so its prefix (count 1, empty name) can never equal a join
+// query's (count >= 2, or count 1 with a non-empty name) — the fix for the
+// single-vs-join fingerprint aliasing.
+void AppendTableSetPrefix(std::string* out,
+                          const std::vector<std::string>& sorted_names) {
+  const uint32_t count = static_cast<uint32_t>(sorted_names.size());
+  AppendRaw(out, &count, sizeof(count));
+  for (const std::string& name : sorted_names) {
+    *out += name;
+    *out += '\x1f';
+  }
+}
 
-std::string CanonicalPredicateKey(const Query& query) {
-  std::vector<Predicate> sorted = query.predicates;
+void AppendPredicateBytes(std::string* out,
+                          const std::vector<Predicate>& predicates) {
+  std::vector<Predicate> sorted = predicates;
   std::sort(sorted.begin(), sorted.end(),
             [](const Predicate& a, const Predicate& b) {
               if (a.column != b.column) return a.column < b.column;
               if (a.lo != b.lo) return a.lo < b.lo;
               return a.hi < b.hi;
             });
-  std::string key;
-  key.reserve(sorted.size() * (sizeof(int32_t) + 2 * sizeof(double)));
   for (const Predicate& p : sorted) {
     const int32_t column = p.column;
-    AppendRaw(&key, &column, sizeof(column));
-    AppendBound(&key, p.lo);
-    AppendBound(&key, p.hi);
+    AppendRaw(out, &column, sizeof(column));
+    AppendBound(out, p.lo);
+    AppendBound(out, p.hi);
+  }
+}
+
+}  // namespace
+
+std::string CanonicalPredicateKey(const Query& query) {
+  std::string key;
+  key.reserve(sizeof(uint32_t) + 1 +
+              query.predicates.size() * (sizeof(int32_t) + 2 * sizeof(double)));
+  AppendTableSetPrefix(&key, {std::string()});
+  AppendPredicateBytes(&key, query.predicates);
+  return key;
+}
+
+std::string CanonicalJoinKey(const JoinQuery& query) {
+  const std::vector<std::string> names = query.SortedTableNames();
+  std::string key;
+  AppendTableSetPrefix(&key, names);
+  for (const std::string& name : names) {
+    key += name;
+    key += '\x1f';
+    const TableSlice* slice = query.FindTable(name);
+    AppendPredicateBytes(&key, slice->predicates);
+    key += '\x1f';
+  }
+  // Edges: order each edge's endpoints, then sort the edge list, so the
+  // fingerprint is insensitive to edge orientation and order.
+  struct Endpoint {
+    std::string table;
+    int32_t column;
+  };
+  std::vector<std::pair<Endpoint, Endpoint>> edges;
+  edges.reserve(query.joins.size());
+  for (const JoinEdge& e : query.joins) {
+    Endpoint left{e.left_table, e.left_column};
+    Endpoint right{e.right_table, e.right_column};
+    const bool ordered = left.table < right.table ||
+                         (left.table == right.table &&
+                          left.column <= right.column);
+    if (!ordered) std::swap(left, right);
+    edges.emplace_back(std::move(left), std::move(right));
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.first.table != b.first.table) return a.first.table < b.first.table;
+    if (a.first.column != b.first.column)
+      return a.first.column < b.first.column;
+    if (a.second.table != b.second.table)
+      return a.second.table < b.second.table;
+    return a.second.column < b.second.column;
+  });
+  for (const auto& [left, right] : edges) {
+    key += left.table;
+    key += '\x1f';
+    AppendRaw(&key, &left.column, sizeof(left.column));
+    key += right.table;
+    key += '\x1f';
+    AppendRaw(&key, &right.column, sizeof(right.column));
   }
   return key;
 }
@@ -63,6 +132,18 @@ std::string EstimateCacheKey(const std::string& dataset,
   key += '\x1f';
   AppendRaw(&key, &data_version, sizeof(data_version));
   key += CanonicalPredicateKey(query);
+  return key;
+}
+
+std::string JoinEstimateCacheKey(const std::string& dataset,
+                                 const std::string& estimator,
+                                 uint64_t data_version,
+                                 const JoinQuery& query) {
+  std::string key = DatasetKeyPrefix(dataset);
+  key += estimator;
+  key += '\x1f';
+  AppendRaw(&key, &data_version, sizeof(data_version));
+  key += CanonicalJoinKey(query);
   return key;
 }
 

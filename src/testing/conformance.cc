@@ -21,14 +21,18 @@ enum class Exactness { kExact, kNumeric, kStochastic };
 
 Exactness ExactnessOf(const std::string& name) {
   if (name == "postgres" || name == "mysql" || name == "dbms-a" ||
-      name == "sampling" || name == "mhist") {
+      name == "sampling" || name == "mhist" || name == "postgres-join" ||
+      name == "sampling-join") {
+    // The two non-neural join estimators answer from frozen statistics /
+    // frozen samples, so their single-table invariants hold to float noise.
     return Exactness::kExact;
   }
   if (name == "bayes" || name == "kde-fb" || name == "quicksel" ||
       name == "deepdb") {
     return Exactness::kNumeric;
   }
-  // mscn, lw-nn, lw-xgb, naru, dqm-d, feedback-knn, feedback-corrected.
+  // mscn, mscn-join, lw-nn, lw-xgb, naru, dqm-d, feedback-knn,
+  // feedback-corrected.
   // The feedback pair is deterministic, but its kNN store interpolates
   // between remembered truths, which bends local monotonicity like a
   // learned model does.
@@ -49,6 +53,13 @@ InvariantTolerance MonotonicityToleranceFor(const std::string& estimator) {
   // improves is welcome.
   if (estimator == "feedback-knn" || estimator == "feedback-corrected")
     return {.relative = 2.0, .absolute = 0.15};
+  // mscn-join's single-table bridge runs the full three-module network at
+  // 4x the single-table mscn's training budget (160 epochs, stepped LR),
+  // and the sharper fit bends local monotonicity harder (worst observed
+  // excess 0.17 over the stochastic default). Frozen at dqm-d's envelope;
+  // its full-domain no-op stays bit-exact (vacuous atoms are dropped at
+  // featurization), so only this invariant gets the wider band.
+  if (estimator == "mscn-join") return {.relative = 2.0, .absolute = 0.15};
   switch (ExactnessOf(estimator)) {
     case Exactness::kExact:
       return {.relative = 1e-9, .absolute = 1e-9};
@@ -103,6 +114,17 @@ ConformanceFixture BuildConformanceFixture(const ConformanceOptions& options) {
       GenerateWorkload(fixture.table, options.train_queries, options.seed + 1);
   fixture.probes = GenerateQueries(fixture.table, options.probe_queries,
                                    options.seed + 2);
+
+  // Star fixture for the join invariants: correlated and skewed, like the
+  // bench_join workload, but small enough to train per invariant.
+  StarSchemaOptions star;
+  star.fact_rows = options.star_fact_rows;
+  star.dim_rows = options.star_dim_rows;
+  fixture.star = GenerateStarSchema(star, options.seed + 10);
+  fixture.join_train = GenerateJoinWorkload(
+      fixture.star, options.join_train_queries, options.seed + 11);
+  fixture.join_probes = GenerateJoinQueries(
+      fixture.star, options.join_probe_queries, options.seed + 12);
   return fixture;
 }
 
@@ -166,6 +188,14 @@ ConformanceReport RunConformance(const std::string& estimator_name,
       estimator_name, fixture.table, fixture.train, options.seed + 6));
   report.results.push_back(CheckFeedbackDynamicConvergence(
       estimator_name, fixture.table, fixture.train, options.seed + 7));
+  // Join invariants: skipped (= passed) for estimators without join
+  // support, so the sweep stays total over the registry.
+  report.results.push_back(CheckJoinSelectivityBounds(
+      estimator_name, fixture.star, fixture.join_train, fixture.join_probes,
+      options.seed + 8));
+  report.results.push_back(CheckJoinDeterminism(
+      estimator_name, fixture.star, fixture.join_train, fixture.join_probes,
+      options.seed + 9));
   return report;
 }
 

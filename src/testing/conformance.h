@@ -5,20 +5,24 @@
 #include <string>
 #include <vector>
 
+#include "data/schema.h"
 #include "data/table.h"
 #include "testing/invariants.h"
 #include "workload/generator.h"
+#include "workload/join_generator.h"
 
 namespace arecel {
 
 // The estimator conformance suite: every name in AllRegistryNames() is run
 // against the same pinned fixture and the full set of metamorphic
 // invariants (bounds, tightening monotonicity, full-domain no-op,
-// fixed-seed determinism, save/load round-trip, plus the three feedback
+// fixed-seed determinism, save/load round-trip, the three feedback
 // invariants — monotonicity under repeated truths, prequential
 // replay-not-worse, dynamic convergence — which apply to FeedbackSink
-// estimators and report skipped for the rest). This is the behavioral
-// contract future perf PRs — batching, caching, sharding — must preserve;
+// estimators and report skipped for the rest, plus the two join invariants
+// — join-bounds and join-determinism — which apply to SupportsJoins()
+// estimators the same way). This is the behavioral contract future perf
+// PRs — batching, caching, sharding — must preserve;
 // tests/conformance_test.cc turns each report into a tier-1 gate.
 
 struct ConformanceOptions {
@@ -30,6 +34,12 @@ struct ConformanceOptions {
   size_t probe_queries = 80;
   size_t metamorphic_trials = 40;
   std::string temp_dir = "/tmp";
+  // Star fixture for the join invariants (kept small: the fixture is built
+  // once but the join-capable estimators train on it per invariant).
+  size_t star_fact_rows = 2000;
+  size_t star_dim_rows = 64;
+  size_t join_train_queries = 120;
+  size_t join_probe_queries = 30;
 };
 
 // The pinned inputs every estimator faces. Built once and shared so the
@@ -38,6 +48,10 @@ struct ConformanceFixture {
   Table table;
   Workload train;
   std::vector<Query> probes;
+  // Pinned star-schema fixture for the join invariants.
+  Schema star;
+  JoinWorkload join_train;
+  std::vector<JoinQuery> join_probes;
 };
 
 ConformanceFixture BuildConformanceFixture(const ConformanceOptions& options);

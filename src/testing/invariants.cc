@@ -8,6 +8,7 @@
 #include "core/model_io.h"
 #include "core/registry.h"
 #include "data/datasets.h"
+#include "join/join_executor.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -219,6 +220,81 @@ InvariantResult CheckDeterminism(const std::string& name, const Table& table,
                           std::to_string(first_estimates[i]) + " vs " +
                           std::to_string(replay) + " for " +
                           QuerySummary(probes[i]));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::unique_ptr<CardinalityEstimator> TrainFreshJoin(const std::string& name,
+                                                     const Schema& schema,
+                                                     const JoinWorkload& train,
+                                                     uint64_t seed) {
+  auto estimator = MakeEstimator(name);
+  JoinTrainContext context;
+  context.training_workload = &train;
+  context.seed = seed;
+  estimator->TrainJoin(schema, context);
+  return estimator;
+}
+
+}  // namespace
+
+InvariantResult CheckJoinSelectivityBounds(
+    const std::string& name, const Schema& schema, const JoinWorkload& train,
+    const std::vector<JoinQuery>& probes, uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "join-bounds";
+  result.trials = probes.size();
+  if (!MakeEstimator(name)->SupportsJoins()) {
+    result.skipped = true;
+    result.detail = "estimator does not support joins";
+    return result;
+  }
+  auto estimator = TrainFreshJoin(name, schema, train, seed);
+  for (const JoinQuery& query : probes) {
+    const double sel = estimator->EstimateJoinSelectivity(query);
+    const double denom = join::JoinExecutor::RowsProduct(schema, query);
+    const double card = estimator->EstimateJoinCardinality(schema, query);
+    if (!std::isfinite(sel) || sel < 0.0 || sel > 1.0 || card < 0.0 ||
+        card > denom) {
+      const double excess =
+          std::isfinite(sel) ? std::max(sel - 1.0, -sel) : 1.0;
+      RecordViolation(&result, excess,
+                      "join selectivity " + std::to_string(sel) + " for " +
+                          query.ToString());
+    }
+  }
+  return result;
+}
+
+InvariantResult CheckJoinDeterminism(const std::string& name,
+                                     const Schema& schema,
+                                     const JoinWorkload& train,
+                                     const std::vector<JoinQuery>& probes,
+                                     uint64_t seed) {
+  InvariantResult result;
+  result.invariant = "join-determinism";
+  result.trials = probes.size();
+  if (!MakeEstimator(name)->SupportsJoins()) {
+    result.skipped = true;
+    result.detail = "estimator does not support joins";
+    return result;
+  }
+  auto first = TrainFreshJoin(name, schema, train, seed);
+  auto second = TrainFreshJoin(name, schema, train, seed);
+  std::vector<double> first_estimates(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i)
+    first_estimates[i] = first->EstimateJoinSelectivity(probes[i]);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const double replay = second->EstimateJoinSelectivity(probes[i]);
+    if (replay != first_estimates[i]) {
+      RecordViolation(&result, std::fabs(replay - first_estimates[i]),
+                      "join probe " + std::to_string(i) + ": " +
+                          std::to_string(first_estimates[i]) + " vs " +
+                          std::to_string(replay) + " for " +
+                          probes[i].ToString());
     }
   }
   return result;

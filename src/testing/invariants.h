@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "data/schema.h"
 #include "data/table.h"
 #include "workload/generator.h"
+#include "workload/join_generator.h"
 
 namespace arecel {
 
@@ -74,6 +76,30 @@ InvariantResult CheckSaveLoadRoundTrip(const std::string& name,
                                        const std::vector<Query>& probes,
                                        uint64_t seed,
                                        const std::string& temp_dir);
+
+// ---- Join invariants (DESIGN.md §13) ----
+//
+// The two checkers below apply only to estimators whose SupportsJoins() is
+// true (postgres-join, sampling-join, mscn-join); every other registry name
+// reports skipped=true, which counts as passed — join capability is a
+// capability, not an obligation, mirroring the feedback invariants.
+
+// Join bounds: after TrainJoin over the star fixture, every join probe's
+// selectivity is a finite value in [0, 1] and the derived cardinality lies
+// in [0, product of participating table row counts].
+InvariantResult CheckJoinSelectivityBounds(const std::string& name,
+                                           const Schema& schema,
+                                           const JoinWorkload& train,
+                                           const std::vector<JoinQuery>& probes,
+                                           uint64_t seed);
+
+// Join determinism: two fresh instances trained via TrainJoin with the same
+// seed must answer an identical join probe sequence bit-identically.
+InvariantResult CheckJoinDeterminism(const std::string& name,
+                                     const Schema& schema,
+                                     const JoinWorkload& train,
+                                     const std::vector<JoinQuery>& probes,
+                                     uint64_t seed);
 
 // ---- Feedback invariants (DESIGN.md §11) ----
 //

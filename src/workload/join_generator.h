@@ -1,0 +1,56 @@
+#ifndef ARECEL_WORKLOAD_JOIN_GENERATOR_H_
+#define ARECEL_WORKLOAD_JOIN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "workload/generator.h"
+#include "workload/join_query.h"
+
+namespace arecel {
+
+// Multi-table extension of the unified workload generator (DESIGN.md §13).
+//
+// Every query joins the schema's star center (the table on the referencing
+// side of every foreign key) with a random subset of its dimensions along
+// the schema's FK edges; predicates are drawn per participating table on
+// payload columns only (join-key columns, per Schema::IsKeyColumn, never
+// get predicates — they are constrained by the join itself). Center and
+// width of each predicate follow the single-table generator's way ①/way ②
+// machinery, reusing WorkloadOptions.
+struct JoinWorkloadOptions {
+  int min_dimensions = 1;  // joined dimensions per query (>= 1).
+  int max_dimensions = 0;  // 0 = every dimension with an edge to the center.
+  // Per participating table, the predicate count is uniform in
+  // [0, min(max_predicates_per_table, payload columns)]; a query that drew
+  // no predicate anywhere gets one forced onto the center table.
+  int max_predicates_per_table = 2;
+  WorkloadOptions predicate_options;
+};
+
+std::vector<JoinQuery> GenerateJoinQueries(
+    const Schema& schema, size_t count, uint64_t seed,
+    const JoinWorkloadOptions& options = {});
+
+// A labelled join workload: queries plus exact Cartesian-product
+// selectivities (|result| / prod |T_i|) over `schema`.
+struct JoinWorkload {
+  std::vector<JoinQuery> queries;
+  std::vector<double> selectivities;
+
+  size_t size() const { return queries.size(); }
+
+  // Actual result cardinality of query i.
+  double Cardinality(const Schema& schema, size_t i) const;
+};
+
+// Generates and labels `count` queries in one call; labeling runs through
+// the hash-join ground-truth executor (src/join/join_executor.h).
+JoinWorkload GenerateJoinWorkload(const Schema& schema, size_t count,
+                                  uint64_t seed,
+                                  const JoinWorkloadOptions& options = {});
+
+}  // namespace arecel
+
+#endif  // ARECEL_WORKLOAD_JOIN_GENERATOR_H_

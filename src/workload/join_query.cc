@@ -1,0 +1,80 @@
+#include "workload/join_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace arecel {
+
+bool JoinQuery::IsSatisfiable() const {
+  for (const TableSlice& slice : tables) {
+    for (const Predicate& p : slice.predicates) {
+      if (p.lo > p.hi) return false;
+    }
+  }
+  return true;
+}
+
+const TableSlice* JoinQuery::FindTable(const std::string& name) const {
+  for (const TableSlice& slice : tables)
+    if (slice.table == name) return &slice;
+  return nullptr;
+}
+
+std::vector<std::string> JoinQuery::SortedTableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables.size());
+  for (const TableSlice& slice : tables) names.push_back(slice.table);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+namespace {
+
+void AppendPredicate(std::ostringstream& out, const std::string& table,
+                     const Predicate& p) {
+  const std::string col = table + ".c" + std::to_string(p.column);
+  if (p.is_equality()) {
+    out << col << " = " << p.lo;
+  } else if (std::isinf(p.lo)) {
+    out << col << " <= " << p.hi;
+  } else if (std::isinf(p.hi)) {
+    out << col << " >= " << p.lo;
+  } else {
+    out << p.lo << " <= " << col << " <= " << p.hi;
+  }
+}
+
+}  // namespace
+
+std::string JoinQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT COUNT(*) FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << tables[i].table;
+  }
+  bool first = true;
+  for (const JoinEdge& e : joins) {
+    out << (first ? " WHERE " : " AND ");
+    first = false;
+    out << e.left_table << ".c" << e.left_column << " = " << e.right_table
+        << ".c" << e.right_column;
+  }
+  for (const TableSlice& slice : tables) {
+    for (const Predicate& p : slice.predicates) {
+      out << (first ? " WHERE " : " AND ");
+      first = false;
+      AppendPredicate(out, slice.table, p);
+    }
+  }
+  return out.str();
+}
+
+JoinQuery SingleTableJoinQuery(const std::string& table, const Query& query) {
+  JoinQuery out;
+  out.tables.push_back({table, query.predicates});
+  return out;
+}
+
+}  // namespace arecel

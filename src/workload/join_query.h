@@ -1,0 +1,61 @@
+#ifndef ARECEL_WORKLOAD_JOIN_QUERY_H_
+#define ARECEL_WORKLOAD_JOIN_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace arecel {
+
+// One equi-join edge of a join query: left_table.left_column =
+// right_table.right_column. Tables are referenced by name (column indices
+// are into the named table), matching the Schema's ForeignKey edges.
+struct JoinEdge {
+  std::string left_table;
+  int left_column = 0;
+  std::string right_table;
+  int right_column = 0;
+};
+
+// Per-table conjunct list of a join query. `predicates` use the same
+// interval semantics as the single-table Query (workload/query.h);
+// Predicate::column indexes into the named table.
+struct TableSlice {
+  std::string table;
+  std::vector<Predicate> predicates;
+};
+
+// A conjunctive COUNT(*) query over one or more tables joined by equi-join
+// edges — the multi-table extension of Query (DESIGN.md §13). Selectivity
+// is defined against the Cartesian product of the participating tables
+// (|result| / prod |T_i|), the convention of MSCN and the follow-up join
+// benchmarks, so estimators keep returning values in [0, 1].
+struct JoinQuery {
+  std::vector<TableSlice> tables;  // distinct table names, any order.
+  std::vector<JoinEdge> joins;     // empty for a single-table query.
+
+  size_t num_tables() const { return tables.size(); }
+
+  // True when every per-table predicate list has only non-empty intervals.
+  bool IsSatisfiable() const;
+
+  // The slice for `name`, or nullptr when the table is not in the query.
+  const TableSlice* FindTable(const std::string& name) const;
+
+  // Participating table names, sorted — the table-set identifier that
+  // prefixes canonical fingerprints (serve/cache.h).
+  std::vector<std::string> SortedTableNames() const;
+
+  // SQL-ish rendering for logs and examples.
+  std::string ToString() const;
+};
+
+// Wraps a single-table Query as a degenerate JoinQuery over `table` — the
+// bridge that lets join-capable estimators serve the single-table contract
+// through their join path.
+JoinQuery SingleTableJoinQuery(const std::string& table, const Query& query);
+
+}  // namespace arecel
+
+#endif  // ARECEL_WORKLOAD_JOIN_QUERY_H_

@@ -40,7 +40,7 @@ TEST_P(ConformanceTest, SatisfiesBehavioralContract) {
       RunConformance(GetParam(), *fixture_, *options_);
   EXPECT_TRUE(report.passed()) << report.Summary();
   // Every invariant ran (or was explicitly skipped), none silently missing.
-  ASSERT_EQ(report.results.size(), 8u);
+  ASSERT_EQ(report.results.size(), 10u);
   for (const InvariantResult& r : report.results) {
     EXPECT_TRUE(r.passed()) << report.estimator << ": " << r.invariant
                             << " violated " << r.violations << "/" << r.trials
@@ -91,6 +91,35 @@ TEST(ConformanceCapabilityTest, FeedbackInvariantsApplyToSinksOnly) {
           << name << "/" << r.invariant;
     }
     EXPECT_EQ(feedback_results, 3) << name;
+  }
+}
+
+// Mirror of the feedback sweep guard for the join capability: the join
+// invariants must actually exercise the three join-capable estimators and
+// only report skipped for everything else.
+TEST(ConformanceCapabilityTest, JoinInvariantsApplyToJoinCapableOnly) {
+  const std::set<std::string> join_capable = {"postgres-join", "sampling-join",
+                                             "mscn-join"};
+  for (const std::string& name : AllRegistryNames()) {
+    auto estimator = MakeEstimator(name);
+    EXPECT_EQ(estimator->SupportsJoins(), join_capable.count(name) == 1)
+        << name << " join capability changed";
+  }
+  ConformanceOptions options;
+  options.temp_dir = ::testing::TempDir();
+  const ConformanceFixture fixture = BuildConformanceFixture(options);
+  for (const std::string& name : {std::string("postgres-join"),
+                                  std::string("sampling-join"),
+                                  std::string("postgres")}) {
+    const ConformanceReport report = RunConformance(name, fixture, options);
+    int join_results = 0;
+    for (const InvariantResult& r : report.results) {
+      if (r.invariant.rfind("join-", 0) != 0) continue;
+      ++join_results;
+      EXPECT_EQ(r.skipped, join_capable.count(name) == 0)
+          << name << "/" << r.invariant;
+    }
+    EXPECT_EQ(join_results, 2) << name;
   }
 }
 

@@ -74,8 +74,9 @@ TEST(RegistryTest, GroupSizesMatchPaper) {
 
 TEST(RegistryTest, AllRegistryNamesCoversPaperAndExtended) {
   const std::vector<std::string> names = AllRegistryNames();
-  EXPECT_EQ(names.size(),
-            AllEstimatorNames().size() + ExtendedEstimatorNames().size());
+  EXPECT_EQ(names.size(), AllEstimatorNames().size() +
+                              ExtendedEstimatorNames().size() +
+                              JoinEstimatorNames().size());
   for (const std::string& name : names) {
     auto estimator = MakeEstimator(name);
     ASSERT_NE(estimator, nullptr);

@@ -125,6 +125,51 @@ TEST(ServeCacheKeyTest, DuplicateColumnsAreNotMerged) {
   EXPECT_NE(CanonicalPredicateKey(twice), CanonicalPredicateKey(merged));
 }
 
+// Regression for the single-vs-join fingerprint aliasing: a single-table
+// Query and a join query carrying the identical predicate list must never
+// share a cache key — the table-set prefix (count + names) keeps the two
+// keyspaces disjoint by construction.
+TEST(ServeCacheKeyTest, SingleTableAndJoinKeysNeverCollide) {
+  const std::vector<Predicate> predicates = {{0, 2.0, 8.0}, {1, 3.0, 3.0}};
+  const Query single = MakeQuery(predicates);
+
+  JoinQuery one_table;
+  one_table.tables.push_back({"fact", predicates});
+  EXPECT_NE(CanonicalPredicateKey(single), CanonicalJoinKey(one_table));
+  EXPECT_NE(EstimateCacheKey("d", "e", 0, single),
+            JoinEstimateCacheKey("d", "e", 0, one_table));
+
+  JoinQuery star;
+  star.tables.push_back({"fact", predicates});
+  star.tables.push_back({"dim0", {}});
+  star.joins.push_back({"fact", 0, "dim0", 0});
+  EXPECT_NE(CanonicalPredicateKey(single), CanonicalJoinKey(star));
+  // And the two join shapes differ from each other: table set is part of
+  // the fingerprint.
+  EXPECT_NE(CanonicalJoinKey(one_table), CanonicalJoinKey(star));
+}
+
+// The join fingerprint canonicalizes table order, per-table predicate
+// order, and edge orientation — the equivalence classes a planner-issued
+// repeat of the same semantic query falls into.
+TEST(ServeCacheKeyTest, JoinKeyIsCanonicalOverOrderAndOrientation) {
+  JoinQuery a;
+  a.tables.push_back({"fact", {{0, 1.0, 5.0}, {2, 3.0, 4.0}}});
+  a.tables.push_back({"dim0", {{1, 2.0, 2.0}}});
+  a.joins.push_back({"fact", 0, "dim0", 0});
+
+  JoinQuery b;
+  b.tables.push_back({"dim0", {{1, 2.0, 2.0}}});
+  b.tables.push_back({"fact", {{2, 3.0, 4.0}, {0, 1.0, 5.0}}});
+  b.joins.push_back({"dim0", 0, "fact", 0});  // reversed edge orientation.
+  EXPECT_EQ(CanonicalJoinKey(a), CanonicalJoinKey(b));
+
+  // A different edge is a different key even with identical tables.
+  JoinQuery c = a;
+  c.joins[0].right_column = 1;
+  EXPECT_NE(CanonicalJoinKey(a), CanonicalJoinKey(c));
+}
+
 // ---------------------------------------------------------------------------
 // LRU eviction.
 
