@@ -1,17 +1,25 @@
 // Micro-benchmark of the vectorized block-scan execution engine
 // (src/scan/) against the naive per-query reference executor, across a
 // rows x predicates x batch-size grid plus a batch-labeling headline at
-// paper scale (10K queries x 1M rows by default). Every measured cell also
-// checks count equality, so the bench doubles as a coarse differential
-// gate. Emits machine-readable BENCH_scan.json (default at the repo root)
-// to seed the perf trajectory: later PRs compare against it to detect
-// scan-path regressions.
+// paper scale (10K queries x 1M rows by default), plus an equality-heavy
+// categorical grid (low-cardinality Zipf columns) that pits the rich
+// synopsis (dictionaries + per-block bitmaps + code kernels) against the
+// min/max-only baseline. Every measured cell also checks count equality,
+// so the bench doubles as a coarse differential gate. Emits
+// machine-readable BENCH_scan.json (default at the repo root) to seed the
+// perf trajectory: later PRs compare against it to detect scan-path
+// regressions.
+//
+// Usage: bench_micro_scan [--out <path>]
 //
 // Environment knobs (all optional):
 //   ARECEL_SCAN_BENCH_ROWS     headline table rows        (default 1000000)
 //   ARECEL_SCAN_BENCH_QUERIES  headline batch size        (default 10000)
-//   ARECEL_SCAN_BENCH_GRID     0 skips the grid           (default 1)
-//   ARECEL_SCAN_BENCH_OUT      output JSON path (default <repo>/BENCH_scan.json)
+//   ARECEL_SCAN_BENCH_GRID     0 skips the range grid     (default 1)
+//   ARECEL_SCAN_BENCH_CATGRID  0 skips the categorical grid (default 1)
+//   ARECEL_SCAN_BENCH_CATROWS  categorical grid rows      (default 262144)
+//   ARECEL_SCAN_BENCH_OUT      output JSON path (default <repo>/BENCH_scan.json;
+//                              the --out flag wins over the env var)
 
 #include <cinttypes>
 #include <cstdio>
@@ -22,6 +30,7 @@
 
 #include "data/datasets.h"
 #include "scan/block_scan.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/generator.h"
@@ -102,16 +111,128 @@ struct GridCell {
   Measurement m;
 };
 
+// ---- categorical equality grid (rich vs min/max-only synopses) -----------
+
+// Low-cardinality Zipf columns — the paper's dominant Census/DMV predicate
+// shape, where min/max envelopes prune almost nothing and pruning must come
+// from dictionary bitmaps.
+Table MakeCategoricalZipf(size_t rows, size_t cols, size_t cardinality,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Table t("catzipf");
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> vals(rows);
+    for (double& v : vals)
+      v = static_cast<double>(rng.Zipf(cardinality, 1.1));
+    t.AddColumn("cat" + std::to_string(c), std::move(vals), true);
+  }
+  t.Finalize();
+  return t;
+}
+
+// Equality-heavy workload: mostly point predicates on uniformly drawn
+// domain values (rare values dominate, which is exactly where bitmap
+// pruning pays), with a few narrow ranges mixed in.
+std::vector<Query> EqualityQueries(const Table& table, size_t count,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries(count);
+  for (Query& q : queries) {
+    const size_t preds = 1 + rng.UniformInt(uint64_t{2});
+    for (size_t i = 0; i < preds; ++i) {
+      const int col =
+          static_cast<int>(rng.UniformInt(uint64_t{table.num_cols()}));
+      const Column& column = table.column(static_cast<size_t>(col));
+      const double a =
+          column.domain[rng.UniformInt(uint64_t{column.domain.size()})];
+      if (rng.Bernoulli(0.8)) {
+        q.predicates.push_back({col, a, a});
+      } else {
+        const double b =
+            column.domain[rng.UniformInt(uint64_t{column.domain.size()})];
+        q.predicates.push_back({col, std::min(a, b), std::max(a, b)});
+      }
+    }
+  }
+  return queries;
+}
+
+struct CatCell {
+  size_t rows = 0;
+  size_t cardinality = 0;
+  size_t queries = 0;
+  double naive_seconds = 0.0;
+  double zone_seconds = 0.0;  // min/max-only synopsis (the old engine).
+  double rich_seconds = 0.0;  // dictionaries + bitmaps + code kernels.
+  bool counts_match = false;
+  size_t zone_bytes = 0;
+  size_t rich_bytes = 0;
+  scan::ScanStats rich_stats;  // pruning counters of the rich arm.
+
+  double speedup_vs_zone() const {
+    return rich_seconds > 0.0 ? zone_seconds / rich_seconds : 0.0;
+  }
+  double speedup_vs_naive() const {
+    return rich_seconds > 0.0 ? naive_seconds / rich_seconds : 0.0;
+  }
+};
+
+CatCell MeasureCatCell(size_t rows, size_t cardinality, size_t num_queries,
+                       uint64_t seed) {
+  CatCell cell;
+  cell.rows = rows;
+  cell.cardinality = cardinality;
+  cell.queries = num_queries;
+  const Table table = MakeCategoricalZipf(rows, /*cols=*/4, cardinality, seed);
+  const std::vector<Query> queries =
+      EqualityQueries(table, num_queries, seed + 1);
+
+  Timer timer;
+  const std::vector<size_t> naive = NaiveCounts(table, queries);
+  cell.naive_seconds = timer.ElapsedSeconds();
+
+  scan::ScanOptions zone_options;
+  zone_options.rich_synopsis = false;
+  const scan::BlockScanner zone(table, zone_options);
+  cell.zone_bytes = zone.synopsis().SizeBytes();
+  timer.Reset();
+  const std::vector<size_t> zone_counts = zone.CountBatch(queries);
+  cell.zone_seconds = timer.ElapsedSeconds();
+
+  const scan::BlockScanner rich(table);
+  cell.rich_bytes = rich.synopsis().SizeBytes();
+  timer.Reset();
+  const std::vector<size_t> rich_counts = rich.CountBatch(queries);
+  cell.rich_seconds = timer.ElapsedSeconds();
+  cell.rich_stats = rich.stats();
+
+  cell.counts_match = rich_counts == naive && zone_counts == naive;
+  return cell;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t headline_rows = EnvSize("ARECEL_SCAN_BENCH_ROWS", 1000000);
   const size_t headline_queries =
       EnvSize("ARECEL_SCAN_BENCH_QUERIES", 10000);
   const bool run_grid = EnvSize("ARECEL_SCAN_BENCH_GRID", 1) != 0;
+  const bool run_catgrid = EnvSize("ARECEL_SCAN_BENCH_CATGRID", 1) != 0;
+  const size_t cat_rows = EnvSize("ARECEL_SCAN_BENCH_CATROWS", 262144);
   std::string out_path = ARECEL_REPO_ROOT "/BENCH_scan.json";
   if (const char* env_out = std::getenv("ARECEL_SCAN_BENCH_OUT"))
     out_path = env_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_micro_scan [--out <path>]\n");
+      return 2;
+    }
+  }
 
   std::printf("== bench_micro_scan: naive vs. vectorized block scan ==\n");
   std::printf("workers=%d block_size=%zu\n\n", ParallelWorkerCount(),
@@ -154,6 +275,40 @@ int main() {
     std::printf("\n");
   }
 
+  // ---- categorical equality grid ----------------------------------------
+  std::vector<CatCell> catgrid;
+  if (run_catgrid) {
+    std::printf(
+        "categorical grid: equality-heavy Zipf workloads, rich synopsis "
+        "(dict+bitmap) vs min/max-only baseline\n");
+    std::printf("%8s %6s %8s %10s %10s %10s %9s %9s %11s %11s %s\n", "rows",
+                "card", "queries", "naive_s", "zonemap_s", "rich_s",
+                "vs_zone", "vs_naive", "zone_bytes", "rich_bytes", "match");
+    for (size_t cardinality : {16u, 64u, 1024u}) {
+      const CatCell cell = MeasureCatCell(
+          cat_rows, cardinality, /*num_queries=*/256,
+          /*seed=*/301 + cardinality);
+      all_match = all_match && cell.counts_match;
+      std::printf("%8zu %6zu %8zu %10.4f %10.4f %10.4f %8.1fx %8.1fx %11zu "
+                  "%11zu %s\n",
+                  cell.rows, cell.cardinality, cell.queries,
+                  cell.naive_seconds, cell.zone_seconds, cell.rich_seconds,
+                  cell.speedup_vs_zone(), cell.speedup_vs_naive(),
+                  cell.zone_bytes, cell.rich_bytes,
+                  cell.counts_match ? "ok" : "MISMATCH");
+      catgrid.push_back(cell);
+    }
+    scan::ScanStats total;
+    for (const CatCell& cell : catgrid) total.Add(cell.rich_stats);
+    std::printf("rich-arm pruning: classified=%" PRIu64 " zone_skips=%" PRIu64
+                " bitmap_skips=%" PRIu64 " histogram_skips=%" PRIu64
+                " full=%" PRIu64 " scanned=%" PRIu64 " dict_kernel=%" PRIu64
+                "\n\n",
+                total.classified_blocks, total.zone_skips, total.bitmap_skips,
+                total.histogram_skips, total.full_blocks,
+                total.scanned_blocks, total.dict_kernel_blocks);
+  }
+
   // ---- batch-labeling headline ------------------------------------------
   std::printf("headline: labeling %zu queries over %zu rows...\n",
               headline_queries, headline_rows);
@@ -193,6 +348,28 @@ int main() {
                  i == 0 ? "" : ",", cell.rows, cell.preds, cell.batch,
                  cell.queries, cell.m.naive_seconds, cell.m.block_seconds,
                  cell.m.speedup(), cell.m.counts_match ? "true" : "false");
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out, "  \"categorical_grid\": [");
+  for (size_t i = 0; i < catgrid.size(); ++i) {
+    const CatCell& cell = catgrid[i];
+    std::fprintf(
+        out,
+        "%s\n    {\"rows\": %zu, \"cardinality\": %zu, \"queries\": %zu, "
+        "\"naive_seconds\": %.6f, \"zonemap_seconds\": %.6f, "
+        "\"rich_seconds\": %.6f, \"speedup_vs_zonemap\": %.3f, "
+        "\"speedup_vs_naive\": %.3f, \"zonemap_bytes\": %zu, "
+        "\"rich_bytes\": %zu, \"bitmap_skips\": %" PRIu64
+        ", \"zone_skips\": %" PRIu64 ", \"full_blocks\": %" PRIu64
+        ", \"scanned_blocks\": %" PRIu64 ", \"dict_kernel_blocks\": %" PRIu64
+        ", \"counts_match\": %s}",
+        i == 0 ? "" : ",", cell.rows, cell.cardinality, cell.queries,
+        cell.naive_seconds, cell.zone_seconds, cell.rich_seconds,
+        cell.speedup_vs_zone(), cell.speedup_vs_naive(), cell.zone_bytes,
+        cell.rich_bytes, cell.rich_stats.bitmap_skips,
+        cell.rich_stats.zone_skips, cell.rich_stats.full_blocks,
+        cell.rich_stats.scanned_blocks, cell.rich_stats.dict_kernel_blocks,
+        cell.counts_match ? "true" : "false");
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);

@@ -35,13 +35,26 @@ void Table::AddColumn(std::string col_name, std::vector<double> values,
 
 void Table::Finalize() {
   for (Column& col : columns_) {
-    col.domain = col.values;
+    // NaN would break std::sort's strict weak ordering, so it is excluded
+    // from the domain; NaN rows get code -1. (Generated datasets never
+    // contain NaN — this tolerance exists for the scan engine's NaN
+    // differential tests, where no predicate matches a NaN row.)
+    col.domain.clear();
+    col.domain.reserve(col.values.size());
+    for (double v : col.values) {
+      if (!std::isnan(v)) col.domain.push_back(v);
+    }
     std::sort(col.domain.begin(), col.domain.end());
     col.domain.erase(std::unique(col.domain.begin(), col.domain.end()),
                      col.domain.end());
-    ARECEL_CHECK_MSG(!col.domain.empty(), "column must be non-empty");
+    ARECEL_CHECK_MSG(!col.domain.empty(),
+                     "column must have at least one non-NaN value");
     col.codes.resize(col.values.size());
     for (size_t r = 0; r < col.values.size(); ++r) {
+      if (std::isnan(col.values[r])) {
+        col.codes[r] = -1;
+        continue;
+      }
       const auto it = std::lower_bound(col.domain.begin(), col.domain.end(),
                                        col.values[r]);
       col.codes[r] = static_cast<int32_t>(it - col.domain.begin());

@@ -1,6 +1,9 @@
 #include "feedback/truth_worker.h"
 
+#include <memory>
 #include <utility>
+
+#include "scan/block_scan.h"
 
 namespace arecel::feedback {
 
@@ -54,6 +57,13 @@ TruthWorkerStats TruthWorker::Stats() const {
 }
 
 void TruthWorker::Loop() {
+  // Consecutive jobs usually label queries against the same table snapshot
+  // (a version bump swaps in a new shared_ptr), so the worker keeps one
+  // scanner alive per snapshot and amortizes the synopsis build across the
+  // whole run of jobs instead of paying a one-shot scan per job. Holding
+  // `cached_snapshot` keeps the table the scanner points into alive.
+  std::shared_ptr<const Table> cached_snapshot;
+  std::unique_ptr<scan::BlockScanner> scanner;
   for (;;) {
     TruthJob job;
     {
@@ -65,8 +75,13 @@ void TruthWorker::Loop() {
       in_flight_ = true;
     }
     double truth = 0.0;
-    if (job.snapshot != nullptr)
-      truth = ExecuteSelectivity(*job.snapshot, job.query);
+    if (job.snapshot != nullptr) {
+      if (job.snapshot != cached_snapshot) {
+        cached_snapshot = job.snapshot;
+        scanner = std::make_unique<scan::BlockScanner>(*cached_snapshot);
+      }
+      truth = scanner->Selectivity(job.query);
+    }
     if (callback_) callback_(job, truth);
     {
       std::lock_guard<std::mutex> lock(mutex_);

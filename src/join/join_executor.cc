@@ -174,91 +174,39 @@ class KeyCountTable {
 };
 
 // ---------------------------------------------------------------------------
-// Predicate-filtered block iteration (zone maps + selection vectors).
+// Predicate-filtered block iteration, delegated to the block-scan engine's
+// compiled cascade (zone maps -> dictionary bitmaps / mini-histograms ->
+// selection vectors -> code or double kernels).
 
-// Fraction of the column's value range a predicate keeps — the ordering
-// heuristic that evaluates the most selective predicate first.
-double DomainFraction(const Table& table, const Predicate& p) {
-  const Column& col = table.column(static_cast<size_t>(p.column));
-  if (col.domain.empty()) return 1.0;
-  const double span = col.max() - col.min();
-  if (!(span > 0.0)) return p.Matches(col.min()) ? 1.0 : 0.0;
-  const double lo = std::max(p.lo, col.min());
-  const double hi = std::min(p.hi, col.max());
-  if (lo > hi) return 0.0;
-  return (hi - lo) / span;
-}
-
-std::vector<Predicate> OrderBySelectivity(const Table& table,
-                                          const std::vector<Predicate>& preds) {
-  std::vector<Predicate> ordered(preds);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [&table](const Predicate& a, const Predicate& b) {
-                     return DomainFraction(table, a) <
-                            DomainFraction(table, b);
-                   });
-  return ordered;
-}
-
-enum class BlockFate { kSkip, kEvaluate, kFullMatch };
-
-BlockFate Classify(const scan::TableSynopsis& syn, size_t block,
-                   const std::vector<Predicate>& preds) {
-  bool full = true;
-  for (const Predicate& p : preds) {
-    if (!syn.CanMatch(block, p)) return BlockFate::kSkip;
-    if (!syn.FullyMatches(block, p)) full = false;
-  }
-  return full ? BlockFate::kFullMatch : BlockFate::kEvaluate;
-}
-
-// Calls fn(row) for every row of `table` that satisfies `preds`, using the
-// same zone-map + selection-vector cascade as the block-scan engine.
+// Calls fn(row) for every row of `table` that satisfies `preds`.
 template <typename Fn>
 void ForEachMatch(const Table& table, const scan::TableSynopsis& syn,
-                  const std::vector<Predicate>& preds, Fn&& fn) {
+                  const std::vector<Predicate>& preds, scan::ScanStats* stats,
+                  Fn&& fn) {
   const size_t rows = table.num_rows();
   if (rows == 0) return;
   ARECEL_CHECK(rows <= std::numeric_limits<uint32_t>::max());
-  if (preds.empty()) {
+  const scan::ScanPlan plan(table, &syn, preds);
+  if (!plan.satisfiable()) return;
+  if (plan.unconstrained()) {
     for (uint32_t r = 0; r < rows; ++r) fn(r);
     return;
   }
-  const std::vector<Predicate> ordered = OrderBySelectivity(table, preds);
   const size_t block_size = syn.block_size();
   std::vector<uint32_t> sel(block_size);
   for (size_t block = 0; block < syn.num_blocks(); ++block) {
     const uint32_t begin = static_cast<uint32_t>(block * block_size);
     const uint32_t end = static_cast<uint32_t>(
         std::min(rows, (block + 1) * block_size));
-    switch (Classify(syn, block, ordered)) {
-      case BlockFate::kSkip:
+    switch (plan.Classify(block, stats)) {
+      case scan::BlockDecision::kSkip:
         break;
-      case BlockFate::kFullMatch:
+      case scan::BlockDecision::kFullMatch:
         for (uint32_t r = begin; r < end; ++r) fn(r);
         break;
-      case BlockFate::kEvaluate: {
-        size_t n = 0;
-        bool first = true;
-        for (const Predicate& p : ordered) {
-          // Fully-matching predicates cannot prune inside this block.
-          if (syn.FullyMatches(block, p)) continue;
-          const double* values =
-              table.column(static_cast<size_t>(p.column)).values.data();
-          if (first) {
-            n = scan::FilterInterval(values, begin, end, p.lo, p.hi,
-                                     sel.data());
-            first = false;
-          } else {
-            n = scan::RefineInterval(values, p.lo, p.hi, sel.data(), n);
-          }
-          if (n == 0) break;
-        }
-        if (first) {  // every predicate fully matched after all.
-          for (uint32_t r = begin; r < end; ++r) fn(r);
-        } else {
-          for (size_t i = 0; i < n; ++i) fn(sel[i]);
-        }
+      case scan::BlockDecision::kEvaluate: {
+        const size_t n = plan.FilterBlock(block, begin, end, sel.data(), stats);
+        for (size_t i = 0; i < n; ++i) fn(sel[i]);
         break;
       }
     }
@@ -266,7 +214,8 @@ void ForEachMatch(const Table& table, const scan::TableSynopsis& syn,
 }
 
 size_t HashJoinCount(const Schema& schema, const JoinQuery& query,
-                     const std::vector<scan::TableSynopsis>& synopses) {
+                     const std::vector<scan::TableSynopsis>& synopses,
+                     scan::ScanStats* stats) {
   if (!query.IsSatisfiable()) return 0;
   const StarPlan plan = BuildStarPlan(schema, query);
   if (plan.probe->num_rows() == 0) return 0;
@@ -283,7 +232,8 @@ size_t HashJoinCount(const Schema& schema, const JoinQuery& query,
         side.table->column(static_cast<size_t>(side.build_column))
             .values.data();
     ForEachMatch(*side.table, synopses[static_cast<size_t>(side.table_index)],
-                 *side.predicates, [&](uint32_t r) { hash.Add(keys[r]); });
+                 *side.predicates, stats,
+                 [&](uint32_t r) { hash.Add(keys[r]); });
     if (hash.size() == 0) return 0;  // a dimension filtered to nothing.
     hashes.push_back(std::move(hash));
   }
@@ -299,7 +249,7 @@ size_t HashJoinCount(const Schema& schema, const JoinQuery& query,
   }
   size_t total = 0;
   ForEachMatch(*plan.probe, synopses[static_cast<size_t>(plan.probe_index)],
-               *plan.probe_predicates, [&](uint32_t r) {
+               *plan.probe_predicates, stats, [&](uint32_t r) {
                  size_t contribution = 1;
                  for (size_t b = 0; b < hashes.size(); ++b) {
                    contribution *= hashes[b].Lookup(probe_keys[b][r]);
@@ -322,7 +272,10 @@ JoinExecutor::JoinExecutor(const Schema& schema, JoinExecOptions options)
 }
 
 size_t JoinExecutor::Count(const JoinQuery& query) const {
-  return HashJoinCount(*schema_, query, synopses_);
+  scan::ScanStats local;
+  const size_t count = HashJoinCount(*schema_, query, synopses_, &local);
+  stats_.Merge(local);
+  return count;
 }
 
 double JoinExecutor::Selectivity(const JoinQuery& query) const {
@@ -345,6 +298,12 @@ std::vector<double> JoinExecutor::Label(
   ParallelFor(0, queries.size(),
               [&](size_t i) { labels[i] = Selectivity(queries[i]); });
   return labels;
+}
+
+size_t JoinExecutor::SynopsisSizeBytes() const {
+  size_t total = 0;
+  for (const scan::TableSynopsis& syn : synopses_) total += syn.SizeBytes();
+  return total;
 }
 
 double JoinExecutor::RowsProduct(const Schema& schema,

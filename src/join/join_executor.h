@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/schema.h"
+#include "scan/block_scan.h"
 #include "scan/synopsis.h"
 #include "workload/join_query.h"
 
@@ -16,7 +17,8 @@ namespace arecel::join {
 // center — the table every join edge touches) and one build side per other
 // table, then runs a textbook build-side hash join:
 //  1. each build table is scanned with its per-table predicates through the
-//     block-scan selection-vector cascade (zone-map pruning included), and
+//     block-scan cascade (zone-map, dictionary-bitmap and mini-histogram
+//     pruning included, shared with BlockScanner via scan::ScanPlan), and
 //     the surviving rows' key values feed an open-addressing hash table of
 //     key -> multiplicity;
 //  2. the probe table is scanned the same way with its own predicates; each
@@ -51,10 +53,17 @@ class JoinExecutor {
   // Cartesian-product denominator of `query` over `schema`.
   static double RowsProduct(const Schema& schema, const JoinQuery& query);
 
+  // Cumulative build/probe-side pruning counters across every Count call.
+  scan::ScanStats scan_stats() const { return stats_.Snapshot(); }
+
+  // Total heap footprint of all per-table synopses, in bytes.
+  size_t SynopsisSizeBytes() const;
+
  private:
   const Schema* schema_;
   JoinExecOptions options_;
   std::vector<scan::TableSynopsis> synopses_;  // aligned with schema tables.
+  mutable scan::ScanStatsCollector stats_;
 };
 
 // One-shot conveniences (no synopsis amortization across queries).

@@ -11,81 +11,14 @@ namespace arecel::scan {
 
 namespace {
 
-// A predicate with its column storage resolved once, outside every loop.
-struct CompiledPredicate {
-  const double* values = nullptr;
-  double lo = 0.0;
-  double hi = 0.0;
-  int column = 0;
-};
-
-struct CompiledQuery {
-  std::vector<CompiledPredicate> preds;  // most selective first.
-  bool satisfiable = true;
-};
-
 // Fraction of the column's distinct values covered by [lo, hi]: the
-// ordering key that puts the most selective predicate first, so the
-// selection vector collapses as early as possible.
+// ordering fallback when no synopsis is available (the one-shot path).
 double DomainFraction(const Column& col, const Predicate& p) {
   const int32_t lo_code = col.LowerBoundCode(p.lo);
   const int32_t hi_code = col.UpperBoundCode(p.hi);
   const int32_t covered = std::max<int32_t>(0, hi_code - lo_code + 1);
   return static_cast<double>(covered) /
          static_cast<double>(col.domain_size());
-}
-
-CompiledQuery Compile(const Table& table, const Query& query) {
-  CompiledQuery out;
-  out.satisfiable = query.IsSatisfiable();
-  if (!out.satisfiable) return out;
-  std::vector<std::pair<double, size_t>> order;
-  order.reserve(query.predicates.size());
-  for (size_t i = 0; i < query.predicates.size(); ++i) {
-    const Predicate& p = query.predicates[i];
-    order.emplace_back(
-        DomainFraction(table.column(static_cast<size_t>(p.column)), p), i);
-  }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  out.preds.reserve(query.predicates.size());
-  for (const auto& [fraction, i] : order) {
-    const Predicate& p = query.predicates[i];
-    out.preds.push_back({table.column(static_cast<size_t>(p.column))
-                             .values.data(),
-                         p.lo, p.hi, p.column});
-  }
-  return out;
-}
-
-// Evaluates one compiled query over rows [begin, end) of one block with
-// the selection-vector cascade. `sel` needs end - begin slots.
-size_t EvalBlock(const CompiledQuery& query, uint32_t begin, uint32_t end,
-                 uint32_t* sel) {
-  const CompiledPredicate& first = query.preds.front();
-  if (query.preds.size() == 1)
-    return CountInterval(first.values, begin, end, first.lo, first.hi);
-  size_t n = FilterInterval(first.values, begin, end, first.lo, first.hi, sel);
-  for (size_t k = 1; k < query.preds.size() && n > 0; ++k) {
-    const CompiledPredicate& p = query.preds[k];
-    n = RefineInterval(p.values, p.lo, p.hi, sel, n);
-  }
-  return n;
-}
-
-// Zone-map classification of (block, query): skip entirely, count
-// wholesale, or evaluate row by row.
-enum class BlockFate { kSkip, kEvaluate, kFullMatch };
-
-BlockFate Classify(const TableSynopsis& synopsis, const CompiledQuery& query,
-                   size_t block) {
-  bool full = true;
-  for (const CompiledPredicate& p : query.preds) {
-    const size_t col = static_cast<size_t>(p.column);
-    if (!synopsis.CanMatch(block, col, p.lo, p.hi)) return BlockFate::kSkip;
-    full = full && synopsis.FullyMatches(block, col, p.lo, p.hi);
-  }
-  return full ? BlockFate::kFullMatch : BlockFate::kEvaluate;
 }
 
 uint32_t CheckedRowCount(const Table& table) {
@@ -95,7 +28,105 @@ uint32_t CheckedRowCount(const Table& table) {
   return static_cast<uint32_t>(table.num_rows());
 }
 
+// Single unsigned compare per row: c in [lo, hi] iff c - lo <= hi - lo.
+// The arithmetic stays at the code's own width (u8/u16) — lo, hi, and every
+// code fit it, and modular wrap preserves the trick — so the compiler can
+// vectorize at 16/32 lanes per vector instead of widening each code to u32.
+template <typename Code>
+size_t FilterCodesImpl(const Code* codes, uint32_t begin, uint32_t end,
+                       uint32_t lo, uint32_t hi, uint32_t* sel) {
+  const Code lo_c = static_cast<Code>(lo);
+  const Code span = static_cast<Code>(hi - lo);
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    sel[n] = r;
+    n += static_cast<size_t>(static_cast<Code>(codes[r] - lo_c) <= span);
+  }
+  return n;
+}
+
+template <typename Code>
+size_t RefineCodesImpl(const Code* codes, uint32_t lo, uint32_t hi,
+                       uint32_t* sel, size_t n) {
+  const Code lo_c = static_cast<Code>(lo);
+  const Code span = static_cast<Code>(hi - lo);
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Code c = codes[sel[i]];
+    sel[kept] = sel[i];
+    kept += static_cast<size_t>(static_cast<Code>(c - lo_c) <= span);
+  }
+  return kept;
+}
+
+template <typename Code>
+size_t CountCodesImpl(const Code* codes, uint32_t begin, uint32_t end,
+                      uint32_t lo, uint32_t hi) {
+  const Code lo_c = static_cast<Code>(lo);
+  const Code span = static_cast<Code>(hi - lo);
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    n += static_cast<size_t>(static_cast<Code>(codes[r] - lo_c) <= span);
+  }
+  return n;
+}
+
+// Fused conjunctive count over two code columns: the common two-predicate
+// categorical query counts in one vectorizable pass instead of a serial
+// selection-vector Filter followed by a Refine.
+template <typename A, typename B>
+size_t CountCodes2Impl(const A* a, uint32_t a_lo, uint32_t a_hi, const B* b,
+                       uint32_t b_lo, uint32_t b_hi, uint32_t begin,
+                       uint32_t end) {
+  const A a_lo_c = static_cast<A>(a_lo);
+  const A a_span = static_cast<A>(a_hi - a_lo);
+  const B b_lo_c = static_cast<B>(b_lo);
+  const B b_span = static_cast<B>(b_hi - b_lo);
+  size_t n = 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    const bool in_a = static_cast<A>(a[r] - a_lo_c) <= a_span;
+    const bool in_b = static_cast<B>(b[r] - b_lo_c) <= b_span;
+    n += static_cast<size_t>(in_a & in_b);
+  }
+  return n;
+}
+
 }  // namespace
+
+void ScanStats::Add(const ScanStats& other) {
+  classified_blocks += other.classified_blocks;
+  zone_skips += other.zone_skips;
+  bitmap_skips += other.bitmap_skips;
+  histogram_skips += other.histogram_skips;
+  full_blocks += other.full_blocks;
+  scanned_blocks += other.scanned_blocks;
+  dict_kernel_blocks += other.dict_kernel_blocks;
+}
+
+void ScanStatsCollector::Merge(const ScanStats& delta) {
+  classified_blocks_.fetch_add(delta.classified_blocks,
+                               std::memory_order_relaxed);
+  zone_skips_.fetch_add(delta.zone_skips, std::memory_order_relaxed);
+  bitmap_skips_.fetch_add(delta.bitmap_skips, std::memory_order_relaxed);
+  histogram_skips_.fetch_add(delta.histogram_skips,
+                             std::memory_order_relaxed);
+  full_blocks_.fetch_add(delta.full_blocks, std::memory_order_relaxed);
+  scanned_blocks_.fetch_add(delta.scanned_blocks, std::memory_order_relaxed);
+  dict_kernel_blocks_.fetch_add(delta.dict_kernel_blocks,
+                                std::memory_order_relaxed);
+}
+
+ScanStats ScanStatsCollector::Snapshot() const {
+  ScanStats s;
+  s.classified_blocks = classified_blocks_.load(std::memory_order_relaxed);
+  s.zone_skips = zone_skips_.load(std::memory_order_relaxed);
+  s.bitmap_skips = bitmap_skips_.load(std::memory_order_relaxed);
+  s.histogram_skips = histogram_skips_.load(std::memory_order_relaxed);
+  s.full_blocks = full_blocks_.load(std::memory_order_relaxed);
+  s.scanned_blocks = scanned_blocks_.load(std::memory_order_relaxed);
+  s.dict_kernel_blocks = dict_kernel_blocks_.load(std::memory_order_relaxed);
+  return s;
+}
 
 size_t FilterInterval(const double* values, uint32_t begin, uint32_t end,
                       double lo, double hi, uint32_t* sel) {
@@ -126,35 +157,244 @@ size_t CountInterval(const double* values, uint32_t begin, uint32_t end,
   return n;
 }
 
+size_t FilterCodes(const uint8_t* codes, uint32_t begin, uint32_t end,
+                   uint32_t lo, uint32_t hi, uint32_t* sel) {
+  return FilterCodesImpl(codes, begin, end, lo, hi, sel);
+}
+size_t FilterCodes(const uint16_t* codes, uint32_t begin, uint32_t end,
+                   uint32_t lo, uint32_t hi, uint32_t* sel) {
+  return FilterCodesImpl(codes, begin, end, lo, hi, sel);
+}
+size_t RefineCodes(const uint8_t* codes, uint32_t lo, uint32_t hi,
+                   uint32_t* sel, size_t n) {
+  return RefineCodesImpl(codes, lo, hi, sel, n);
+}
+size_t RefineCodes(const uint16_t* codes, uint32_t lo, uint32_t hi,
+                   uint32_t* sel, size_t n) {
+  return RefineCodesImpl(codes, lo, hi, sel, n);
+}
+size_t CountCodes(const uint8_t* codes, uint32_t begin, uint32_t end,
+                  uint32_t lo, uint32_t hi) {
+  return CountCodesImpl(codes, begin, end, lo, hi);
+}
+size_t CountCodes(const uint16_t* codes, uint32_t begin, uint32_t end,
+                  uint32_t lo, uint32_t hi) {
+  return CountCodesImpl(codes, begin, end, lo, hi);
+}
+
+ScanPlan::ScanPlan(const Table& table, const TableSynopsis* synopsis,
+                   const std::vector<Predicate>& predicates)
+    : synopsis_(synopsis) {
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(predicates.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    if (!(p.lo <= p.hi)) {
+      satisfiable_ = false;
+      return;
+    }
+    const size_t col = static_cast<size_t>(p.column);
+    const double fraction =
+        synopsis != nullptr && synopsis->rich()
+            ? synopsis->EstimateFraction(col, p.lo, p.hi)
+            : DomainFraction(table.column(col), p);
+    order.emplace_back(fraction, i);
+  }
+  std::stable_sort(
+      order.begin(), order.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  preds_.reserve(predicates.size());
+  for (const auto& [fraction, i] : order) {
+    const Predicate& p = predicates[i];
+    const size_t col = static_cast<size_t>(p.column);
+    Pred pred;
+    pred.values = table.column(col).values.data();
+    pred.lo = p.lo;
+    pred.hi = p.hi;
+    pred.column = p.column;
+    if (synopsis != nullptr && synopsis->HasDictionary(col)) {
+      const CodeRange range = synopsis->ToCodeRange(col, p.lo, p.hi);
+      if (range.empty) {
+        // The interval contains no dictionary value: nothing anywhere in
+        // the table can match this predicate.
+        satisfiable_ = false;
+        return;
+      }
+      pred.codes8 = synopsis->Codes8(col);
+      pred.codes16 = synopsis->Codes16(col);
+      pred.code_lo = range.lo;
+      pred.code_hi = range.hi;
+    }
+    preds_.push_back(pred);
+  }
+}
+
+BlockDecision ScanPlan::Classify(size_t block, ScanStats* stats) const {
+  if (stats != nullptr) ++stats->classified_blocks;
+  bool full = true;
+  for (const Pred& p : preds_) {
+    const size_t col = static_cast<size_t>(p.column);
+    if (!synopsis_->CanMatch(block, col, p.lo, p.hi)) {
+      if (stats != nullptr) ++stats->zone_skips;
+      return BlockDecision::kSkip;
+    }
+    if (p.codes8 != nullptr || p.codes16 != nullptr) {
+      CodeRange range;
+      range.lo = p.code_lo;
+      range.hi = p.code_hi;
+      range.empty = false;
+      if (!synopsis_->BitmapCanMatch(block, col, range)) {
+        if (stats != nullptr) ++stats->bitmap_skips;
+        return BlockDecision::kSkip;
+      }
+    } else if (synopsis_->HasHistogram(col) &&
+               !synopsis_->HistogramCanMatch(block, col, p.lo, p.hi)) {
+      if (stats != nullptr) ++stats->histogram_skips;
+      return BlockDecision::kSkip;
+    }
+    full = full && synopsis_->FullyMatches(block, col, p.lo, p.hi);
+  }
+  if (stats != nullptr) {
+    if (full) {
+      ++stats->full_blocks;
+    } else {
+      ++stats->scanned_blocks;
+    }
+  }
+  return full ? BlockDecision::kFullMatch : BlockDecision::kEvaluate;
+}
+
+size_t ScanPlan::Evaluate(size_t block, uint32_t begin, uint32_t end,
+                          uint32_t* sel, ScanStats* stats,
+                          bool count_only) const {
+  // Predicates that fully match this block cannot prune inside it.
+  const Pred* active[64];
+  size_t actives = 0;
+  ARECEL_CHECK_MSG(preds_.size() <= 64, "too many predicates in one query");
+  for (const Pred& p : preds_) {
+    if (block != kNoBlock &&
+        synopsis_->FullyMatches(block, static_cast<size_t>(p.column), p.lo,
+                                p.hi)) {
+      continue;
+    }
+    active[actives++] = &p;
+  }
+  if (actives == 0) {
+    // Every predicate fully matched after all (unreachable from Classify,
+    // which would have said kFullMatch; kept for safety).
+    if (!count_only) {
+      for (uint32_t r = begin; r < end; ++r) sel[r - begin] = r;
+    }
+    return end - begin;
+  }
+
+  bool used_codes = false;
+  auto eval_one = [&](const Pred& p, bool first, size_t n) -> size_t {
+    if (p.codes8 != nullptr) {
+      used_codes = true;
+      return first ? FilterCodes(p.codes8, begin, end, p.code_lo, p.code_hi,
+                                 sel)
+                   : RefineCodes(p.codes8, p.code_lo, p.code_hi, sel, n);
+    }
+    if (p.codes16 != nullptr) {
+      used_codes = true;
+      return first ? FilterCodes(p.codes16, begin, end, p.code_lo, p.code_hi,
+                                 sel)
+                   : RefineCodes(p.codes16, p.code_lo, p.code_hi, sel, n);
+    }
+    return first ? FilterInterval(p.values, begin, end, p.lo, p.hi, sel)
+                 : RefineInterval(p.values, p.lo, p.hi, sel, n);
+  };
+
+  size_t n;
+  if (actives == 1 && count_only) {
+    const Pred& p = *active[0];
+    if (p.codes8 != nullptr) {
+      used_codes = true;
+      n = CountCodes(p.codes8, begin, end, p.code_lo, p.code_hi);
+    } else if (p.codes16 != nullptr) {
+      used_codes = true;
+      n = CountCodes(p.codes16, begin, end, p.code_lo, p.code_hi);
+    } else {
+      n = CountInterval(p.values, begin, end, p.lo, p.hi);
+    }
+  } else if (count_only && actives == 2 &&
+             (active[0]->codes8 != nullptr || active[0]->codes16 != nullptr) &&
+             (active[1]->codes8 != nullptr || active[1]->codes16 != nullptr)) {
+    const Pred& a = *active[0];
+    const Pred& b = *active[1];
+    used_codes = true;
+    if (a.codes8 != nullptr && b.codes8 != nullptr) {
+      n = CountCodes2Impl(a.codes8, a.code_lo, a.code_hi, b.codes8, b.code_lo,
+                          b.code_hi, begin, end);
+    } else if (a.codes8 != nullptr) {
+      n = CountCodes2Impl(a.codes8, a.code_lo, a.code_hi, b.codes16,
+                          b.code_lo, b.code_hi, begin, end);
+    } else if (b.codes8 != nullptr) {
+      n = CountCodes2Impl(a.codes16, a.code_lo, a.code_hi, b.codes8,
+                          b.code_lo, b.code_hi, begin, end);
+    } else {
+      n = CountCodes2Impl(a.codes16, a.code_lo, a.code_hi, b.codes16,
+                          b.code_lo, b.code_hi, begin, end);
+    }
+  } else {
+    n = eval_one(*active[0], /*first=*/true, 0);
+    for (size_t k = 1; k < actives && n > 0; ++k) {
+      n = eval_one(*active[k], /*first=*/false, n);
+    }
+  }
+  if (stats != nullptr && used_codes) ++stats->dict_kernel_blocks;
+  return n;
+}
+
+size_t ScanPlan::CountBlock(size_t block, uint32_t begin, uint32_t end,
+                            uint32_t* sel, ScanStats* stats) const {
+  return Evaluate(block, begin, end, sel, stats, /*count_only=*/true);
+}
+
+size_t ScanPlan::FilterBlock(size_t block, uint32_t begin, uint32_t end,
+                             uint32_t* sel, ScanStats* stats) const {
+  return Evaluate(block, begin, end, sel, stats, /*count_only=*/false);
+}
+
 BlockScanner::BlockScanner(const Table& table, ScanOptions options)
-    : table_(&table),
-      options_(options),
-      synopsis_(table, options.block_size) {
+    : table_(&table), options_(options), synopsis_(table, [&options] {
+        SynopsisOptions so;
+        so.block_size = options.block_size;
+        so.rich = options.rich_synopsis;
+        so.max_dict_codes = options.max_dict_codes;
+        return so;
+      }()) {
   CheckedRowCount(table);
 }
 
 size_t BlockScanner::Count(const Query& query) const {
   const uint32_t rows = CheckedRowCount(*table_);
-  const CompiledQuery compiled = Compile(*table_, query);
-  if (!compiled.satisfiable) return 0;
-  if (compiled.preds.empty()) return rows;
+  ARECEL_CHECK_MSG(synopsis_.covered_rows() == table_->num_rows(),
+                   "table changed without Refresh()");
+  const ScanPlan plan(*table_, &synopsis_, query.predicates);
+  if (!plan.satisfiable()) return 0;
+  if (plan.unconstrained()) return rows;
   std::vector<uint32_t> sel(options_.block_size);
+  ScanStats local;
   size_t total = 0;
   for (size_t b = 0; b < synopsis_.num_blocks(); ++b) {
     const uint32_t lo = static_cast<uint32_t>(b * options_.block_size);
     const uint32_t hi = static_cast<uint32_t>(
         std::min<size_t>(rows, (b + 1) * options_.block_size));
-    switch (Classify(synopsis_, compiled, b)) {
-      case BlockFate::kSkip:
+    switch (plan.Classify(b, &local)) {
+      case BlockDecision::kSkip:
         break;
-      case BlockFate::kFullMatch:
+      case BlockDecision::kFullMatch:
         total += hi - lo;
         break;
-      case BlockFate::kEvaluate:
-        total += EvalBlock(compiled, lo, hi, sel.data());
+      case BlockDecision::kEvaluate:
+        total += plan.CountBlock(b, lo, hi, sel.data(), &local);
         break;
     }
   }
+  stats_.Merge(local);
   return total;
 }
 
@@ -169,10 +409,14 @@ std::vector<size_t> BlockScanner::CountBatch(
   std::vector<size_t> counts(queries.size(), 0);
   const uint32_t rows = CheckedRowCount(*table_);
   if (rows == 0 || queries.empty()) return counts;
+  ARECEL_CHECK_MSG(synopsis_.covered_rows() == table_->num_rows(),
+                   "table changed without Refresh()");
 
-  std::vector<CompiledQuery> compiled;
-  compiled.reserve(queries.size());
-  for (const Query& q : queries) compiled.push_back(Compile(*table_, q));
+  std::vector<ScanPlan> plans;
+  plans.reserve(queries.size());
+  for (const Query& q : queries) {
+    plans.emplace_back(*table_, &synopsis_, q.predicates);
+  }
 
   // Blocks-outer, queries-inner: the table streams through cache once per
   // chunk instead of once per query. Each worker accumulates into private
@@ -181,31 +425,33 @@ std::vector<size_t> BlockScanner::CountBatch(
   std::mutex merge_mutex;
   ParallelForChunked(0, synopsis_.num_blocks(), [&](size_t chunk_begin,
                                                     size_t chunk_end) {
-    std::vector<size_t> local(compiled.size(), 0);
+    std::vector<size_t> local(plans.size(), 0);
     std::vector<uint32_t> sel(options_.block_size);
+    ScanStats local_stats;
     for (size_t b = chunk_begin; b < chunk_end; ++b) {
       const uint32_t lo = static_cast<uint32_t>(b * options_.block_size);
       const uint32_t hi = static_cast<uint32_t>(
           std::min<size_t>(rows, (b + 1) * options_.block_size));
-      for (size_t qi = 0; qi < compiled.size(); ++qi) {
-        const CompiledQuery& query = compiled[qi];
-        if (!query.satisfiable) continue;
-        if (query.preds.empty()) {
+      for (size_t qi = 0; qi < plans.size(); ++qi) {
+        const ScanPlan& plan = plans[qi];
+        if (!plan.satisfiable()) continue;
+        if (plan.unconstrained()) {
           local[qi] += hi - lo;
           continue;
         }
-        switch (Classify(synopsis_, query, b)) {
-          case BlockFate::kSkip:
+        switch (plan.Classify(b, &local_stats)) {
+          case BlockDecision::kSkip:
             break;
-          case BlockFate::kFullMatch:
+          case BlockDecision::kFullMatch:
             local[qi] += hi - lo;
             break;
-          case BlockFate::kEvaluate:
-            local[qi] += EvalBlock(query, lo, hi, sel.data());
+          case BlockDecision::kEvaluate:
+            local[qi] += plan.CountBlock(b, lo, hi, sel.data(), &local_stats);
             break;
         }
       }
     }
+    stats_.Merge(local_stats);
     const std::scoped_lock lock(merge_mutex);
     for (size_t qi = 0; qi < local.size(); ++qi) counts[qi] += local[qi];
   });
@@ -223,19 +469,24 @@ std::vector<double> BlockScanner::Label(
   return selectivities;
 }
 
-size_t CountMatches(const Table& table, const Query& query) {
+size_t CountMatches(const Table& table, const Query& query,
+                    const BlockScanner* scanner) {
+  if (scanner != nullptr) return scanner->Count(query);
   const uint32_t rows = CheckedRowCount(table);
-  const CompiledQuery compiled = Compile(table, query);
-  if (!compiled.satisfiable) return 0;
-  if (compiled.preds.empty()) return rows;
   // One query cannot amortize a synopsis build (that costs a full pass over
   // every column), so this path goes straight to the selection-vector
   // cascade over fixed-size blocks.
+  const ScanPlan plan(table, nullptr, query.predicates);
+  if (!plan.satisfiable()) return 0;
+  if (plan.unconstrained()) return rows;
   constexpr uint32_t kBlock = static_cast<uint32_t>(kDefaultBlockSize);
   std::vector<uint32_t> sel(kBlock);
   size_t total = 0;
-  for (uint32_t lo = 0; lo < rows; lo += kBlock)
-    total += EvalBlock(compiled, lo, std::min(rows, lo + kBlock), sel.data());
+  for (uint32_t lo = 0; lo < rows; lo += kBlock) {
+    total += plan.CountBlock(ScanPlan::kNoBlock, lo,
+                             std::min(rows, lo + kBlock), sel.data(),
+                             nullptr);
+  }
   return total;
 }
 

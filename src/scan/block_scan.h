@@ -1,6 +1,7 @@
 #ifndef ARECEL_SCAN_BLOCK_SCAN_H_
 #define ARECEL_SCAN_BLOCK_SCAN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -13,23 +14,70 @@ namespace arecel::scan {
 
 // Vectorized exact-count execution engine (DESIGN.md §8).
 //
-// Three layers, cheapest first:
+// Four layers, cheapest first:
 //  1. zone maps (TableSynopsis): a predicate skips every block whose
 //     [min, max] envelope misses its interval, and counts wholesale every
-//     block whose envelope it contains;
-//  2. selection vectors: surviving blocks are evaluated one *column* at a
-//     time, most-selective predicate first, compacting a dense row-id
-//     vector instead of re-testing every predicate per row;
-//  3. branch-free kernels: the inner loops are data-independent
-//     `lo <= v && v <= hi` passes over contiguous column blocks.
+//     NaN-free block whose envelope it contains;
+//  2. dictionary bitmaps: on a dictionary-coded column the predicate maps
+//     to an inclusive code range once per query; a block is skipped unless
+//     its presence bitmap has a set bit in that range — equality
+//     predicates on categorical columns prune here even when every
+//     envelope overlaps. Non-dictionary columns get the same treatment
+//     from per-block mini-histograms (skip when every overlapping bucket
+//     is empty);
+//  3. selection vectors: surviving blocks are evaluated one *column* at a
+//     time, most-selective predicate first (ordered by synopsis-estimated
+//     selectivity), compacting a dense row-id vector instead of re-testing
+//     every predicate per row;
+//  4. branch-free kernels: data-independent interval passes over the
+//     contiguous column block — over the u8/u16 code array when the column
+//     is dictionary-coded (a fraction of the double array's bandwidth),
+//     over the doubles otherwise.
 //
 // All counts are exact integers: results are bit-identical to the naive
 // reference executor (ExecuteCountNaive) by construction, which
-// tests/scan_engine_test.cc enforces differentially. Interval semantics are
-// Predicate::Matches (inclusive bounds, NaN never matches).
+// tests/scan_engine_test.cc and tests/scan_synopsis_test.cc enforce
+// differentially. Interval semantics are Predicate::Matches (inclusive
+// bounds, NaN never matches, -0.0 == +0.0).
 
 struct ScanOptions {
   size_t block_size = kDefaultBlockSize;
+  // When false the synopsis keeps min/max zone maps only — the
+  // pre-dictionary engine, used as the bench baseline arm.
+  bool rich_synopsis = true;
+  size_t max_dict_codes = kDefaultMaxDictCodes;
+};
+
+// Pruning / kernel counters, accumulated per scan. Plain integers: workers
+// keep a local copy and merge once into a ScanStatsCollector.
+struct ScanStats {
+  uint64_t classified_blocks = 0;  // (block, query) classifications made.
+  uint64_t zone_skips = 0;         // skipped by the min/max envelope.
+  uint64_t bitmap_skips = 0;       // skipped by a dictionary bitmap.
+  uint64_t histogram_skips = 0;    // skipped by a mini-histogram.
+  uint64_t full_blocks = 0;        // counted wholesale, values untouched.
+  uint64_t scanned_blocks = 0;     // evaluated row by row.
+  uint64_t dict_kernel_blocks = 0;  // scanned blocks that ran code kernels.
+
+  void Add(const ScanStats& other);
+};
+
+// Thread-safe accumulator (relaxed atomics): BlockScanner and JoinExecutor
+// are shared read-only across threads, so their counters must tolerate
+// concurrent merges.
+class ScanStatsCollector {
+ public:
+  void Merge(const ScanStats& delta);
+  ScanStats Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> classified_blocks_{0};
+  std::atomic<uint64_t> zone_skips_{0};
+  std::atomic<uint64_t> bitmap_skips_{0};
+  std::atomic<uint64_t> histogram_skips_{0};
+  std::atomic<uint64_t> full_blocks_{0};
+  std::atomic<uint64_t> scanned_blocks_{0};
+  std::atomic<uint64_t> dict_kernel_blocks_{0};
 };
 
 // Branch-free interval kernels over contiguous column data. Exposed for the
@@ -47,10 +95,86 @@ size_t RefineInterval(const double* values, double lo, double hi,
 size_t CountInterval(const double* values, uint32_t begin, uint32_t end,
                      double lo, double hi);
 
+// Code-space variants over dictionary code arrays: one unsigned compare per
+// row against an inclusive [lo, hi] code range, at 1/8 (u8) or 1/4 (u16) of
+// the double array's memory traffic. The NaN sentinel code sits above every
+// valid range, so NaN rows never match — same semantics as the double path.
+size_t FilterCodes(const uint8_t* codes, uint32_t begin, uint32_t end,
+                   uint32_t lo, uint32_t hi, uint32_t* sel);
+size_t FilterCodes(const uint16_t* codes, uint32_t begin, uint32_t end,
+                   uint32_t lo, uint32_t hi, uint32_t* sel);
+size_t RefineCodes(const uint8_t* codes, uint32_t lo, uint32_t hi,
+                   uint32_t* sel, size_t n);
+size_t RefineCodes(const uint16_t* codes, uint32_t lo, uint32_t hi,
+                   uint32_t* sel, size_t n);
+size_t CountCodes(const uint8_t* codes, uint32_t begin, uint32_t end,
+                  uint32_t lo, uint32_t hi);
+size_t CountCodes(const uint16_t* codes, uint32_t begin, uint32_t end,
+                  uint32_t lo, uint32_t hi);
+
+// Zone-map / bitmap / histogram classification of one (block, query) pair.
+enum class BlockDecision { kSkip, kEvaluate, kFullMatch };
+
+// One query's predicates compiled against one table: column pointers
+// resolved, dictionary predicates lowered to code ranges, and the whole
+// list ordered most-selective-first. Shared by BlockScanner and the join
+// executor's probe/build cascades. `synopsis` may be null (the one-shot
+// CountMatches path): classification is then unavailable and evaluation
+// uses the double kernels only.
+class ScanPlan {
+ public:
+  // Sentinel for evaluation without a known block (no per-block
+  // full-match elision).
+  static constexpr size_t kNoBlock = static_cast<size_t>(-1);
+
+  ScanPlan(const Table& table, const TableSynopsis* synopsis,
+           const std::vector<Predicate>& predicates);
+
+  // False when no row anywhere can match (an inverted interval, or an
+  // interval containing no dictionary value of its column).
+  bool satisfiable() const { return satisfiable_; }
+  // True when the predicate list is empty: every row matches.
+  bool unconstrained() const { return preds_.empty(); }
+
+  // Requires a synopsis covering `block`.
+  BlockDecision Classify(size_t block, ScanStats* stats) const;
+
+  // Exact match count over rows [begin, end); `sel` needs end - begin
+  // slots of scratch. When `block` is known, predicates that fully match
+  // the block's envelope are skipped.
+  size_t CountBlock(size_t block, uint32_t begin, uint32_t end,
+                    uint32_t* sel, ScanStats* stats) const;
+  // As CountBlock, but leaves the matching row ids in `sel`.
+  size_t FilterBlock(size_t block, uint32_t begin, uint32_t end,
+                     uint32_t* sel, ScanStats* stats) const;
+
+ private:
+  struct Pred {
+    const double* values = nullptr;
+    double lo = 0.0;
+    double hi = 0.0;
+    int column = 0;
+    // Dictionary lowering (null when the column has no dictionary).
+    const uint8_t* codes8 = nullptr;
+    const uint16_t* codes16 = nullptr;
+    uint32_t code_lo = 0;
+    uint32_t code_hi = 0;
+  };
+
+  size_t Evaluate(size_t block, uint32_t begin, uint32_t end, uint32_t* sel,
+                  ScanStats* stats, bool count_only) const;
+
+  std::vector<Pred> preds_;  // most selective first.
+  const TableSynopsis* synopsis_ = nullptr;
+  bool satisfiable_ = true;
+};
+
 // Scan engine bound to one table. Builds the synopsis once; queries then
 // share it. After the table grows (AppendRows + Finalize), call Refresh()
-// to extend the synopsis incrementally. The table must outlive the scanner
-// and must not shrink or change schema between Refresh() calls.
+// to extend the synopsis incrementally — Count/CountBatch abort if the
+// table grew without a Refresh (the dictionary code arrays would be
+// stale). The table must outlive the scanner and must not shrink or change
+// schema between Refresh() calls.
 class BlockScanner {
  public:
   explicit BlockScanner(const Table& table, ScanOptions options = {});
@@ -59,6 +183,9 @@ class BlockScanner {
   void Refresh() { synopsis_.ExtendTo(*table_); }
 
   const TableSynopsis& synopsis() const { return synopsis_; }
+
+  // Cumulative pruning counters across every Count/CountBatch/Label call.
+  ScanStats stats() const { return stats_.Snapshot(); }
 
   // Exact match count / selectivity of one query.
   size_t Count(const Query& query) const;
@@ -76,13 +203,17 @@ class BlockScanner {
   const Table* table_;
   ScanOptions options_;
   TableSynopsis synopsis_;
+  mutable ScanStatsCollector stats_;
 };
 
 // One-shot conveniences behind ExecuteCount / LabelQueries. CountMatches
-// skips the synopsis (one query cannot amortize building it) but still
-// runs the selection-vector block evaluation; LabelMatches builds a
+// skips the synopsis when no prebuilt scanner is passed (one query cannot
+// amortize building it) but still runs the selection-vector block
+// evaluation; callers that issue repeated single queries against the same
+// table should build one BlockScanner and pass it. LabelMatches builds a
 // scanner and shared-scans the whole batch.
-size_t CountMatches(const Table& table, const Query& query);
+size_t CountMatches(const Table& table, const Query& query,
+                    const BlockScanner* scanner = nullptr);
 std::vector<double> LabelMatches(const Table& table,
                                  const std::vector<Query>& queries);
 

@@ -2,6 +2,7 @@
 #define ARECEL_SCAN_SYNOPSIS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "data/table.h"
@@ -11,32 +12,89 @@ namespace arecel::scan {
 
 // Rows per zone-map block. 4096 doubles = 32 KB per column block, so one
 // block of one column fits comfortably in L1 while the per-block metadata
-// (16 bytes per column) stays negligible even for million-row tables.
+// stays negligible even for million-row tables.
 inline constexpr size_t kDefaultBlockSize = 4096;
 
-// Per-column min/max zone maps over fixed-size row blocks of one table.
+// Distinct-value budget for dictionary encoding: a column with at most this
+// many distinct non-NaN values gets a sorted global dictionary, a narrow
+// (u8/u16) per-row code array, and per-block presence bitmaps. 4096 codes
+// keep one block's bitmap at 512 bytes and cover every categorical column
+// of the paper's Census/DMV-shaped tables.
+inline constexpr size_t kDefaultMaxDictCodes = 4096;
+
+// Buckets in the per-block equi-width mini-histograms kept for
+// non-dictionary columns.
+inline constexpr size_t kDefaultHistogramBuckets = 16;
+
+struct SynopsisOptions {
+  size_t block_size = kDefaultBlockSize;
+  // When false, only min/max zone maps are built (the pre-dictionary
+  // engine). The bench's baseline arm; also an escape hatch for throwaway
+  // single-scan tables.
+  bool rich = true;
+  size_t max_dict_codes = kDefaultMaxDictCodes;
+  size_t histogram_buckets = kDefaultHistogramBuckets;
+};
+
+// An inclusive dictionary-code interval equivalent to a value interval
+// [lo, hi] on a dictionary-coded column: a non-NaN value matches the
+// predicate iff its code lies in [lo, hi]. `empty` means no dictionary
+// value falls inside the predicate interval — zero rows can match anywhere
+// in the table.
+struct CodeRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool empty = true;
+};
+
+// Per-column synopses over fixed-size row blocks of one table
+// (DESIGN.md §8). Four cooperating layers:
 //
-// A predicate `lo <= v <= hi` can only match inside a block whose
-// [min, max] envelope overlaps [lo, hi]; a block whose envelope is
-// *contained* in [lo, hi] matches wholesale and never needs its values
-// touched. Built in one pass over the table; after an append
+//  1. min/max zone maps for every column (NaN-aware: NaN values never
+//     widen an envelope, and a block containing NaN is never counted
+//     wholesale, matching Predicate::Matches which NaN never satisfies);
+//  2. for low-distinct columns (<= max_dict_codes non-NaN distinct
+//     values): a sorted global dictionary + per-row u8/u16 code array +
+//     per-block presence bitmaps over codes. Equality predicates skip
+//     every block whose bit is clear and count wholesale when the block is
+//     constant-valued; range predicates prune via code-range bit tests.
+//  3. for the remaining columns: per-block equi-width mini-histograms and
+//     saturating distinct-count estimates — a predicate whose interval
+//     covers only empty buckets skips the block even when it overlaps the
+//     [min, max] envelope;
+//  4. exact global code counts (dictionary columns) / aggregated histogram
+//     mass (others) back EstimateFraction, the selectivity key the scan
+//     planner orders predicates by.
+//
+// Built in one pass plus an O(n) distinct-detection pass; after an append
 // (Table::AppendRows + Finalize) ExtendTo() recomputes only from the first
-// block the append touched, so synopsis maintenance is O(new rows), not
-// O(table).
+// block the append touched. An append may introduce brand-new dictionary
+// values: the dictionary then grows (codes remapped, bitmaps rebuilt) or,
+// past the budget, the column is demoted to the mini-histogram layer —
+// either way counts stay bit-identical to the naive executor. Demotion is
+// sticky until the next full rebuild.
 class TableSynopsis {
  public:
   TableSynopsis() = default;
   explicit TableSynopsis(const Table& table,
                          size_t block_size = kDefaultBlockSize);
+  TableSynopsis(const Table& table, const SynopsisOptions& options);
 
   // Re-syncs with `table` after rows were appended: recomputes the last
   // (possibly partial) previously-covered block and everything after it.
   // A table that shrank or changed column count triggers a full rebuild.
   void ExtendTo(const Table& table);
 
-  size_t block_size() const { return block_size_; }
+  size_t block_size() const { return options_.block_size; }
   size_t num_blocks() const { return num_blocks_; }
   size_t covered_rows() const { return rows_; }
+  bool rich() const { return options_.rich; }
+
+  // Total heap footprint of every synopsis structure (zone maps,
+  // dictionaries, code arrays, bitmaps, histograms), in bytes.
+  size_t SizeBytes() const;
+
+  // ---- layer 1: zone maps -------------------------------------------------
 
   double BlockMin(size_t col, size_t block) const {
     return mins_[col][block];
@@ -44,15 +102,20 @@ class TableSynopsis {
   double BlockMax(size_t col, size_t block) const {
     return maxs_[col][block];
   }
+  bool BlockHasNaN(size_t col, size_t block) const {
+    return has_nan_[col][block] != 0;
+  }
 
   // Interval [lo, hi] on `col` overlaps the block's envelope: at least one
   // row of the block *may* match.
   bool CanMatch(size_t block, size_t col, double lo, double hi) const {
     return lo <= maxs_[col][block] && hi >= mins_[col][block];
   }
-  // Interval [lo, hi] contains the block's envelope: every row matches.
+  // Interval [lo, hi] contains the block's envelope and the block holds no
+  // NaN: every row matches.
   bool FullyMatches(size_t block, size_t col, double lo, double hi) const {
-    return lo <= mins_[col][block] && maxs_[col][block] <= hi;
+    return lo <= mins_[col][block] && maxs_[col][block] <= hi &&
+           has_nan_[col][block] == 0;
   }
 
   bool CanMatch(size_t block, const Predicate& p) const {
@@ -62,15 +125,104 @@ class TableSynopsis {
     return FullyMatches(block, static_cast<size_t>(p.column), p.lo, p.hi);
   }
 
- private:
-  // Recomputes blocks [first_block, ceil(rows / block_size)) per column.
-  void BuildBlocks(const Table& table, size_t first_block);
+  // ---- layer 2: dictionary columns ---------------------------------------
 
-  size_t block_size_ = kDefaultBlockSize;
+  bool HasDictionary(size_t col) const {
+    return col < dicts_.size() && dicts_[col].active;
+  }
+  // Number of distinct non-NaN values (valid codes are [0, size)).
+  size_t DictionarySize(size_t col) const { return dicts_[col].dict.size(); }
+  // Exactly one of these is non-null for a dictionary column: the per-row
+  // code array at the narrow width the cardinality fits. Rows holding NaN
+  // carry the sentinel code DictionarySize(col), which no CodeRange ever
+  // includes.
+  const uint8_t* Codes8(size_t col) const {
+    return dicts_[col].wide ? nullptr : dicts_[col].codes8.data();
+  }
+  const uint16_t* Codes16(size_t col) const {
+    return dicts_[col].wide ? dicts_[col].codes16.data() : nullptr;
+  }
+
+  // Maps a value interval to the equivalent inclusive code interval.
+  CodeRange ToCodeRange(size_t col, double lo, double hi) const;
+
+  // Any row of `block` carries a code in `range` (presence bitmap test).
+  // Wholesale counting needs no bitmap variant: because the dictionary is
+  // sorted, "every present code lies in the code range" is exactly the
+  // zone-map FullyMatches condition.
+  bool BitmapCanMatch(size_t block, size_t col, const CodeRange& range) const;
+
+  // Exact fraction of covered rows whose code lies in `range`.
+  double DictFraction(size_t col, const CodeRange& range) const;
+
+  // ---- layer 3: mini-synopses for non-dictionary columns ------------------
+
+  bool HasHistogram(size_t col) const {
+    return col < minis_.size() && !minis_[col].histogram.empty();
+  }
+  // False when every histogram bucket overlapping [lo, hi] is empty — the
+  // block cannot contain a matching row even though its envelope overlaps.
+  bool HistogramCanMatch(size_t block, size_t col, double lo, double hi) const;
+  // Saturating exact distinct count of the block (caps at 256).
+  uint32_t BlockDistinctEstimate(size_t col, size_t block) const {
+    return minis_[col].distinct[block];
+  }
+
+  // ---- layer 4: selectivity estimation for predicate ordering -------------
+
+  // Estimated fraction of rows matching [lo, hi] on `col`: exact for
+  // dictionary columns (prefix-summed global code counts, O(log d)), a
+  // value-span overlap heuristic otherwise. Ordering key for the
+  // cheapest-first predicate pass; must stay O(1)-ish — it runs once per
+  // predicate per compiled query.
+  double EstimateFraction(size_t col, double lo, double hi) const;
+
+ private:
+  struct DictColumn {
+    bool active = false;
+    bool demoted = false;  // crossed the budget on append; sticky.
+    bool wide = false;     // true => codes16, else codes8.
+    std::vector<double> dict;      // sorted distinct non-NaN values.
+    std::vector<uint8_t> codes8;   // per-row code (sentinel = dict.size()).
+    std::vector<uint16_t> codes16;
+    std::vector<uint64_t> bitmap;  // [block * words_per_block + word].
+    std::vector<uint32_t> block_set_bits;  // distinct codes present per block.
+    std::vector<uint32_t> code_counts;     // global rows per code.
+    std::vector<uint64_t> code_prefix;     // size + 1; prefix of code_counts.
+    size_t words_per_block = 0;
+  };
+  struct MiniColumn {
+    // [block * histogram_buckets + bucket], equi-width over the block's
+    // [min, max] envelope; NaN rows are counted nowhere.
+    std::vector<uint32_t> histogram;
+    std::vector<uint16_t> distinct;  // saturating per-block distinct count.
+  };
+
+  void Build(const Table& table);
+  // Recomputes zone maps + mini-histograms for blocks [first_block, end).
+  void BuildBlocks(const Table& table, size_t first_block);
+  void BuildMiniBlocks(const Table& table, size_t col, size_t first_block);
+  // Fresh dictionary detection + encoding for one column (full pass).
+  void BuildDictionary(const Table& table, size_t col);
+  // Appends codes for rows [old_rows, rows_), growing or demoting the
+  // dictionary when the append introduced new values.
+  void ExtendDictionary(const Table& table, size_t col, size_t old_rows,
+                        size_t first_block);
+  void RebuildBitmaps(DictColumn& d, size_t first_block);
+  static void RebuildPrefix(DictColumn& d);
+  void EncodeRows(DictColumn& d, const double* values, size_t begin,
+                  size_t end);
+
+  SynopsisOptions options_;
   size_t rows_ = 0;
   size_t num_blocks_ = 0;
   std::vector<std::vector<double>> mins_;  // [col][block].
   std::vector<std::vector<double>> maxs_;
+  std::vector<std::vector<uint8_t>> has_nan_;
+  std::vector<double> col_min_;  // table-level envelope per column
+  std::vector<double> col_max_;  // (NaN excluded), for EstimateFraction.
+  std::vector<DictColumn> dicts_;  // [col]; inactive for wide columns.
+  std::vector<MiniColumn> minis_;  // [col]; empty for dictionary columns.
 };
 
 }  // namespace arecel::scan

@@ -1,0 +1,361 @@
+// Differential tests for the rich synopsis layer (dictionaries, per-block
+// presence bitmaps, mini-histograms): every pruning decision must preserve
+// the bit-identical-counts contract against the naive reference executor,
+// including the awkward corners — NaN rows (which no predicate matches),
+// -0.0/+0.0 code collapse, block sizes that do not divide the row count,
+// appends that introduce brand-new dictionary values (with a u8 -> u16 code
+// width upgrade), and appends that push a column past the distinct budget
+// (demotion to the mini-histogram layer).
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/table.h"
+#include "scan/block_scan.h"
+#include "scan/synopsis.h"
+#include "util/random.h"
+#include "workload/generator.h"
+#include "workload/query.h"
+
+namespace arecel {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// A categorical-heavy table: `cats` low-cardinality Zipf columns plus one
+// continuous column, the dominant shape of the paper's Census/DMV-style
+// workloads.
+Table CategoricalZipfTable(size_t rows, size_t cats, size_t cardinality,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Table t("catzipf");
+  for (size_t c = 0; c < cats; ++c) {
+    std::vector<double> vals(rows);
+    for (double& v : vals)
+      v = static_cast<double>(rng.Zipf(cardinality, 1.1));
+    t.AddColumn("cat" + std::to_string(c), std::move(vals), true);
+  }
+  std::vector<double> cont(rows);
+  for (double& v : cont) v = rng.Gaussian() * 100.0;
+  t.AddColumn("cont", std::move(cont), false);
+  t.Finalize();
+  return t;
+}
+
+// Mixed equality + range queries over every column.
+std::vector<Query> MixedQueries(const Table& table, size_t count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries(count);
+  for (Query& q : queries) {
+    const size_t preds = 1 + rng.UniformInt(uint64_t{2});
+    for (size_t i = 0; i < preds; ++i) {
+      const int col =
+          static_cast<int>(rng.UniformInt(uint64_t{table.num_cols()}));
+      const Column& column = table.column(static_cast<size_t>(col));
+      const double a =
+          column.domain[rng.UniformInt(uint64_t{column.domain.size()})];
+      if (rng.Bernoulli(0.6)) {
+        q.predicates.push_back({col, a, a});  // equality.
+      } else {
+        const double b =
+            column.domain[rng.UniformInt(uint64_t{column.domain.size()})];
+        q.predicates.push_back({col, std::min(a, b), std::max(a, b)});
+      }
+    }
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const Table& table, const std::vector<Query>& queries,
+                        scan::ScanOptions options) {
+  scan::BlockScanner scanner(table, options);
+  const std::vector<size_t> batch = scanner.CountBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t naive = ExecuteCountNaive(table, queries[i]);
+    EXPECT_EQ(scanner.Count(queries[i]), naive) << "query " << i;
+    EXPECT_EQ(batch[i], naive) << "query " << i;
+    EXPECT_EQ(scan::CountMatches(table, queries[i], &scanner), naive)
+        << "query " << i;
+    EXPECT_EQ(scan::CountMatches(table, queries[i]), naive) << "query " << i;
+  }
+}
+
+TEST(ScanSynopsisTest, CategoricalEqualityGridDifferential) {
+  for (uint64_t seed : {3u, 17u}) {
+    const Table table = CategoricalZipfTable(3000, 3, 20, seed);
+    const std::vector<Query> queries = MixedQueries(table, 120, seed + 1);
+    // Block sizes that do not divide 3000, plus one bigger than the table.
+    for (size_t block_size : {7u, 97u, 8192u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " block_size=" << block_size);
+      scan::ScanOptions options;
+      options.block_size = block_size;
+      ExpectBitIdentical(table, queries, options);
+    }
+  }
+}
+
+TEST(ScanSynopsisTest, RichAndZoneOnlyAgree) {
+  const Table table = CategoricalZipfTable(2000, 2, 12, 5);
+  const std::vector<Query> queries = MixedQueries(table, 80, 6);
+  scan::ScanOptions rich;
+  rich.block_size = 128;
+  scan::ScanOptions zone_only = rich;
+  zone_only.rich_synopsis = false;
+  scan::BlockScanner a(table, rich);
+  scan::BlockScanner b(table, zone_only);
+  EXPECT_TRUE(a.synopsis().rich());
+  EXPECT_FALSE(b.synopsis().rich());
+  EXPECT_FALSE(b.synopsis().HasDictionary(0));
+  const std::vector<size_t> ca = a.CountBatch(queries);
+  const std::vector<size_t> cb = b.CountBatch(queries);
+  for (size_t i = 0; i < queries.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+}
+
+TEST(ScanSynopsisTest, NaNRowsNeverMatchAnyPredicate) {
+  // NaN placed first in a block so a naive envelope build would poison the
+  // min/max; also a fully-NaN block region at the tail.
+  Table table("nan_tbl");
+  table.AddColumn("a", {kNaN, 1, 2, kNaN, 3, 4, 5, 6, kNaN, kNaN}, false);
+  table.AddColumn("b", {5, 5, kNaN, 1, 1, 2, 2, 9, 9, 9}, true);
+  table.Finalize();
+  std::vector<Query> queries(5);
+  queries[0].predicates.push_back({0, -kInf, kInf});  // all non-NaN rows.
+  queries[1].predicates.push_back({0, 1, 3});
+  queries[2].predicates.push_back({0, kNaN, kNaN});  // unsatisfiable.
+  queries[3].predicates.push_back({1, 5, 5});
+  queries[4].predicates.push_back({0, -kInf, kInf});
+  queries[4].predicates.push_back({1, -kInf, kInf});
+  EXPECT_EQ(ExecuteCountNaive(table, queries[0]), 6u);
+  for (size_t block_size : {3u, 4u, 16u}) {
+    SCOPED_TRACE(testing::Message() << "block_size=" << block_size);
+    scan::ScanOptions options;
+    options.block_size = block_size;
+    ExpectBitIdentical(table, queries, options);
+  }
+}
+
+TEST(ScanSynopsisTest, NegativeZeroCollapsesWithPositiveZero) {
+  Table table("zeros");
+  table.AddColumn("a", {-0.0, 0.0, -0.0, 1.0, -1.0, 0.0}, false);
+  table.Finalize();
+  scan::BlockScanner scanner(table, {2});
+  // -0.0 == +0.0, so the dictionary holds one zero entry.
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+  EXPECT_EQ(scanner.synopsis().DictionarySize(0), 3u);
+  std::vector<Query> queries(3);
+  queries[0].predicates.push_back({0, 0.0, 0.0});
+  queries[1].predicates.push_back({0, -0.0, 0.0});
+  queries[2].predicates.push_back({0, -0.0, -0.0});
+  for (const Query& q : queries) {
+    EXPECT_EQ(scanner.Count(q), 4u);
+    EXPECT_EQ(scanner.Count(q), ExecuteCountNaive(table, q));
+  }
+}
+
+TEST(ScanSynopsisTest, AppendIntroducingNewDictionaryValues) {
+  // Base table's categorical columns draw from [0, 10); the appended rows
+  // draw from [5, 15) — roughly half the appended values are brand-new
+  // dictionary entries that force a merge + code remap.
+  Rng rng(41);
+  Table table("grow");
+  std::vector<double> vals(900);
+  for (double& v : vals) v = static_cast<double>(rng.UniformInt(uint64_t{10}));
+  table.AddColumn("c", std::move(vals), true);
+  table.Finalize();
+
+  scan::BlockScanner scanner(table, {64});  // 900 % 64 != 0.
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+  ASSERT_EQ(scanner.synopsis().DictionarySize(0), 10u);
+
+  Table extra("grow");
+  std::vector<double> more(300);
+  for (double& v : more)
+    v = static_cast<double>(5 + rng.UniformInt(uint64_t{10}));
+  extra.AddColumn("c", std::move(more), true);
+  table.AppendRows(extra);
+  table.Finalize();
+  scanner.Refresh();
+
+  EXPECT_EQ(scanner.synopsis().covered_rows(), table.num_rows());
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+  EXPECT_EQ(scanner.synopsis().DictionarySize(0), 15u);
+  for (int v = 0; v < 15; ++v) {
+    Query q;
+    q.predicates.push_back({0, static_cast<double>(v), static_cast<double>(v)});
+    EXPECT_EQ(scanner.Count(q), ExecuteCountNaive(table, q)) << "v=" << v;
+  }
+}
+
+TEST(ScanSynopsisTest, AppendUpgradesCodeWidthFromU8ToU16) {
+  // 200 distinct values fit u8 codes; appending values up to 400 distinct
+  // crosses the 255-code boundary and must widen the code array.
+  std::vector<double> vals(400);
+  for (size_t i = 0; i < vals.size(); ++i)
+    vals[i] = static_cast<double>(i % 200);
+  Table table("widen");
+  table.AddColumn("c", std::move(vals), true);
+  table.Finalize();
+  scan::BlockScanner scanner(table, {32});
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+  EXPECT_NE(scanner.synopsis().Codes8(0), nullptr);
+  EXPECT_EQ(scanner.synopsis().Codes16(0), nullptr);
+
+  std::vector<double> more(400);
+  for (size_t i = 0; i < more.size(); ++i)
+    more[i] = static_cast<double>(i % 400);
+  Table extra("widen");
+  extra.AddColumn("c", std::move(more), true);
+  table.AppendRows(extra);
+  table.Finalize();
+  scanner.Refresh();
+
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+  EXPECT_EQ(scanner.synopsis().DictionarySize(0), 400u);
+  EXPECT_EQ(scanner.synopsis().Codes8(0), nullptr);
+  EXPECT_NE(scanner.synopsis().Codes16(0), nullptr);
+  Rng rng(43);
+  for (int t = 0; t < 50; ++t) {
+    Query q;
+    const double v = static_cast<double>(rng.UniformInt(uint64_t{400}));
+    q.predicates.push_back({0, v, v});
+    EXPECT_EQ(scanner.Count(q), ExecuteCountNaive(table, q));
+  }
+}
+
+TEST(ScanSynopsisTest, DictDemotionWhenAppendCrossesBudget) {
+  // A tight 16-code budget: the base column fits, the append pushes the
+  // distinct count past it, and the column must demote to the
+  // mini-histogram layer without ever miscounting.
+  std::vector<double> vals(500);
+  for (size_t i = 0; i < vals.size(); ++i)
+    vals[i] = static_cast<double>(i % 12);
+  Table table("demote");
+  table.AddColumn("c", std::move(vals), true);
+  table.Finalize();
+  scan::ScanOptions options;
+  options.block_size = 48;
+  options.max_dict_codes = 16;
+  scan::BlockScanner scanner(table, options);
+  ASSERT_TRUE(scanner.synopsis().HasDictionary(0));
+
+  std::vector<double> more(500);
+  for (size_t i = 0; i < more.size(); ++i)
+    more[i] = static_cast<double>(i % 40);
+  Table extra("demote");
+  extra.AddColumn("c", std::move(more), true);
+  table.AppendRows(extra);
+  table.Finalize();
+  scanner.Refresh();
+
+  EXPECT_FALSE(scanner.synopsis().HasDictionary(0));
+  EXPECT_TRUE(scanner.synopsis().HasHistogram(0));
+  const std::vector<Query> queries = MixedQueries(table, 60, 44);
+  for (const Query& q : queries)
+    EXPECT_EQ(scanner.Count(q), ExecuteCountNaive(table, q));
+}
+
+TEST(ScanDictPruningTest, BitmapSkipsBlocksZoneMapsCannot) {
+  // Every block contains both 0 and 99, so the [min, max] envelope of every
+  // block covers any equality predicate — zone maps prune nothing. The value
+  // 50 exists only in the final block; only presence bitmaps can skip the
+  // rest.
+  std::vector<double> vals;
+  for (size_t b = 0; b < 16; ++b) {
+    for (size_t i = 0; i < 32; ++i)
+      vals.push_back(i % 2 == 0 ? 0.0 : 99.0);
+  }
+  vals[vals.size() - 1] = 50.0;
+  Table table("bitmap");
+  table.AddColumn("c", std::move(vals), true);
+  table.Finalize();
+  scan::BlockScanner scanner(table, {32});
+  Query q;
+  q.predicates.push_back({0, 50, 50});
+  EXPECT_EQ(scanner.Count(q), 1u);
+  const scan::ScanStats stats = scanner.stats();
+  EXPECT_EQ(stats.zone_skips, 0u);
+  EXPECT_EQ(stats.bitmap_skips, 15u);
+  EXPECT_EQ(stats.scanned_blocks, 1u);
+}
+
+TEST(ScanDictPruningTest, HistogramSkipsOnNonDictionaryColumns) {
+  // max_dict_codes=4 keeps the column out of the dictionary layer; each
+  // block's values cluster at the envelope's edges, leaving the middle
+  // buckets empty, so a mid-range predicate is skipped by the histogram.
+  std::vector<double> vals;
+  for (size_t b = 0; b < 8; ++b) {
+    for (size_t i = 0; i < 64; ++i) {
+      const double base = static_cast<double>(b * 1000);
+      vals.push_back(i % 2 == 0 ? base + static_cast<double>(i)
+                                : base + 900.0 + static_cast<double>(i));
+    }
+  }
+  Table table("hist");
+  table.AddColumn("c", std::move(vals), false);
+  table.Finalize();
+  scan::ScanOptions options;
+  options.block_size = 64;
+  options.max_dict_codes = 4;
+  scan::BlockScanner scanner(table, options);
+  ASSERT_FALSE(scanner.synopsis().HasDictionary(0));
+  ASSERT_TRUE(scanner.synopsis().HasHistogram(0));
+  Query q;
+  q.predicates.push_back({0, 400, 500});  // inside block 0's envelope gap.
+  EXPECT_EQ(scanner.Count(q), ExecuteCountNaive(table, q));
+  EXPECT_EQ(scanner.Count(q), 0u);
+  EXPECT_GT(scanner.stats().histogram_skips, 0u);
+}
+
+TEST(ScanDictPruningTest, EstimateFractionExactOnDictionaryColumns) {
+  const Table table = CategoricalZipfTable(1500, 1, 8, 9);
+  const scan::TableSynopsis synopsis(table, scan::SynopsisOptions{});
+  ASSERT_TRUE(synopsis.HasDictionary(0));
+  for (double v : table.column(0).domain) {
+    Query q;
+    q.predicates.push_back({0, v, v});
+    const double exact =
+        static_cast<double>(ExecuteCountNaive(table, q)) /
+        static_cast<double>(table.num_rows());
+    EXPECT_DOUBLE_EQ(synopsis.EstimateFraction(0, v, v), exact);
+  }
+}
+
+TEST(ScanSynopsisTest, SizeBytesObservable) {
+  const Table table = CategoricalZipfTable(4000, 2, 30, 13);
+  scan::ScanOptions rich;
+  scan::ScanOptions zone_only;
+  zone_only.rich_synopsis = false;
+  scan::BlockScanner a(table, rich);
+  scan::BlockScanner b(table, zone_only);
+  EXPECT_GT(a.synopsis().SizeBytes(), 0u);
+  // Dictionaries + code arrays + bitmaps cost real memory over bare
+  // zone maps — that is the point of surfacing SizeBytes.
+  EXPECT_GT(a.synopsis().SizeBytes(), b.synopsis().SizeBytes());
+}
+
+TEST(ScanSynopsisTest, ConstantBlocksCountWholesale) {
+  // A constant column: every block fully matches the equality predicate and
+  // must be counted without touching values.
+  std::vector<double> vals(256, 7.0);
+  Table table("const");
+  table.AddColumn("c", std::move(vals), true);
+  table.Finalize();
+  scan::BlockScanner scanner(table, {32});
+  Query q;
+  q.predicates.push_back({0, 7, 7});
+  EXPECT_EQ(scanner.Count(q), 256u);
+  const scan::ScanStats stats = scanner.stats();
+  EXPECT_EQ(stats.full_blocks, 8u);
+  EXPECT_EQ(stats.scanned_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace arecel
